@@ -1,0 +1,180 @@
+//! One benchmark per paper artifact: each runs a scaled-down but
+//! structurally identical version of the experiment that regenerates the
+//! table/figure, so `cargo bench` exercises every reproduction path and
+//! tracks simulator performance over time.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use fabric::Gbps;
+use h5::bench::{run_h5bench, H5BenchConfig, H5Kernel, H5Runtime};
+use workload::{run, Mix, RuntimeKind, Scenario, WindowSpec};
+
+fn quick(mut sc: Scenario) -> Scenario {
+    sc.warmup_s = 0.01;
+    sc.measure_s = 0.04;
+    sc
+}
+
+/// Table I: device/fabric/cost preset construction.
+fn bench_table1(c: &mut Criterion) {
+    c.bench_function("table1/presets", |b| {
+        b.iter(|| {
+            let mut acc = 0.0f64;
+            for speed in Gbps::ALL {
+                let cfg = fabric::FabricConfig::preset(speed);
+                acc += cfg.serialization(4096).as_secs_f64();
+            }
+            acc += nvme::FlashProfile::cc_ssd().peak_iops(nvme::Opcode::Read);
+            acc += nvme::FlashProfile::cl_ssd().peak_iops(nvme::Opcode::Write);
+            std::hint::black_box(acc)
+        })
+    });
+}
+
+/// Figure 6(a): window-size point (1 LS + 1 TC, read).
+fn bench_fig6a(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig6a");
+    g.sample_size(10);
+    for w in [8u32, 32] {
+        g.bench_function(format!("opf_w{w}"), |b| {
+            b.iter_batched(
+                || {
+                    let mut sc =
+                        quick(Scenario::ratio(RuntimeKind::Opf, Gbps::G100, Mix::READ, 1, 1));
+                    sc.window = WindowSpec::Static(w);
+                    sc
+                },
+                |sc| std::hint::black_box(run(&sc)),
+                BatchSize::PerIteration,
+            )
+        });
+    }
+    g.finish();
+}
+
+/// Figure 6(b): network-speed point (1 TC, read, 10 Gbps).
+fn bench_fig6b(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig6b");
+    g.sample_size(10);
+    for (label, runtime) in [("spdk", RuntimeKind::Spdk), ("opf", RuntimeKind::Opf)] {
+        g.bench_function(format!("{label}_10g"), |b| {
+            b.iter_batched(
+                || quick(Scenario::ratio(runtime, Gbps::G10, Mix::READ, 0, 1)),
+                |sc| std::hint::black_box(run(&sc)),
+                BatchSize::PerIteration,
+            )
+        });
+    }
+    g.finish();
+}
+
+/// Figure 6(c): notification counting.
+fn bench_fig6c(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig6c");
+    g.sample_size(10);
+    g.bench_function("notifications", |b| {
+        b.iter_batched(
+            || quick(Scenario::ratio(RuntimeKind::Opf, Gbps::G100, Mix::READ, 0, 1)),
+            |sc| {
+                let r = run(&sc);
+                std::hint::black_box(r.notifications)
+            },
+            BatchSize::PerIteration,
+        )
+    });
+    g.finish();
+}
+
+/// Figure 7: the headline 1:4 ratio point, both runtimes and tails.
+fn bench_fig7(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig7");
+    g.sample_size(10);
+    for (label, runtime) in [("spdk", RuntimeKind::Spdk), ("opf", RuntimeKind::Opf)] {
+        for (mlabel, mix) in [("read", Mix::READ), ("write", Mix::WRITE)] {
+            g.bench_function(format!("{label}_1to4_{mlabel}_100g"), |b| {
+                b.iter_batched(
+                    || quick(Scenario::ratio(runtime, Gbps::G100, mix, 1, 4)),
+                    |sc| std::hint::black_box(run(&sc)),
+                    BatchSize::PerIteration,
+                )
+            });
+        }
+    }
+    g.finish();
+}
+
+/// Figure 8: scale-out point (3 pairs, 4 TC each, mixed).
+fn bench_fig8(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig8");
+    g.sample_size(10);
+    g.bench_function("opf_3pairs_mixed", |b| {
+        b.iter_batched(
+            || {
+                let mut sc =
+                    quick(Scenario::ratio(RuntimeKind::Opf, Gbps::G100, Mix::MIXED, 0, 4));
+                sc.pairs = 3;
+                sc.separate_nodes = false;
+                sc
+            },
+            |sc| std::hint::black_box(run(&sc)),
+            BatchSize::PerIteration,
+        )
+    });
+    g.finish();
+}
+
+/// Figure 9: h5bench point (2 pairs, 4 ranks each).
+fn bench_fig9(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig9");
+    g.sample_size(10);
+    for (label, kernel) in [("write", H5Kernel::Write), ("read", H5Kernel::Read)] {
+        g.bench_function(format!("opf_{label}"), |b| {
+            b.iter_batched(
+                || {
+                    let mut cfg = H5BenchConfig::fig9(H5Runtime::Opf, kernel);
+                    cfg.pairs = 2;
+                    cfg.ranks_per_node = 4;
+                    cfg.particles = 64 * 1024;
+                    cfg.timesteps = 2;
+                    cfg
+                },
+                |cfg| std::hint::black_box(run_h5bench(&cfg)),
+                BatchSize::PerIteration,
+            )
+        });
+    }
+    g.finish();
+}
+
+/// Ablations: coalescing off vs full NVMe-oPF.
+fn bench_ablate(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablate");
+    g.sample_size(10);
+    for (label, w) in [("coalescing_off", 1u32), ("window32", 32)] {
+        g.bench_function(label, |b| {
+            b.iter_batched(
+                || {
+                    let mut sc =
+                        quick(Scenario::ratio(RuntimeKind::Opf, Gbps::G100, Mix::READ, 1, 4));
+                    sc.window = WindowSpec::Static(w);
+                    sc
+                },
+                |sc| std::hint::black_box(run(&sc)),
+                BatchSize::PerIteration,
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    figures,
+    bench_table1,
+    bench_fig6a,
+    bench_fig6b,
+    bench_fig6c,
+    bench_fig7,
+    bench_fig8,
+    bench_fig9,
+    bench_ablate
+);
+criterion_main!(figures);

@@ -1,0 +1,142 @@
+//! Micro-benchmarks of the hot data structures and codecs.
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use queues::{spsc_channel, CidQueue, MpscQueue};
+use simkit::{Kernel, Pcg32, SimDuration};
+
+fn bench_spsc(c: &mut Criterion) {
+    let mut g = c.benchmark_group("queues/spsc");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("push_pop", |b| {
+        let (mut tx, mut rx) = spsc_channel::<u64>(256);
+        b.iter(|| {
+            tx.push(42).unwrap();
+            std::hint::black_box(rx.pop().unwrap())
+        })
+    });
+    g.bench_function("burst64", |b| {
+        let (mut tx, mut rx) = spsc_channel::<u64>(256);
+        b.iter(|| {
+            for i in 0..64 {
+                tx.push(i).unwrap();
+            }
+            let mut acc = 0;
+            while let Some(v) = rx.pop() {
+                acc += v;
+            }
+            std::hint::black_box(acc)
+        })
+    });
+    g.finish();
+}
+
+fn bench_cid_queue(c: &mut Criterion) {
+    let mut g = c.benchmark_group("queues/cid");
+    g.bench_function("window32_complete_through", |b| {
+        let mut q = CidQueue::new(256);
+        b.iter(|| {
+            for cid in 0..32u16 {
+                q.push(cid).unwrap();
+            }
+            std::hint::black_box(q.complete_through(31))
+        })
+    });
+    g.finish();
+}
+
+fn bench_mpsc(c: &mut Criterion) {
+    let mut g = c.benchmark_group("queues/mpsc");
+    g.bench_function("push_pop", |b| {
+        let mut q = MpscQueue::new();
+        b.iter(|| {
+            q.push(7u64);
+            std::hint::black_box(q.pop().unwrap())
+        })
+    });
+    g.finish();
+}
+
+fn bench_histogram(c: &mut Criterion) {
+    let mut g = c.benchmark_group("workload/hist");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("record", |b| {
+        let mut h = workload::Histogram::new();
+        let mut rng = Pcg32::new(1);
+        b.iter(|| {
+            h.record(std::hint::black_box(rng.gen_range(100, 10_000_000)));
+        })
+    });
+    g.bench_function("p9999_of_100k", |b| {
+        let mut h = workload::Histogram::new();
+        let mut rng = Pcg32::new(2);
+        for _ in 0..100_000 {
+            h.record(rng.gen_range(100, 10_000_000));
+        }
+        b.iter(|| std::hint::black_box(h.percentile(0.9999)))
+    });
+    g.finish();
+}
+
+fn bench_pdu_codec(c: &mut Criterion) {
+    let mut g = c.benchmark_group("nvmf/pdu");
+    let cmd = nvmf::Pdu::CapsuleCmd {
+        sqe: nvme::Sqe::read(7, 1, 123456, 1),
+        priority: nvmf::Priority::ThroughputCritical { draining: true },
+        initiator: 3,
+    };
+    g.bench_function("encode_cmd", |b| b.iter(|| std::hint::black_box(cmd.encode())));
+    let raw = cmd.encode();
+    g.bench_function("decode_cmd", |b| {
+        b.iter(|| std::hint::black_box(nvmf::Pdu::decode(&raw)))
+    });
+    let data = nvmf::Pdu::C2HData {
+        cccid: 9,
+        data: Bytes::from(vec![0u8; 4096]),
+    };
+    g.bench_function("encode_data_4k", |b| {
+        b.iter(|| std::hint::black_box(data.encode()))
+    });
+    g.finish();
+}
+
+fn bench_kernel(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simkit/kernel");
+    g.throughput(Throughput::Elements(10_000));
+    g.bench_function("schedule_run_10k", |b| {
+        b.iter(|| {
+            let mut k = Kernel::new(1);
+            for i in 0..10_000u64 {
+                k.schedule_in(SimDuration::from_nanos(i % 977), |_| {});
+            }
+            k.run_to_completion();
+            std::hint::black_box(k.events_executed())
+        })
+    });
+    g.finish();
+}
+
+fn bench_h5_format(c: &mut Criterion) {
+    let mut g = c.benchmark_group("h5/format");
+    g.bench_function("create_write_read_1mib", |b| {
+        let data = vec![0xABu8; 1 << 20];
+        b.iter(|| {
+            let mut f = h5::H5File::create(h5::MemStore::new(300)).unwrap();
+            f.create_dataset("/d", h5::format::Dtype::U8, &data).unwrap();
+            std::hint::black_box(f.read_dataset("/d").unwrap().len())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    micro,
+    bench_spsc,
+    bench_cid_queue,
+    bench_mpsc,
+    bench_histogram,
+    bench_pdu_codec,
+    bench_kernel,
+    bench_h5_format
+);
+criterion_main!(micro);

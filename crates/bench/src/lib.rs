@@ -1,0 +1,11 @@
+//! # bench — Criterion benchmark harnesses
+//!
+//! * `benches/figures.rs` — one benchmark group per paper artifact
+//!   (Table I, Figures 6–9): each measures the wall-clock cost of
+//!   regenerating a representative scaled-down data point, and doubles
+//!   as a performance regression gate for the simulator itself.
+//! * `benches/micro.rs` — micro-benchmarks of the hot structures: the
+//!   lock-free SPSC/CID queues, the MPSC queue, the latency histogram,
+//!   PDU encode/decode, the event kernel, and the mini-HDF5 format.
+//!
+//! Run with `cargo bench --workspace`.

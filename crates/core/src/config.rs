@@ -1,0 +1,128 @@
+//! NVMe-oPF configuration.
+
+use simkit::SimDuration;
+
+/// The application-facing request tag (§III-C: "By easily passing a
+/// request with either latency-sensitive or throughput-critical flags,
+/// user applications can observe respective performance optimizations").
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ReqClass {
+    /// Complete and respond immediately; bypass TC queues.
+    LatencySensitive,
+    /// Queue at the target; coalesce the completion notification.
+    ThroughputCritical,
+}
+
+/// How the initiator chooses its drain window (§IV-D).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum WindowPolicy {
+    /// Fixed window size.
+    Static(u32),
+    /// Runtime hill-climbing: re-tuned "after a draining request
+    /// completion notification is received on the initiator".
+    Dynamic {
+        /// Initial window size.
+        initial: u32,
+    },
+}
+
+impl WindowPolicy {
+    /// The window the policy starts from.
+    pub fn initial(self) -> u32 {
+        match self {
+            WindowPolicy::Static(w) => w,
+            WindowPolicy::Dynamic { initial } => initial,
+        }
+    }
+}
+
+/// Target-side TC queue organisation — the §IV-A ablation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum QueueMode {
+    /// One TC queue per initiator (the paper's lock-free design).
+    PerInitiator,
+    /// A single TC queue shared by all initiators. Demonstrates the
+    /// §IV-A failure: one tenant's drain flushes other tenants'
+    /// windows early, shrinking the effective coalescing factor.
+    Shared,
+}
+
+/// Initiator-side Priority Manager configuration.
+#[derive(Clone, Debug)]
+pub struct OpfInitiatorConfig {
+    /// Drain-window policy.
+    pub window: WindowPolicy,
+    /// Auto-drain a partially filled window after this long without a
+    /// drain (like calibrated interrupt-coalescing timeouts): bounds the
+    /// latency cost of coalescing when the TC stream pauses or runs
+    /// below the window rate. `None` disables the timer (the paper's
+    /// design, which assumes saturating closed-loop streams).
+    pub drain_timeout: Option<SimDuration>,
+    /// Per-CID bookkeeping cost when a coalesced completion marks many
+    /// requests complete at once (vs. a full response-processing cost
+    /// per request in the baseline).
+    pub coalesced_complete_each: SimDuration,
+    /// Capacity of the CID queue (sized ≥ queue depth + window so a full
+    /// pipeline can never overflow it — the §IV-A lock-up guard).
+    pub cid_queue_capacity: usize,
+}
+
+impl Default for OpfInitiatorConfig {
+    fn default() -> Self {
+        OpfInitiatorConfig {
+            window: WindowPolicy::Static(32),
+            drain_timeout: Some(SimDuration::from_micros(500)),
+            coalesced_complete_each: SimDuration::from_nanos(150),
+            cid_queue_capacity: 512,
+        }
+    }
+}
+
+/// Target-side Priority Manager configuration.
+#[derive(Clone, Debug)]
+pub struct OpfTargetConfig {
+    /// TC queue organisation.
+    pub queue_mode: QueueMode,
+    /// Whether LS requests bypass the TC queues (ablation switch;
+    /// always true in the paper's design).
+    pub ls_bypass: bool,
+    /// Maximum TC commands in flight at the device. The PM meters
+    /// drained batches into the device so TC floods do not monopolise
+    /// the flash units ahead of bypassing LS requests (§III-A: the PMs
+    /// "control request completion times ... with respect to application
+    /// optimization objectives").
+    pub tc_inflight_cap: usize,
+}
+
+impl Default for OpfTargetConfig {
+    fn default() -> Self {
+        OpfTargetConfig {
+            queue_mode: QueueMode::PerInitiator,
+            ls_bypass: true,
+            tc_inflight_cap: 64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let i = OpfInitiatorConfig::default();
+        assert_eq!(i.window.initial(), 32);
+        assert!(i.drain_timeout.is_some());
+        assert!(i.cid_queue_capacity >= 128 + 32);
+        let t = OpfTargetConfig::default();
+        assert_eq!(t.queue_mode, QueueMode::PerInitiator);
+        assert!(t.ls_bypass);
+        assert!(t.tc_inflight_cap >= 16);
+    }
+
+    #[test]
+    fn window_policy_initial() {
+        assert_eq!(WindowPolicy::Static(8).initial(), 8);
+        assert_eq!(WindowPolicy::Dynamic { initial: 16 }.initial(), 16);
+    }
+}

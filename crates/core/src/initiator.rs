@@ -1,0 +1,464 @@
+//! The NVMe-oPF initiator Priority Manager (Algorithms 1 and 2).
+
+use crate::config::{OpfInitiatorConfig, ReqClass, WindowPolicy};
+use crate::window::DynamicWindow;
+use bytes::Bytes;
+use fabric::{Endpoint, Network};
+use nvmf::initiator::TargetRx;
+use nvmf::qpair::{IoCallback, QPair, ReqCtx};
+use nvmf::{CpuCosts, IoOutcome, Pdu, Priority};
+use nvme::{Opcode, Sqe, Status};
+use queues::{CidQueue, CompleteResult};
+use simkit::{Kernel, Resource, Shared, Tracer};
+
+/// Initiator-side counters.
+#[derive(Clone, Debug, Default)]
+pub struct OpfInitiatorStats {
+    /// Commands submitted (all classes).
+    pub submitted: u64,
+    /// LS commands submitted.
+    pub ls_submitted: u64,
+    /// TC commands submitted.
+    pub tc_submitted: u64,
+    /// Draining flags sent.
+    pub drains_sent: u64,
+    /// Commands completed.
+    pub completed: u64,
+    /// Error completions.
+    pub errors: u64,
+    /// Response capsules received (coalesced + LS).
+    pub resps_rx: u64,
+    /// Requests completed via coalesced responses.
+    pub coalesced_completions: u64,
+    /// C2H data PDUs received.
+    pub data_rx: u64,
+    /// R2T PDUs received.
+    pub r2ts_rx: u64,
+    /// Payload bytes read.
+    pub bytes_read: u64,
+    /// Payload bytes written.
+    pub bytes_written: u64,
+    /// Times the dynamic optimizer changed the window.
+    pub window_changes: u64,
+}
+
+/// The NVMe-oPF initiator.
+///
+/// Wraps the same qpair/fabric plumbing as [`nvmf::SpdkInitiator`] and
+/// adds the Priority Manager: per-request class tags, automatic draining
+/// every `window` TC requests, a lock-free zero-copy CID queue, and
+/// batched completion marking on coalesced responses.
+pub struct OpfInitiator {
+    /// Tenant identifier carried in every command capsule (§IV-A: eight
+    /// reserved PDU bits).
+    pub id: u8,
+    qpair: QPair,
+    cpu: Resource,
+    net: Network,
+    ep: Shared<Endpoint>,
+    target_ep: Shared<Endpoint>,
+    target_rx: TargetRx,
+    costs: CpuCosts,
+    cfg: OpfInitiatorConfig,
+    /// Pending TC CIDs in issue order (Algorithm 1's queue).
+    cid_queue: CidQueue,
+    /// TC requests sent since the last drain.
+    sent_in_window: u32,
+    /// Current window size, always clamped to the queue depth: a window
+    /// larger than the number of issuable requests could never receive
+    /// its draining flag and the qpair would lock — the §IV-A lock-up
+    /// hazard ("request completions may never return and the NVMe-oPF
+    /// initiator will lock").
+    window: u32,
+    /// Queue depth, the clamp bound.
+    qd: u32,
+    dynamic: Option<DynamicWindow>,
+    /// Bumped whenever a drain is sent; the drain-timeout event only
+    /// fires a flush when its captured generation is still current.
+    window_generation: u64,
+    /// A timeout event is pending (avoid stacking one per request).
+    timer_armed: bool,
+    tracer: Tracer,
+    /// Counters.
+    pub stats: OpfInitiatorStats,
+}
+
+impl OpfInitiator {
+    /// Create an initiator with queue depth `qd`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        id: u8,
+        qd: usize,
+        net: Network,
+        ep: Shared<Endpoint>,
+        target_ep: Shared<Endpoint>,
+        target_rx: TargetRx,
+        costs: CpuCosts,
+        cfg: OpfInitiatorConfig,
+        tracer: Tracer,
+    ) -> Self {
+        let window = cfg.window.initial().clamp(1, qd as u32);
+        let dynamic = match cfg.window {
+            WindowPolicy::Dynamic { initial } => Some(DynamicWindow::new(initial)),
+            WindowPolicy::Static(_) => None,
+        };
+        let cap = cfg.cid_queue_capacity.max(qd + window as usize);
+        OpfInitiator {
+            id,
+            qpair: QPair::new(qd),
+            cpu: Resource::new("opf_initiator_cpu"),
+            net,
+            ep,
+            target_ep,
+            target_rx,
+            costs,
+            cfg,
+            cid_queue: CidQueue::new(cap),
+            sent_in_window: 0,
+            window,
+            qd: qd as u32,
+            dynamic,
+            window_generation: 0,
+            timer_armed: false,
+            tracer,
+            stats: OpfInitiatorStats::default(),
+        }
+    }
+
+    /// Queue pair depth.
+    pub fn queue_depth(&self) -> usize {
+        self.qpair.depth()
+    }
+
+    /// Commands currently in flight.
+    pub fn inflight(&self) -> usize {
+        self.qpair.inflight()
+    }
+
+    /// True when another command can be issued.
+    pub fn has_capacity(&self) -> bool {
+        self.qpair.has_capacity()
+    }
+
+    /// The window size currently in force.
+    pub fn current_window(&self) -> u32 {
+        self.window
+    }
+
+    /// TC requests sent since the last draining flag.
+    pub fn pending_in_window(&self) -> u32 {
+        self.sent_in_window
+    }
+
+    /// Submit one I/O tagged with `class`. Returns the CID, or `None`
+    /// at queue depth.
+    ///
+    /// Algorithm 1: TC requests are appended to the CID queue and every
+    /// `window`-th request carries the draining flag, which the PM sets
+    /// automatically (§III-C).
+    #[allow(clippy::too_many_arguments)]
+    pub fn submit(
+        this: &Shared<OpfInitiator>,
+        k: &mut Kernel,
+        class: ReqClass,
+        opcode: Opcode,
+        slba: u64,
+        blocks: u16,
+        payload: Option<Bytes>,
+        cb: IoCallback,
+    ) -> Option<u16> {
+        let (cid, priority, finish, id) = {
+            let mut i = this.borrow_mut();
+            let ctx = ReqCtx {
+                opcode,
+                slba,
+                blocks,
+                payload,
+                data: None,
+                priority: Priority::None, // final value set below
+                issued_at: k.now(),
+                cb,
+            };
+            let cid = i.qpair.begin(ctx)?;
+            i.stats.submitted += 1;
+            let priority = match class {
+                ReqClass::LatencySensitive => {
+                    i.stats.ls_submitted += 1;
+                    Priority::LatencySensitive
+                }
+                ReqClass::ThroughputCritical => {
+                    i.stats.tc_submitted += 1;
+                    // Alg 1: queue[tail] <- req.cid.
+                    i.cid_queue
+                        .push(cid)
+                        .expect("CID queue sized for QD + window");
+                    i.sent_in_window += 1;
+                    let draining = i.sent_in_window >= i.window;
+                    if draining {
+                        i.sent_in_window = 0;
+                        i.window_generation += 1;
+                        i.stats.drains_sent += 1;
+                        i.tracer
+                            .emit(k.now(), "opf.drain_tx", u32::from(i.id), u64::from(cid));
+                    }
+                    Priority::ThroughputCritical { draining }
+                }
+            };
+            if let Some(ctx) = i.qpair.get_mut(cid) {
+                ctx.priority = priority;
+            }
+            let c = i.costs.ini_submit;
+            let finish = i.cpu.reserve(k.now(), c).finish;
+            (cid, priority, finish, i.id)
+        };
+        if priority.is_tc() && !priority.is_draining() {
+            Self::arm_drain_timer(this, k);
+        }
+        let this2 = this.clone();
+        k.schedule_at(finish, move |k| {
+            let i = this2.borrow();
+            let sqe = match opcode {
+                Opcode::Read => Sqe::read(cid, 1, slba, blocks),
+                Opcode::Write => Sqe::write(cid, 1, slba, blocks),
+                Opcode::Flush => Sqe {
+                    opcode,
+                    cid,
+                    nsid: 1,
+                    slba: 0,
+                    nlb: 0,
+                },
+            };
+            let pdu = Pdu::CapsuleCmd {
+                sqe,
+                priority,
+                initiator: id,
+            };
+            let rx = i.target_rx.clone();
+            let from = i.id;
+            i.net
+                .send(k, &i.ep, &i.target_ep, pdu.wire_len(), move |k| {
+                    rx(k, from, pdu)
+                });
+        });
+        Some(cid)
+    }
+
+    /// Arm (or keep armed) the drain-timeout timer: if the current
+    /// window is still partial when it fires, force a flush so coalesced
+    /// completions are not held hostage by a paused TC stream.
+    fn arm_drain_timer(this: &Shared<OpfInitiator>, k: &mut Kernel) {
+        let (timeout, generation) = {
+            let mut i = this.borrow_mut();
+            let Some(t) = i.cfg.drain_timeout else {
+                return;
+            };
+            if i.timer_armed {
+                return;
+            }
+            i.timer_armed = true;
+            (t, i.window_generation)
+        };
+        let this2 = this.clone();
+        k.schedule_in(timeout, move |k| {
+            let stale = {
+                let mut i = this2.borrow_mut();
+                i.timer_armed = false;
+                if i.sent_in_window == 0 {
+                    // Nothing pending: the next partial window re-arms.
+                    return;
+                }
+                // A drain went out since we were armed; the pending
+                // requests belong to a *newer* window that deserves its
+                // own full timeout.
+                i.window_generation != generation
+            };
+            if stale {
+                OpfInitiator::arm_drain_timer(&this2, k);
+                return;
+            }
+            if OpfInitiator::flush(&this2, k, Box::new(|_, _| {})).is_none() {
+                // Queue depth exhausted: retry shortly (completions from
+                // earlier drains will free a slot).
+                OpfInitiator::arm_drain_timer(&this2, k);
+            }
+        });
+    }
+
+    /// Force a drain of any partially filled window by issuing a flush
+    /// command with the draining flag. Used at workload end so the tail
+    /// of a TC stream does not wait forever for its window to fill.
+    /// No-op (returns `None`) when nothing is pending.
+    pub fn flush(this: &Shared<OpfInitiator>, k: &mut Kernel, cb: IoCallback) -> Option<u16> {
+        {
+            let i = this.borrow();
+            // sent_in_window == 0 means the last TC request was itself a
+            // drain (or nothing is pending): an outstanding drain will
+            // complete everything already queued.
+            if i.sent_in_window == 0 {
+                return None;
+            }
+        }
+        // A flush opcode rides the TC path; tagging it as the window
+        // boundary drains everything queued before it.
+        {
+            let mut i = this.borrow_mut();
+            // Force the next TC submit (the flush) to carry draining.
+            let w = i.sent_in_window + 1;
+            if i.window != w {
+                i.window = w;
+            }
+        }
+        let res = Self::submit(
+            this,
+            k,
+            ReqClass::ThroughputCritical,
+            Opcode::Flush,
+            0,
+            1,
+            None,
+            cb,
+        );
+        if res.is_some() {
+            this.borrow_mut().window_generation += 1;
+        }
+        // Restore the policy window (clamped to the queue depth).
+        {
+            let mut i = this.borrow_mut();
+            let w = match i.dynamic {
+                Some(ref d) => d.current(),
+                None => i.cfg.window.initial().max(1),
+            };
+            i.window = w.clamp(1, i.qd);
+        }
+        res
+    }
+
+    /// Deliver a PDU arriving from the target.
+    pub fn on_pdu(this: &Shared<OpfInitiator>, k: &mut Kernel, pdu: Pdu) {
+        match pdu {
+            Pdu::C2HData { cccid, data } => {
+                let finish = {
+                    let mut i = this.borrow_mut();
+                    i.stats.data_rx += 1;
+                    i.stats.bytes_read += data.len() as u64;
+                    let cost = i.costs.ini_on_data;
+                    let finish = i.cpu.reserve(k.now(), cost).finish;
+                    if let Some(ctx) = i.qpair.get_mut(cccid) {
+                        ctx.data = Some(data);
+                    }
+                    finish
+                };
+                k.schedule_at(finish, |_| {});
+            }
+            Pdu::R2T { cccid, r2tl } => Self::on_r2t(this, k, cccid, r2tl),
+            Pdu::CapsuleResp { cqe, priority } => Self::on_resp(this, k, cqe, priority),
+            other => panic!("initiator received unexpected PDU {:?}", other.kind()),
+        }
+    }
+
+    fn on_r2t(this: &Shared<OpfInitiator>, k: &mut Kernel, cccid: u16, r2tl: u32) {
+        let (finish, data) = {
+            let mut i = this.borrow_mut();
+            i.stats.r2ts_rx += 1;
+            let cost = i.costs.ini_on_r2t + i.costs.ini_send_data;
+            let finish = i.cpu.reserve(k.now(), cost).finish;
+            let ctx = i.qpair.get_mut(cccid).expect("R2T for unknown command");
+            let data = ctx.payload.take().expect("R2T but no payload");
+            debug_assert_eq!(data.len(), r2tl as usize);
+            (finish, data)
+        };
+        let this2 = this.clone();
+        k.schedule_at(finish, move |k| {
+            let mut i = this2.borrow_mut();
+            i.stats.bytes_written += data.len() as u64;
+            let pdu = Pdu::H2CData { cccid, data };
+            let rx = i.target_rx.clone();
+            let from = i.id;
+            i.net
+                .send(k, &i.ep, &i.target_ep, pdu.wire_len(), move |k| {
+                    rx(k, from, pdu)
+                });
+        });
+    }
+
+    /// Algorithm 2: a response for a draining TC request marks every
+    /// queued CID up to and including it complete, in issue order. LS
+    /// responses complete a single request as in the baseline.
+    fn on_resp(this: &Shared<OpfInitiator>, k: &mut Kernel, cqe: nvme::Cqe, priority: Priority) {
+        let (finish, cids) = {
+            let mut i = this.borrow_mut();
+            i.stats.resps_rx += 1;
+            if priority.is_tc() {
+                let result = i.cid_queue.complete_through(cqe.cid);
+                let cids = match result {
+                    CompleteResult::Completed(v) => v,
+                    CompleteResult::Missing(v) => {
+                        panic!(
+                            "coalesced response for CID {} not in queue (drained {v:?})",
+                            cqe.cid
+                        )
+                    }
+                };
+                i.stats.coalesced_completions += cids.len() as u64;
+                i.tracer.emit(
+                    k.now(),
+                    "opf.coalesced_rx",
+                    u32::from(i.id),
+                    cids.len() as u64,
+                );
+                // One response-processing cost plus per-CID bookkeeping —
+                // the initiator-side saving of coalescing.
+                let cost =
+                    i.costs.ini_on_resp + i.cfg.coalesced_complete_each * cids.len() as u64;
+                let finish = i.cpu.reserve(k.now(), cost).finish;
+                // Dynamic window retune (§IV-D).
+                let now = k.now();
+                let batch = cids.len() as u64;
+                let qd = i.qd;
+                if let Some(d) = i.dynamic.as_mut() {
+                    if let Some(w) = d.on_drain_complete(now, batch) {
+                        let w = w.clamp(1, qd);
+                        if w != i.window {
+                            i.window = w;
+                            i.stats.window_changes += 1;
+                        }
+                    }
+                }
+                (finish, cids)
+            } else {
+                let cost = i.costs.ini_on_resp;
+                let finish = i.cpu.reserve(k.now(), cost).finish;
+                (finish, vec![cqe.cid])
+            }
+        };
+        let this2 = this.clone();
+        let status = cqe.status;
+        k.schedule_at(finish, move |k| {
+            for cid in cids {
+                Self::complete(&this2, k, cid, status);
+            }
+        });
+    }
+
+    fn complete(this: &Shared<OpfInitiator>, k: &mut Kernel, cid: u16, status: Status) {
+        let (ctx, latency) = {
+            let mut i = this.borrow_mut();
+            let ctx = i
+                .qpair
+                .finish(cid)
+                .unwrap_or_else(|| panic!("completion for unknown CID {cid}"));
+            i.stats.completed += 1;
+            if !status.is_ok() {
+                i.stats.errors += 1;
+            }
+            let latency = k.now().since(ctx.issued_at);
+            (ctx, latency)
+        };
+        let outcome = IoOutcome {
+            status,
+            data: ctx.data,
+            latency,
+        };
+        (ctx.cb)(k, outcome);
+    }
+}

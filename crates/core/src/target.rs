@@ -1,0 +1,731 @@
+//! The NVMe-oPF target Priority Manager (Algorithms 3 and 4).
+//!
+//! Per-initiator TC queues stage throughput-critical commands until the
+//! tenant's draining flag arrives; the batch is then metered into the
+//! device and acknowledged with **one** coalesced response capsule.
+//! Latency-sensitive commands bypass every queue and execute
+//! immediately.
+
+use crate::config::{OpfTargetConfig, QueueMode};
+use bytes::Bytes;
+use fabric::{Endpoint, Network};
+use nvme::{NvmeDevice, Opcode, Sqe, Status};
+use nvmf::{CpuCosts, Pdu, PduRx, Priority};
+use queues::CidQueue;
+use simkit::{Kernel, Resource, Shared, SimDuration, Tracer};
+use std::collections::{HashMap, VecDeque};
+
+/// Target-side counters. `resps_tx` is the Figure 6(c) notification
+/// count; in NVMe-oPF it is roughly `drains_rx + ls_rx` instead of the
+/// baseline's one-per-command.
+#[derive(Clone, Debug, Default)]
+pub struct OpfTargetStats {
+    /// Command capsules received.
+    pub cmds_rx: u64,
+    /// LS commands received.
+    pub ls_rx: u64,
+    /// TC commands received.
+    pub tc_rx: u64,
+    /// Draining flags received.
+    pub drains_rx: u64,
+    /// H2C data PDUs received.
+    pub data_rx: u64,
+    /// Response capsules sent (completion notifications).
+    pub resps_tx: u64,
+    /// Coalesced responses among `resps_tx`.
+    pub coalesced_resps_tx: u64,
+    /// R2T PDUs sent.
+    pub r2ts_tx: u64,
+    /// C2H data PDUs sent.
+    pub data_tx: u64,
+    /// Commands completed by the device.
+    pub completed: u64,
+    /// LS commands that bypassed the TC queues.
+    pub ls_bypassed: u64,
+    /// High-water mark of any per-initiator TC queue.
+    pub max_tc_queue: usize,
+    /// High-water mark of the metered ready queue.
+    pub max_ready: usize,
+    /// Small sends that paid the backpressure penalty.
+    pub backpressured_sends: u64,
+}
+
+/// A TC command staged in a tenant's queue, waiting for a drain.
+struct StagedCmd {
+    /// Owning tenant (needed by the shared-queue ablation, where one
+    /// queue mixes tenants).
+    owner: u8,
+    sqe: Sqe,
+    data: Option<Vec<u8>>,
+    /// Write whose H2C data has not arrived yet. TC writes are staged at
+    /// *command* arrival so a drain covers every earlier command of the
+    /// window (the R2T/data round trip would otherwise reorder them past
+    /// the drain); execution waits for the data.
+    needs_data: bool,
+}
+
+/// One tenant's TC state: the zero-copy CID order queue plus the staged
+/// commands the transport already holds (§IV-B: the queue itself stores
+/// only CIDs; the command buffers belong to the transport layer).
+///
+/// In the shared-queue ablation one `TcState` mixes tenants, so queue
+/// entries carry the owner in the upper bits of the stored key (CIDs are
+/// bounded by the qpair depth, well under 1024).
+struct TcState {
+    order: CidQueue,
+    staged: HashMap<(u8, u16), StagedCmd>,
+}
+
+const OWNER_SHIFT: u16 = 10;
+const CID_MASK: u16 = (1 << OWNER_SHIFT) - 1;
+
+fn encode_key(owner: u8, cid: u16) -> u16 {
+    debug_assert!(cid <= CID_MASK, "CID {cid} exceeds the shared-queue bound");
+    debug_assert!(owner < 64, "owner {owner} exceeds the shared-queue bound");
+    (u16::from(owner) << OWNER_SHIFT) | cid
+}
+
+fn decode_key(key: u16) -> (u8, u16) {
+    ((key >> OWNER_SHIFT) as u8, key & CID_MASK)
+}
+
+impl TcState {
+    fn new() -> Self {
+        TcState {
+            order: CidQueue::new(2048),
+            staged: HashMap::new(),
+        }
+    }
+}
+
+/// A drained batch awaiting device completions (Algorithm 4's
+/// bookkeeping: count completions, respond once on the drain).
+struct Batch {
+    initiator: u8,
+    drain_cid: u16,
+    remaining: usize,
+    worst: Status,
+    /// All device completions arrived; response may be released once
+    /// every earlier batch of the same tenant has responded (coalesced
+    /// responses must reach the initiator in drain order for
+    /// Algorithm 2's prefix-marking to be sound).
+    done: bool,
+    /// True when this "batch" is a single LS command riding the metered
+    /// path (the ls_bypass=false ablation); its response must carry the
+    /// LS priority so the initiator completes it individually.
+    is_ls: bool,
+}
+
+/// A command released from a TC queue, waiting for a device slot.
+struct ReadyCmd {
+    initiator: u8,
+    sqe: Sqe,
+    data: Option<Vec<u8>>,
+    batch: usize,
+}
+
+struct Conn {
+    ep: Shared<Endpoint>,
+    rx: PduRx,
+}
+
+/// The NVMe-oPF target.
+pub struct OpfTarget {
+    /// Target identifier (for traces).
+    pub id: u32,
+    reactor: Resource,
+    costs: CpuCosts,
+    cfg: OpfTargetConfig,
+    net: Network,
+    ep: Shared<Endpoint>,
+    device: Shared<NvmeDevice>,
+    conns: HashMap<u8, Conn>,
+    /// Writes whose H2C data has not arrived yet.
+    pending_writes: HashMap<(u8, u16), (Sqe, Priority)>,
+    /// Per-initiator TC queues (the §IV-A lock-free design), or one
+    /// shared queue in the ablation mode.
+    tc: HashMap<u8, TcState>,
+    /// Drained batches in flight. Slots are recycled via a free list.
+    batches: Vec<Option<Batch>>,
+    free_batches: Vec<usize>,
+    /// Per-tenant batch order: responses release strictly in drain order.
+    batch_fifo: HashMap<u8, VecDeque<usize>>,
+    /// Drained TC writes still waiting for their H2C data: batch slot to
+    /// join once the payload lands.
+    awaiting_data: HashMap<(u8, u16), (usize, Sqe)>,
+    /// Metered commands waiting for a device slot.
+    ready: VecDeque<ReadyCmd>,
+    /// TC commands currently at the device.
+    tc_inflight: usize,
+    tracer: Tracer,
+    /// Counters.
+    pub stats: OpfTargetStats,
+}
+
+/// Key used for the shared-queue ablation: all tenants map to one queue.
+const SHARED_KEY: u8 = u8::MAX;
+
+impl OpfTarget {
+    /// Create a target attached to `ep`, exposing `device`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        id: u32,
+        net: Network,
+        ep: Shared<Endpoint>,
+        device: Shared<NvmeDevice>,
+        costs: CpuCosts,
+        cfg: OpfTargetConfig,
+        tracer: Tracer,
+    ) -> Self {
+        OpfTarget {
+            id,
+            reactor: Resource::new("opf_reactor"),
+            costs,
+            cfg,
+            net,
+            ep,
+            device,
+            conns: HashMap::new(),
+            pending_writes: HashMap::new(),
+            tc: HashMap::new(),
+            batches: Vec::new(),
+            free_batches: Vec::new(),
+            batch_fifo: HashMap::new(),
+            awaiting_data: HashMap::new(),
+            ready: VecDeque::new(),
+            tc_inflight: 0,
+            tracer,
+            stats: OpfTargetStats::default(),
+        }
+    }
+
+    /// Register an initiator connection.
+    pub fn connect(&mut self, initiator: u8, ep: Shared<Endpoint>, rx: PduRx) {
+        assert_ne!(initiator, SHARED_KEY, "initiator id {SHARED_KEY} is reserved");
+        let prev = self.conns.insert(initiator, Conn { ep, rx });
+        assert!(prev.is_none(), "initiator {initiator} connected twice");
+    }
+
+    /// Reactor utilization snapshot.
+    pub fn reactor_utilization(&self, now: simkit::SimTime) -> f64 {
+        self.reactor.utilization(now)
+    }
+
+    fn queue_key(&self, initiator: u8) -> u8 {
+        match self.cfg.queue_mode {
+            QueueMode::PerInitiator => initiator,
+            QueueMode::Shared => SHARED_KEY,
+        }
+    }
+
+    fn small_send_cost(&mut self, k: &Kernel) -> SimDuration {
+        let util = self.ep.borrow().uplink_utilization(k.now());
+        let penalty = self.costs.small_send_penalty(util);
+        if !penalty.is_zero() {
+            self.stats.backpressured_sends += 1;
+        }
+        self.costs.send_small + penalty
+    }
+
+    /// Deliver a PDU arriving from initiator `from`.
+    pub fn on_pdu(this: &Shared<OpfTarget>, k: &mut Kernel, from: u8, pdu: Pdu) {
+        match pdu {
+            Pdu::CapsuleCmd {
+                sqe,
+                priority,
+                initiator,
+            } => {
+                debug_assert_eq!(initiator, from, "initiator ID must ride the PDU");
+                Self::on_cmd(this, k, from, sqe, priority);
+            }
+            Pdu::H2CData { cccid, data } => Self::on_h2c_data(this, k, from, cccid, data),
+            other => panic!("target received unexpected PDU {:?}", other.kind()),
+        }
+    }
+
+    /// Algorithm 3 entry: classify the command.
+    fn on_cmd(this: &Shared<OpfTarget>, k: &mut Kernel, from: u8, sqe: Sqe, priority: Priority) {
+        {
+            let mut t = this.borrow_mut();
+            t.stats.cmds_rx += 1;
+            t.tracer
+                .emit(k.now(), "opf.cmd_rx", u32::from(from), u64::from(sqe.cid));
+            match priority {
+                Priority::LatencySensitive => t.stats.ls_rx += 1,
+                Priority::ThroughputCritical { draining } => {
+                    t.stats.tc_rx += 1;
+                    if draining {
+                        t.stats.drains_rx += 1;
+                    }
+                }
+                Priority::None => {}
+            }
+        }
+
+        if sqe.opcode == Opcode::Write {
+            let tc = priority.is_tc();
+            // Grant the R2T now; LS/untagged writes classify once their
+            // data arrives, TC writes stage immediately so the drain
+            // ordering covers them (see StagedCmd::needs_data).
+            let finish = {
+                let mut t = this.borrow_mut();
+                let cost = t.costs.parse_cmd + t.costs.build_r2t + t.small_send_cost(k);
+                let grant = t.reactor.reserve(k.now(), cost);
+                if !tc {
+                    t.pending_writes.insert((from, sqe.cid), (sqe, priority));
+                }
+                grant.finish
+            };
+            let this2 = this.clone();
+            k.schedule_at(finish, move |k| {
+                {
+                    let mut t = this2.borrow_mut();
+                    t.stats.r2ts_tx += 1;
+                    let pdu = Pdu::R2T {
+                        cccid: sqe.cid,
+                        r2tl: sqe.data_len() as u32,
+                    };
+                    t.send_to(k, from, pdu);
+                }
+                if tc {
+                    Self::classify(&this2, k, from, sqe, priority, None);
+                }
+            });
+            return;
+        }
+
+        let finish = {
+            let mut t = this.borrow_mut();
+            let cost = t.costs.parse_cmd;
+            t.reactor.reserve(k.now(), cost).finish
+        };
+        let this2 = this.clone();
+        k.schedule_at(finish, move |k| {
+            Self::classify(&this2, k, from, sqe, priority, None);
+        });
+    }
+
+    fn on_h2c_data(this: &Shared<OpfTarget>, k: &mut Kernel, from: u8, cccid: u16, data: Bytes) {
+        let (finish, pending) = {
+            let mut t = this.borrow_mut();
+            t.stats.data_rx += 1;
+            let pending = t.pending_writes.remove(&(from, cccid));
+            let cost = t.costs.handle_data;
+            (t.reactor.reserve(k.now(), cost).finish, pending)
+        };
+        let this2 = this.clone();
+        k.schedule_at(finish, move |k| {
+            match pending {
+                // LS/untagged write: classify now that the data is here.
+                Some((sqe, priority)) => {
+                    Self::classify(&this2, k, from, sqe, priority, Some(data.to_vec()));
+                }
+                // TC write: attach the payload to the staged command, or
+                // release it into its batch if the drain already passed.
+                None => {
+                    let pump_now = {
+                        let mut t = this2.borrow_mut();
+                        if let Some((batch, sqe)) = t.awaiting_data.remove(&(from, cccid)) {
+                            t.ready.push_back(ReadyCmd {
+                                initiator: from,
+                                sqe,
+                                data: Some(data.to_vec()),
+                                batch,
+                            });
+                            let rlen = t.ready.len();
+                            if rlen > t.stats.max_ready {
+                                t.stats.max_ready = rlen;
+                            }
+                            true
+                        } else {
+                            let key = t.queue_key(from);
+                            let state = t.tc.get_mut(&key).expect("TC state exists");
+                            let staged = state
+                                .staged
+                                .get_mut(&(from, cccid))
+                                .expect("H2C data for unknown TC write");
+                            staged.data = Some(data.to_vec());
+                            staged.needs_data = false;
+                            false
+                        }
+                    };
+                    if pump_now {
+                        Self::pump(&this2, k);
+                    }
+                }
+            }
+        });
+    }
+
+    /// Algorithm 3 body: LS (and untagged) commands go straight to
+    /// execution; TC commands are staged; a draining TC command flushes
+    /// its tenant's queue.
+    fn classify(
+        this: &Shared<OpfTarget>,
+        k: &mut Kernel,
+        from: u8,
+        sqe: Sqe,
+        priority: Priority,
+        data: Option<Vec<u8>>,
+    ) {
+        match priority {
+            Priority::ThroughputCritical { draining } => {
+                let flush = {
+                    let mut t = this.borrow_mut();
+                    let key = t.queue_key(from);
+                    let state = t.tc.entry(key).or_insert_with(TcState::new);
+                    state
+                        .order
+                        .push(encode_key(from, sqe.cid))
+                        .expect("target TC queue sized for QD + window");
+                    let needs_data = sqe.opcode == Opcode::Write && data.is_none();
+                    state.staged.insert(
+                        (from, sqe.cid),
+                        StagedCmd {
+                            owner: from,
+                            sqe,
+                            data,
+                            needs_data,
+                        },
+                    );
+                    let qlen = state.order.len();
+                    if qlen > t.stats.max_tc_queue {
+                        t.stats.max_tc_queue = qlen;
+                    }
+                    draining
+                };
+                if flush {
+                    Self::flush_queue(this, k, from, sqe.cid);
+                }
+            }
+            Priority::LatencySensitive if this.borrow().cfg.ls_bypass => {
+                // Bypass: execute immediately, outside the TC meter.
+                {
+                    let mut t = this.borrow_mut();
+                    t.stats.ls_bypassed += 1;
+                    let cost = t.costs.submit_dev;
+                    t.reactor.reserve(k.now(), cost);
+                }
+                Self::execute_ls(this, k, from, sqe, data);
+            }
+            _ => {
+                // LS with bypass disabled (ablation) or untagged traffic:
+                // ride the metered path as a degenerate one-command batch.
+                let is_ls = priority.is_ls();
+                let batch = this.borrow_mut().new_batch(from, sqe.cid, 1, is_ls);
+                {
+                    let mut t = this.borrow_mut();
+                    t.ready.push_back(ReadyCmd {
+                        initiator: from,
+                        sqe,
+                        data,
+                        batch,
+                    });
+                    let rlen = t.ready.len();
+                    if rlen > t.stats.max_ready {
+                        t.stats.max_ready = rlen;
+                    }
+                }
+                Self::pump(this, k);
+            }
+        }
+    }
+
+    /// Allocate a batch slot.
+    fn new_batch(&mut self, initiator: u8, drain_cid: u16, size: usize, is_ls: bool) -> usize {
+        let batch = Batch {
+            initiator,
+            drain_cid,
+            remaining: size,
+            worst: Status::Success,
+            done: false,
+            is_ls,
+        };
+        let idx = if let Some(idx) = self.free_batches.pop() {
+            self.batches[idx] = Some(batch);
+            idx
+        } else {
+            self.batches.push(Some(batch));
+            self.batches.len() - 1
+        };
+        self.batch_fifo.entry(initiator).or_default().push_back(idx);
+        idx
+    }
+
+    /// Algorithm 3's drain: move every staged command of `from`'s queue
+    /// to the ready list as one batch acknowledged by `drain_cid`.
+    ///
+    /// In the shared-queue ablation the drain flushes *all* tenants'
+    /// staged commands (the §IV-A hazard); each tenant still gets its own
+    /// response so the system stays live, which costs the coalescing
+    /// factor the per-initiator design preserves.
+    fn flush_queue(this: &Shared<OpfTarget>, k: &mut Kernel, from: u8, drain_cid: u16) {
+        {
+            let mut t = this.borrow_mut();
+            let key = t.queue_key(from);
+            let Some(state) = t.tc.get_mut(&key) else {
+                return;
+            };
+            let keys = state.order.drain_all();
+            if keys.is_empty() {
+                return;
+            }
+            // Group the flushed commands by owning tenant (one group in
+            // per-initiator mode). Each group becomes a batch whose
+            // coalesced response goes to that tenant, acknowledged by the
+            // tenant's most recent flushed CID.
+            let mut groups: Vec<(u8, Vec<StagedCmd>)> = Vec::new();
+            for qkey in keys {
+                let (owner, cid) = decode_key(qkey);
+                let staged = state.staged.remove(&(owner, cid)).expect("staged command");
+                debug_assert_eq!(staged.owner, owner);
+                match groups.iter_mut().find(|(o, _)| *o == owner) {
+                    Some((_, v)) => v.push(staged),
+                    None => groups.push((owner, vec![staged])),
+                }
+            }
+
+            // Reactor cost: flushing is a queue walk + submits.
+            let n: usize = groups.iter().map(|(_, v)| v.len()).sum();
+            let cost = t.costs.submit_dev * n as u64;
+            t.reactor.reserve(k.now(), cost);
+
+            for (owner, cmds) in groups {
+                let ack_cid = if owner == from {
+                    drain_cid
+                } else {
+                    // Shared-queue ablation: acknowledge the tenant's last
+                    // flushed command.
+                    cmds.last().expect("non-empty group").sqe.cid
+                };
+                let batch = t.new_batch(owner, ack_cid, cmds.len(), false);
+                for cmd in cmds {
+                    if cmd.needs_data {
+                        // Drained before its H2C data landed: joins the
+                        // batch when the payload arrives.
+                        t.awaiting_data.insert((owner, cmd.sqe.cid), (batch, cmd.sqe));
+                    } else {
+                        t.ready.push_back(ReadyCmd {
+                            initiator: owner,
+                            sqe: cmd.sqe,
+                            data: cmd.data,
+                            batch,
+                        });
+                    }
+                }
+            }
+            let rlen = t.ready.len();
+            if rlen > t.stats.max_ready {
+                t.stats.max_ready = rlen;
+            }
+        }
+        Self::pump(this, k);
+    }
+
+    /// Feed ready commands into the device up to the TC in-flight cap.
+    fn pump(this: &Shared<OpfTarget>, k: &mut Kernel) {
+        loop {
+            let cmd = {
+                let mut t = this.borrow_mut();
+                if t.tc_inflight >= t.cfg.tc_inflight_cap {
+                    return;
+                }
+                match t.ready.pop_front() {
+                    Some(c) => {
+                        t.tc_inflight += 1;
+                        c
+                    }
+                    None => return,
+                }
+            };
+            let device = this.borrow().device.clone();
+            {
+                let t = this.borrow();
+                t.tracer.emit(
+                    k.now(),
+                    "opf.dev_submit",
+                    u32::from(cmd.initiator),
+                    u64::from(cmd.sqe.cid),
+                );
+            }
+            let this2 = this.clone();
+            NvmeDevice::submit(&device, k, cmd.sqe, cmd.data, move |k, result| {
+                {
+                    let t = this2.borrow();
+                    t.tracer.emit(
+                        k.now(),
+                        "opf.dev_done",
+                        u32::from(cmd.initiator),
+                        u64::from(cmd.sqe.cid),
+                    );
+                }
+                Self::on_tc_done(&this2, k, cmd.initiator, cmd.sqe, cmd.batch, result);
+            });
+        }
+    }
+
+    /// Execute an LS command immediately and respond per request.
+    fn execute_ls(
+        this: &Shared<OpfTarget>,
+        k: &mut Kernel,
+        from: u8,
+        sqe: Sqe,
+        data: Option<Vec<u8>>,
+    ) {
+        let device = this.borrow().device.clone();
+        {
+            let t = this.borrow();
+            t.tracer
+                .emit(k.now(), "opf.dev_submit", u32::from(from), u64::from(sqe.cid));
+        }
+        let this2 = this.clone();
+        NvmeDevice::submit(&device, k, sqe, data, move |k, result| {
+            {
+                let t = this2.borrow();
+                t.tracer
+                    .emit(k.now(), "opf.dev_done", u32::from(from), u64::from(sqe.cid));
+            }
+            let finish = {
+                let mut t = this2.borrow_mut();
+                t.stats.completed += 1;
+                let mut cost = t.costs.build_resp + t.small_send_cost(k);
+                if result.data.is_some() {
+                    cost += t.costs.send_data;
+                }
+                t.reactor.reserve(k.now(), cost).finish
+            };
+            let this3 = this2.clone();
+            k.schedule_at(finish, move |k| {
+                let mut t = this3.borrow_mut();
+                if let Some(bytes) = result.data {
+                    t.stats.data_tx += 1;
+                    t.send_to(
+                        k,
+                        from,
+                        Pdu::C2HData {
+                            cccid: sqe.cid,
+                            data: bytes,
+                        },
+                    );
+                }
+                t.stats.resps_tx += 1;
+                t.tracer
+                    .emit(k.now(), "opf.ls_resp_tx", t.id, u64::from(sqe.cid));
+                t.send_to(
+                    k,
+                    from,
+                    Pdu::CapsuleResp {
+                        cqe: result.cqe,
+                        priority: Priority::LatencySensitive,
+                    },
+                );
+            });
+        });
+    }
+
+    /// Algorithm 4: a TC command finished at the device. Send its data
+    /// (reads) immediately; mark the batch and release any responses that
+    /// are now deliverable in drain order.
+    fn on_tc_done(
+        this: &Shared<OpfTarget>,
+        k: &mut Kernel,
+        from: u8,
+        sqe: Sqe,
+        batch: usize,
+        result: nvme::device::IoResult,
+    ) {
+        let finish = {
+            let mut t = this.borrow_mut();
+            t.stats.completed += 1;
+            t.tc_inflight -= 1;
+            let mut cost = SimDuration::ZERO;
+            if result.data.is_some() {
+                cost += t.costs.send_data;
+            }
+            let b = t.batches[batch].as_mut().expect("live batch");
+            b.remaining -= 1;
+            if !result.cqe.status.is_ok() && b.worst == Status::Success {
+                b.worst = result.cqe.status;
+            }
+            if b.remaining == 0 {
+                b.done = true;
+            }
+            t.reactor.reserve(k.now(), cost).finish
+        };
+
+        let this2 = this.clone();
+        k.schedule_at(finish, move |k| {
+            {
+                let mut t = this2.borrow_mut();
+                if let Some(bytes) = result.data {
+                    t.stats.data_tx += 1;
+                    t.send_to(
+                        k,
+                        from,
+                        Pdu::C2HData {
+                            cccid: sqe.cid,
+                            data: bytes,
+                        },
+                    );
+                }
+            }
+            Self::release_responses(&this2, k, from);
+            // A device slot freed: feed the meter.
+            Self::pump(&this2, k);
+        });
+    }
+
+    /// Send coalesced responses for every leading completed batch of
+    /// tenant `owner`, preserving drain order.
+    fn release_responses(this: &Shared<OpfTarget>, k: &mut Kernel, owner: u8) {
+        loop {
+            let (b, finish) = {
+                let mut t = this.borrow_mut();
+                let Some(fifo) = t.batch_fifo.get_mut(&owner) else {
+                    return;
+                };
+                let Some(&front) = fifo.front() else {
+                    return;
+                };
+                if !t.batches[front].as_ref().expect("live batch").done {
+                    return;
+                }
+                t.batch_fifo.get_mut(&owner).expect("fifo").pop_front();
+                let b = t.batches[front].take().expect("live batch");
+                t.free_batches.push(front);
+                let cost = t.costs.build_resp + t.small_send_cost(k);
+                let finish = t.reactor.reserve(k.now(), cost).finish;
+                (b, finish)
+            };
+            let this2 = this.clone();
+            k.schedule_at(finish, move |k| {
+                let mut t = this2.borrow_mut();
+                t.stats.resps_tx += 1;
+                if !b.is_ls {
+                    t.stats.coalesced_resps_tx += 1;
+                }
+                t.tracer
+                    .emit(k.now(), "opf.coalesced_tx", t.id, u64::from(b.drain_cid));
+                let cqe = if b.worst.is_ok() {
+                    nvme::Cqe::success(b.drain_cid, 0)
+                } else {
+                    nvme::Cqe::error(b.drain_cid, 0, b.worst)
+                };
+                let priority = if b.is_ls {
+                    Priority::LatencySensitive
+                } else {
+                    Priority::ThroughputCritical { draining: true }
+                };
+                t.send_to(k, b.initiator, Pdu::CapsuleResp { cqe, priority });
+            });
+        }
+    }
+
+    fn send_to(&mut self, k: &mut Kernel, to: u8, pdu: Pdu) {
+        let conn = self.conns.get(&to).expect("send to unknown initiator");
+        let rx = conn.rx.clone();
+        let bytes = pdu.wire_len();
+        self.net
+            .send(k, &self.ep, &conn.ep, bytes, move |k| rx(k, pdu));
+    }
+}

@@ -1,0 +1,86 @@
+//! Design-choice ablations (DESIGN.md §6).
+//!
+//! All at 100 Gbps, read workload, 1 LS : 4 TC — the configuration where
+//! every mechanism matters — each row removes one design element:
+//!
+//! * coalescing (window=1: every TC request drains itself);
+//! * per-initiator queues (shared TC queue, §IV-A's hazard);
+//! * LS bypass (LS rides the metered TC path);
+//! * static table vs dynamic window optimization.
+
+use crate::sweep::run_all;
+use crate::Durations;
+use fabric::Gbps;
+use workload::report::{fmt_iops, fmt_us};
+use workload::{Mix, RuntimeKind, Scenario, Table, WindowSpec};
+
+/// Run the ablation grid and print the table.
+pub fn all(d: Durations, threads: Option<usize>) {
+    println!("== Ablations: 100 Gbps, read, LS:TC = 1:4 ==\n");
+    let base = |runtime| {
+        let mut sc = Scenario::ratio(runtime, Gbps::G100, Mix::READ, 1, 4);
+        d.apply(&mut sc);
+        sc
+    };
+
+    let mut scenarios = Vec::new();
+    let mut labels = Vec::new();
+
+    labels.push("SPDK baseline");
+    scenarios.push(base(RuntimeKind::Spdk));
+
+    labels.push("NVMe-oPF (full, auto window)");
+    scenarios.push(base(RuntimeKind::Opf));
+
+    labels.push("  - coalescing (window = 1)");
+    let mut sc = base(RuntimeKind::Opf);
+    sc.window = WindowSpec::Static(1);
+    scenarios.push(sc);
+
+    labels.push("  - per-initiator queues (shared TC queue)");
+    let mut sc = base(RuntimeKind::Opf);
+    sc.shared_queue = true;
+    scenarios.push(sc);
+
+    labels.push("  - LS bypass");
+    let mut sc = base(RuntimeKind::Opf);
+    sc.no_ls_bypass = true;
+    scenarios.push(sc);
+
+    labels.push("  dynamic window optimizer");
+    let mut sc = base(RuntimeKind::Opf);
+    sc.window = WindowSpec::Dynamic;
+    scenarios.push(sc);
+
+    labels.push("  small static window (8)");
+    let mut sc = base(RuntimeKind::Opf);
+    sc.window = WindowSpec::Static(8);
+    scenarios.push(sc);
+
+    labels.push("  large static window (64)");
+    let mut sc = base(RuntimeKind::Opf);
+    sc.window = WindowSpec::Static(64);
+    scenarios.push(sc);
+
+    let results = run_all(&scenarios, threads);
+    let mut t = Table::new([
+        "configuration",
+        "TC IOPS",
+        "LS p99.99",
+        "LS avg",
+        "notif/req",
+        "reactor util",
+    ]);
+    for (label, r) in labels.iter().zip(&results) {
+        t.row([
+            label.to_string(),
+            fmt_iops(r.tc_iops),
+            fmt_us(r.ls_p9999_us),
+            fmt_us(r.ls_avg_us),
+            format!("{:.3}", r.notifications as f64 / r.completed.max(1) as f64),
+            format!("{:.0}%", r.reactor_util * 100.0),
+        ]);
+    }
+    println!("{}", workload::render_table(&t));
+    crate::save_csv("ablations", &t);
+}

@@ -1,0 +1,83 @@
+//! `repro` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! repro [--quick] [--threads N] <artifact>...
+//! artifacts: table1 fig6a fig6b fig6c fig7 fig8 fig9 ablate all
+//! ```
+
+use experiments::{ablate, breakdown, fig6, fig7, fig8, fig9, iosize, openloop, table1, transport, Durations};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: repro [--quick] [--threads N] <artifact>...\n\
+         artifacts: table1 fig6a fig6b fig6c fig7 fig8 fig9 ablate iosize openloop transport breakdown all"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut quick = false;
+    let mut threads: Option<usize> = None;
+    let mut artifacts: Vec<String> = Vec::new();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--threads" => {
+                let n = args.next().unwrap_or_else(|| usage());
+                threads = Some(n.parse().unwrap_or_else(|_| usage()));
+            }
+            "--help" | "-h" => usage(),
+            other if other.starts_with('-') => usage(),
+            other => artifacts.push(other.to_string()),
+        }
+    }
+    if artifacts.is_empty() {
+        usage();
+    }
+    let d = if quick {
+        Durations::quick()
+    } else {
+        Durations::full()
+    };
+
+    let start = std::time::Instant::now();
+    for artifact in &artifacts {
+        match artifact.as_str() {
+            "table1" => table1::print(),
+            "fig6a" => fig6::fig6a(d, threads),
+            "fig6b" => fig6::fig6b(d, threads),
+            "fig6c" => fig6::fig6c(d, threads),
+            "fig6" => {
+                fig6::fig6a(d, threads);
+                fig6::fig6b(d, threads);
+                fig6::fig6c(d, threads);
+            }
+            "fig7" => fig7::all(d, threads),
+            "fig8" => fig8::all(d, threads),
+            "fig9" => fig9::all(d, threads),
+            "ablate" => ablate::all(d, threads),
+            "iosize" => iosize::all(d, threads),
+            "openloop" => openloop::all(d, threads),
+            "transport" => transport::all(d, threads),
+            "breakdown" => breakdown::all(d, threads),
+            "all" => {
+                table1::print();
+                fig6::fig6a(d, threads);
+                fig6::fig6b(d, threads);
+                fig6::fig6c(d, threads);
+                fig7::all(d, threads);
+                fig8::all(d, threads);
+                fig9::all(d, threads);
+                ablate::all(d, threads);
+                iosize::all(d, threads);
+                openloop::all(d, threads);
+                transport::all(d, threads);
+                breakdown::all(d, threads);
+            }
+            _ => usage(),
+        }
+    }
+    eprintln!("[repro finished in {:.1}s]", start.elapsed().as_secs_f64());
+}

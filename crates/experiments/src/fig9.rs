@@ -1,0 +1,112 @@
+//! Figure 9: h5bench application-level scaling.
+//!
+//! 8 nodes (4 initiator-nodes, 4 target-nodes); each rank hosts one
+//! initiator, one LS rank per node, the rest TC.
+//!
+//! * (a) write / (b) read — scaling pattern 2: 10 ranks per node,
+//!   1..4 initiator-nodes;
+//! * (c) write / (d) read — scaling pattern 1: 4 nodes, 1..10 ranks per
+//!   node.
+
+use crate::Durations;
+use h5::bench::{run_h5bench, H5BenchConfig, H5BenchResult, H5Kernel, H5Runtime};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use workload::report::fmt_us;
+use workload::Table;
+
+fn particles_for(d: Durations) -> u64 {
+    // Map the sweep budget onto dataset volume: full runs move 1M
+    // particles (4 MiB) per rank-timestep, quick runs 128K.
+    if d.measure_s >= 0.5 {
+        1024 * 1024
+    } else {
+        128 * 1024
+    }
+}
+
+fn run_points(configs: Vec<H5BenchConfig>, threads: Option<usize>) -> Vec<H5BenchResult> {
+    let n = configs.len();
+    let workers = threads
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(4)
+        })
+        .clamp(1, n.max(1));
+    let results: Mutex<Vec<Option<H5BenchResult>>> = Mutex::new(vec![None; n]);
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let r = run_h5bench(&configs[i]);
+                results.lock()[i] = Some(r);
+            });
+        }
+    });
+    results
+        .into_inner()
+        .into_iter()
+        .map(|r| r.expect("filled"))
+        .collect()
+}
+
+fn panel(kernel: H5Kernel, pattern: u8, d: Durations, threads: Option<usize>) -> Table {
+    let particles = particles_for(d);
+    let points: Vec<(usize, usize)> = match pattern {
+        2 => (1..=4).map(|pairs| (pairs, 10)).collect(),
+        _ => (1..=10).map(|per| (4, per)).collect(),
+    };
+    let mut configs = Vec::new();
+    for runtime in [H5Runtime::Spdk, H5Runtime::Opf] {
+        for &(pairs, per) in &points {
+            let mut c = H5BenchConfig::fig9(runtime, kernel);
+            c.pairs = pairs;
+            c.ranks_per_node = per;
+            c.particles = particles;
+            configs.push(c);
+        }
+    }
+    let results = run_points(configs, threads);
+    let mut t = Table::new([
+        "ranks",
+        "S MiB/s",
+        "PF MiB/s",
+        "PF/S",
+        "S avg lat",
+        "PF avg lat",
+    ]);
+    for (i, &(pairs, per)) in points.iter().enumerate() {
+        let s = &results[i];
+        let o = &results[points.len() + i];
+        t.row([
+            (pairs * per).to_string(),
+            format!("{:.0}", s.bandwidth_mib_s),
+            format!("{:.0}", o.bandwidth_mib_s),
+            format!("{:.2}x", o.bandwidth_mib_s / s.bandwidth_mib_s.max(1e-9)),
+            fmt_us(s.avg_latency_us),
+            fmt_us(o.avg_latency_us),
+        ]);
+    }
+    t
+}
+
+/// All of Figure 9.
+pub fn all(d: Durations, threads: Option<usize>) {
+    let panels = [
+        (H5Kernel::Write, 2, "a", "h5bench write, scaling initiator-nodes (10 ranks/node)"),
+        (H5Kernel::Read, 2, "b", "h5bench read, scaling initiator-nodes (10 ranks/node)"),
+        (H5Kernel::Write, 1, "c", "h5bench write, scaling ranks/node (4 nodes)"),
+        (H5Kernel::Read, 1, "d", "h5bench read, scaling ranks/node (4 nodes)"),
+    ];
+    for (kernel, pattern, tag, desc) in panels {
+        println!("== Fig 9({tag}): {desc}, 25 Gbps ==\n");
+        let t = panel(kernel, pattern, d, threads);
+        println!("{}", workload::render_table(&t));
+        crate::save_csv(&format!("fig9{tag}"), &t);
+    }
+}

@@ -1,0 +1,131 @@
+//! # experiments — regenerate every table and figure of the paper
+//!
+//! Each module reproduces one artifact of the evaluation section (§V):
+//!
+//! | Module     | Paper artifact                                        |
+//! |------------|-------------------------------------------------------|
+//! | [`table1`] | Table I — experiment configuration                    |
+//! | [`fig6`]   | Fig. 6(a–c) — window sizes, network speeds, completion counts |
+//! | [`fig7`]   | Fig. 7(a–f) — LS:TC ratio sweeps, throughput + tail latency |
+//! | [`fig8`]   | Fig. 8(a–f) — scale-out patterns 1 and 2              |
+//! | [`fig9`]   | Fig. 9(a–d) — h5bench application-level scaling       |
+//! | [`ablate`] | DESIGN.md §6 — design-choice ablations                |
+//! | [`iosize`] | extension: I/O size × access pattern sensitivity      |
+//! | [`openloop`] | extension: open-loop latency vs offered load        |
+//! | [`transport`] | extension: TCP vs RDMA transport comparison        |
+//! | [`breakdown`] | extension: target-side latency phase breakdown     |
+//!
+//! The `repro` binary drives them; results print as aligned tables and
+//! are written as CSV under `results/`.
+
+pub mod ablate;
+pub mod breakdown;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod iosize;
+pub mod openloop;
+pub mod sweep;
+pub mod transport;
+pub mod table1;
+
+use std::path::PathBuf;
+
+/// Where CSV results land: `results/` under the workspace root when the
+/// binary runs from anywhere inside the workspace, else `./results`.
+pub fn results_dir() -> PathBuf {
+    // Walk up from the current directory looking for the workspace root
+    // (identified by its Cargo.toml + crates/ directory).
+    let mut dir = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    loop {
+        if dir.join("Cargo.toml").exists() && dir.join("crates").is_dir() {
+            let r = dir.join("results");
+            std::fs::create_dir_all(&r).ok();
+            return r;
+        }
+        if !dir.pop() {
+            break;
+        }
+    }
+    let r = PathBuf::from("results");
+    std::fs::create_dir_all(&r).ok();
+    r
+}
+
+/// Write a CSV artifact and report the path on stdout.
+pub fn save_csv(name: &str, table: &workload::Table) {
+    let path = results_dir().join(format!("{name}.csv"));
+    match std::fs::write(&path, workload::csv_table(table)) {
+        Ok(()) => println!("  [saved {}]", path.display()),
+        Err(e) => eprintln!("  [could not save {}: {e}]", path.display()),
+    }
+}
+
+/// Experiment durations: full (paper-like 10s runs are unnecessary in a
+/// noise-free simulator; 1s of virtual time is converged) vs quick
+/// smoke-test settings.
+#[derive(Clone, Copy, Debug)]
+pub struct Durations {
+    /// Warmup seconds (excluded from measurement).
+    pub warmup_s: f64,
+    /// Measured seconds.
+    pub measure_s: f64,
+}
+
+impl Durations {
+    /// Full-fidelity runs.
+    pub fn full() -> Self {
+        Durations {
+            warmup_s: 0.25,
+            measure_s: 1.0,
+        }
+    }
+
+    /// Quick smoke runs (CI / `--quick`).
+    pub fn quick() -> Self {
+        Durations {
+            warmup_s: 0.05,
+            measure_s: 0.15,
+        }
+    }
+
+    /// Apply to a scenario.
+    pub fn apply(&self, sc: &mut workload::Scenario) {
+        sc.warmup_s = self.warmup_s;
+        sc.measure_s = self.measure_s;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn durations_apply() {
+        let mut sc = workload::Scenario::two_tenant(
+            workload::RuntimeKind::Opf,
+            fabric::Gbps::G100,
+            workload::Mix::READ,
+        );
+        Durations::quick().apply(&mut sc);
+        assert!(sc.measure_s < Durations::full().measure_s);
+        assert!(sc.warmup_s > 0.0);
+    }
+
+    #[test]
+    fn results_dir_is_writable() {
+        let d = results_dir();
+        let probe = d.join(".probe");
+        std::fs::write(&probe, b"x").expect("results dir writable");
+        std::fs::remove_file(&probe).ok();
+    }
+
+    #[test]
+    fn fig7_covers_the_papers_seven_ratios() {
+        assert_eq!(crate::fig7::RATIOS.len(), 7);
+        // The paper's list: 1:1, 1:2, 2:2, 3:2, 1:3, 2:3, 1:4.
+        assert!(crate::fig7::RATIOS.contains(&(1, 4)));
+        assert!(crate::fig7::RATIOS.contains(&(3, 2)));
+    }
+}

@@ -1,0 +1,28 @@
+//! # fabric — Ethernet fabric model for NVMe-over-Fabrics
+//!
+//! Substitutes the paper's testbed networks (Chameleon Cloud 10/25 Gbps,
+//! CloudLab 100 Gbps, Table I) with a discrete-event model that captures
+//! the three effects the evaluation depends on:
+//!
+//! 1. **Serialization delay** — a message occupies its links for
+//!    `bytes × 8 / rate`; 4 KiB data PDUs dominate, so 10 Gbps saturates
+//!    at ≈290K 4K-read IOPS.
+//! 2. **Per-packet overhead** — every MTU-sized frame pays fixed NIC/stack
+//!    costs and wire framing bytes; thousands of small completion packets
+//!    per second are what NVMe-oPF's coalescing eliminates.
+//! 3. **FIFO queueing** — links are work-conserving single servers
+//!    ([`simkit::Resource`]); concurrent tenants' traffic queues behind
+//!    each other exactly as on a switch port.
+//!
+//! Topology: every [`Endpoint`] owns a duplex attachment (uplink +
+//! downlink) to an ideal non-blocking switch, matching the star topology
+//! of the paper's testbeds. A transfer from A to B crosses A's TX NIC,
+//! A's uplink, B's downlink, the propagation delay, and B's RX NIC.
+
+pub mod config;
+pub mod endpoint;
+pub mod network;
+
+pub use config::{FabricConfig, Gbps};
+pub use endpoint::{Endpoint, EndpointId, EndpointStats};
+pub use network::Network;

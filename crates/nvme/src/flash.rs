@@ -1,0 +1,110 @@
+//! Flash service-time model.
+//!
+//! An SSD's controller stripes commands over internal flash units
+//! (channels/dies); each unit services one command at a time. Throughput
+//! is `units / service_time`, latency under load is queueing plus
+//! service, and jitter across units is what makes completions come back
+//! out of order. Values are calibrated so the *shape* of the paper's
+//! results holds (read ≫ write throughput, device saturating below the
+//! 10 Gbps network cap for reads — §V-B's "NVMe-oPF has already saturated
+//! the target device" at 10 Gbps).
+
+use simkit::SimDuration;
+
+/// Service-time parameters for one SSD.
+#[derive(Clone, Debug)]
+pub struct FlashProfile {
+    /// Number of internal flash units that service commands in parallel.
+    pub units: usize,
+    /// Unit occupancy for a 4K read.
+    pub read_service: SimDuration,
+    /// Unit occupancy for a 4K write (sustained; write-buffer effects
+    /// folded in).
+    pub write_service: SimDuration,
+    /// Additional occupancy per extra 4K block beyond the first.
+    pub per_block_extra: SimDuration,
+    /// Occupancy of a flush.
+    pub flush_service: SimDuration,
+    /// Uniform service-time jitter as a fraction of the mean (drives
+    /// out-of-order completion).
+    pub jitter_frac: f64,
+}
+
+impl FlashProfile {
+    /// Chameleon Cloud `storage_nvme` 3.2 TB SSD (Table I).
+    pub fn cc_ssd() -> Self {
+        FlashProfile {
+            units: 16,
+            read_service: SimDuration::from_micros(60),
+            write_service: SimDuration::from_micros(75),
+            per_block_extra: SimDuration::from_micros(8),
+            flush_service: SimDuration::from_micros(150),
+            jitter_frac: 0.25,
+        }
+    }
+
+    /// CloudLab r6525 1.6 TB SSD (Table I). §V-C notes "writes may
+    /// perform slightly slower on the 100 Gbps" testbed's devices.
+    pub fn cl_ssd() -> Self {
+        FlashProfile {
+            units: 16,
+            read_service: SimDuration::from_micros(60),
+            write_service: SimDuration::from_micros(85),
+            per_block_extra: SimDuration::from_micros(8),
+            flush_service: SimDuration::from_micros(150),
+            jitter_frac: 0.25,
+        }
+    }
+
+    /// Mean unit occupancy for an op covering `blocks` 4K blocks.
+    pub fn mean_service(&self, opcode: crate::spec::Opcode, blocks: u32) -> SimDuration {
+        let base = match opcode {
+            crate::spec::Opcode::Read => self.read_service,
+            crate::spec::Opcode::Write => self.write_service,
+            crate::spec::Opcode::Flush => self.flush_service,
+        };
+        base + self.per_block_extra * u64::from(blocks.saturating_sub(1))
+    }
+
+    /// Theoretical peak 4K IOPS for the given opcode.
+    pub fn peak_iops(&self, opcode: crate::spec::Opcode) -> f64 {
+        self.units as f64 / self.mean_service(opcode, 1).as_secs_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::Opcode;
+
+    #[test]
+    fn read_faster_than_write() {
+        for p in [FlashProfile::cc_ssd(), FlashProfile::cl_ssd()] {
+            assert!(p.read_service < p.write_service);
+            assert!(p.peak_iops(Opcode::Read) > p.peak_iops(Opcode::Write));
+        }
+    }
+
+    #[test]
+    fn cl_writes_slower_than_cc() {
+        assert!(FlashProfile::cl_ssd().write_service > FlashProfile::cc_ssd().write_service);
+    }
+
+    #[test]
+    fn multi_block_costs_more() {
+        let p = FlashProfile::cc_ssd();
+        let one = p.mean_service(Opcode::Read, 1);
+        let four = p.mean_service(Opcode::Read, 4);
+        assert_eq!(four, one + p.per_block_extra * 3);
+    }
+
+    #[test]
+    fn read_peak_saturates_below_10g_line_rate() {
+        // §V-B: at 10 Gbps NVMe-oPF already saturates the device.
+        // 10 Gbps carries ≈ 290K 4K-messages/s; the device must cap lower.
+        let p = FlashProfile::cc_ssd();
+        let peak = p.peak_iops(Opcode::Read);
+        assert!(peak < 290_000.0, "read peak {peak}");
+        assert!(peak > 150_000.0, "read peak {peak} unreasonably low");
+    }
+}

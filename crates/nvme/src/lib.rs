@@ -1,0 +1,30 @@
+//! # nvme — NVMe SSD controller and device model
+//!
+//! Substitutes the testbed SSDs of Table I (3.2 TB on Chameleon Cloud,
+//! 1.6 TB on CloudLab) with a controller model that preserves the device
+//! behaviours the paper's evaluation depends on:
+//!
+//! * **Submission/Completion queue rings** (§IV-C: "Standard NVMe devices
+//!   consist of two circular buffers") with head/tail doorbell semantics.
+//! * **Out-of-order completion**: commands are serviced by multiple
+//!   internal flash units with jittered service times, so CQEs land in a
+//!   different order than SQEs were submitted — the problem NVMe-oPF's
+//!   initiator-side CID queue absorbs.
+//! * **Read/write asymmetry**: 4K reads complete several times faster
+//!   than sustained 4K writes ("Read requests complete faster than
+//!   write", §V-B), which drives the Figure 7/8 shape differences.
+//! * **Byte-accurate namespaces**: reads and writes move real bytes
+//!   through a sparse store, so the whole stack (including the mini-HDF5
+//!   layer) is verified end-to-end for data integrity, not just timing.
+
+pub mod device;
+pub mod flash;
+pub mod namespace;
+pub mod rings;
+pub mod spec;
+
+pub use device::{DeviceStats, NvmeDevice};
+pub use flash::FlashProfile;
+pub use namespace::Namespace;
+pub use rings::{CompletionRing, SubmissionRing};
+pub use spec::{Cqe, Opcode, Sqe, Status, BLOCK_SIZE};

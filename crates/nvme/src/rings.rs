@@ -1,0 +1,256 @@
+//! NVMe submission/completion queue rings with doorbell semantics.
+//!
+//! §IV-C: "Standard NVMe devices consist of two circular buffers to store
+//! requests that are sent to them … requests can be executed by the NVMe
+//! controller in any order which causes completions to be placed out of
+//! order." These rings reproduce that structure: the host owns the SQ
+//! tail and CQ head, the controller owns the SQ head and CQ tail, and the
+//! CQ uses the spec's phase-tag protocol so the host can detect new
+//! entries without a shared counter.
+
+use crate::spec::{Cqe, Sqe};
+
+/// A submission queue ring. Host pushes at `tail`, controller pops at
+/// `head`; both are free-running indices masked into the ring.
+#[derive(Debug)]
+pub struct SubmissionRing {
+    entries: Vec<Option<Sqe>>,
+    head: u32,
+    tail: u32,
+    mask: u32,
+}
+
+impl SubmissionRing {
+    /// Create a ring with `depth` slots (rounded up to a power of two,
+    /// minimum 2; NVMe queue depths are typically 128–1024).
+    pub fn new(depth: usize) -> Self {
+        let depth = depth.max(2).next_power_of_two();
+        SubmissionRing {
+            entries: vec![None; depth],
+            head: 0,
+            tail: 0,
+            mask: depth as u32 - 1,
+        }
+    }
+
+    /// Ring capacity.
+    pub fn depth(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Number of commands queued and not yet fetched.
+    pub fn len(&self) -> usize {
+        (self.tail - self.head) as usize
+    }
+
+    /// True when no commands are waiting.
+    pub fn is_empty(&self) -> bool {
+        self.head == self.tail
+    }
+
+    /// True when the ring cannot accept another command.
+    pub fn is_full(&self) -> bool {
+        self.len() == self.depth()
+    }
+
+    /// Host: enqueue a command (ring the tail doorbell). Returns the SQE
+    /// back when full.
+    pub fn submit(&mut self, sqe: Sqe) -> Result<(), Sqe> {
+        if self.is_full() {
+            return Err(sqe);
+        }
+        let slot = (self.tail & self.mask) as usize;
+        self.entries[slot] = Some(sqe);
+        self.tail += 1;
+        Ok(())
+    }
+
+    /// Controller: fetch the next command, advancing the head.
+    pub fn fetch(&mut self) -> Option<Sqe> {
+        if self.is_empty() {
+            return None;
+        }
+        let slot = (self.head & self.mask) as usize;
+        let sqe = self.entries[slot].take();
+        debug_assert!(sqe.is_some(), "fetch hit an empty slot");
+        self.head += 1;
+        sqe
+    }
+
+    /// Current head index (reported back to the host in CQEs so it can
+    /// release SQ slots).
+    pub fn head(&self) -> u16 {
+        (self.head & self.mask) as u16
+    }
+}
+
+/// A completion queue ring with phase tags.
+#[derive(Debug)]
+pub struct CompletionRing {
+    entries: Vec<Option<(Cqe, bool)>>,
+    /// Controller write position (free-running).
+    tail: u32,
+    /// Host read position (free-running).
+    head: u32,
+    mask: u32,
+}
+
+impl CompletionRing {
+    /// Create a ring with `depth` slots (rounded up to a power of two).
+    pub fn new(depth: usize) -> Self {
+        let depth = depth.max(2).next_power_of_two();
+        CompletionRing {
+            entries: vec![None; depth],
+            tail: 0,
+            head: 0,
+            mask: depth as u32 - 1,
+        }
+    }
+
+    /// Ring capacity.
+    pub fn depth(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Completions posted but not yet reaped.
+    pub fn len(&self) -> usize {
+        (self.tail - self.head) as usize
+    }
+
+    /// True when no completions are pending.
+    pub fn is_empty(&self) -> bool {
+        self.head == self.tail
+    }
+
+    /// Controller: post a completion. Returns `Err` if the host has not
+    /// kept up and the ring is full (a fatal condition on real hardware;
+    /// callers size CQs ≥ outstanding commands to avoid it).
+    pub fn post(&mut self, cqe: Cqe) -> Result<(), Cqe> {
+        if self.len() == self.depth() {
+            return Err(cqe);
+        }
+        // Phase flips each time the tail wraps the ring.
+        let phase = (self.tail / (self.mask + 1)).is_multiple_of(2);
+        let slot = (self.tail & self.mask) as usize;
+        self.entries[slot] = Some((cqe, phase));
+        self.tail += 1;
+        Ok(())
+    }
+
+    /// Host: reap the next completion, if its phase tag shows it is new.
+    pub fn reap(&mut self) -> Option<Cqe> {
+        if self.is_empty() {
+            return None;
+        }
+        let expected_phase = (self.head / (self.mask + 1)).is_multiple_of(2);
+        let slot = (self.head & self.mask) as usize;
+        match self.entries[slot] {
+            Some((cqe, phase)) if phase == expected_phase => {
+                self.entries[slot] = None;
+                self.head += 1;
+                Some(cqe)
+            }
+            _ => None,
+        }
+    }
+
+    /// Host: reap everything currently pending.
+    pub fn reap_all(&mut self) -> Vec<Cqe> {
+        let mut out = Vec::with_capacity(self.len());
+        while let Some(c) = self.reap() {
+            out.push(c);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{Sqe, Status};
+
+    fn sqe(cid: u16) -> Sqe {
+        Sqe::read(cid, 1, 0, 1)
+    }
+
+    #[test]
+    fn sq_fifo_and_full() {
+        let mut sq = SubmissionRing::new(4);
+        assert_eq!(sq.depth(), 4);
+        for cid in 0..4 {
+            sq.submit(sqe(cid)).unwrap();
+        }
+        assert!(sq.is_full());
+        assert!(sq.submit(sqe(99)).is_err());
+        assert_eq!(sq.fetch().unwrap().cid, 0);
+        assert_eq!(sq.len(), 3);
+        sq.submit(sqe(4)).unwrap();
+        for cid in 1..5 {
+            assert_eq!(sq.fetch().unwrap().cid, cid);
+        }
+        assert!(sq.fetch().is_none());
+    }
+
+    #[test]
+    fn sq_head_wraps_with_mask() {
+        let mut sq = SubmissionRing::new(4);
+        for round in 0..10u16 {
+            sq.submit(sqe(round)).unwrap();
+            assert_eq!(sq.fetch().unwrap().cid, round);
+        }
+        assert!(sq.head() < 4);
+    }
+
+    #[test]
+    fn cq_post_reap_roundtrip() {
+        let mut cq = CompletionRing::new(4);
+        for cid in 0..3 {
+            cq.post(Cqe::success(cid, 0)).unwrap();
+        }
+        assert_eq!(cq.len(), 3);
+        let reaped = cq.reap_all();
+        assert_eq!(reaped.iter().map(|c| c.cid).collect::<Vec<_>>(), vec![0, 1, 2]);
+        assert!(cq.is_empty());
+    }
+
+    #[test]
+    fn cq_full_rejects() {
+        let mut cq = CompletionRing::new(2);
+        cq.post(Cqe::success(0, 0)).unwrap();
+        cq.post(Cqe::success(1, 0)).unwrap();
+        assert!(cq.post(Cqe::success(2, 0)).is_err());
+        cq.reap().unwrap();
+        cq.post(Cqe::success(2, 0)).unwrap();
+    }
+
+    #[test]
+    fn cq_phase_survives_many_wraps() {
+        let mut cq = CompletionRing::new(4);
+        for i in 0..100u16 {
+            cq.post(Cqe::error(i, 0, Status::InternalError)).unwrap();
+            let got = cq.reap().unwrap();
+            assert_eq!(got.cid, i);
+            assert_eq!(got.status, Status::InternalError);
+        }
+    }
+
+    #[test]
+    fn interleaved_producer_consumer() {
+        let mut sq = SubmissionRing::new(8);
+        let mut cq = CompletionRing::new(8);
+        let mut next_cid = 0u16;
+        let mut completed = Vec::new();
+        for _ in 0..50 {
+            // Host submits two, controller drains and completes them.
+            for _ in 0..2 {
+                sq.submit(sqe(next_cid)).unwrap();
+                next_cid += 1;
+            }
+            while let Some(cmd) = sq.fetch() {
+                cq.post(Cqe::success(cmd.cid, sq.head())).unwrap();
+            }
+            completed.extend(cq.reap_all().into_iter().map(|c| c.cid));
+        }
+        assert_eq!(completed, (0..100).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,542 @@
+//! NVMe-oF fabrics/admin layer: Connect, Identify, Keep-Alive, and the
+//! discovery service.
+//!
+//! The data-path crates drive pre-connected qpairs; this module supplies
+//! the control plane a complete NVMe-oF runtime needs (and that SPDK
+//! implements): byte-level fabrics command capsules, the controller-side
+//! subsystem registry with per-host controller allocation, keep-alive
+//! expiry, and discovery log pages. `tests/` exercise the full
+//! connect → identify → keep-alive → disconnect lifecycle.
+
+use std::collections::HashMap;
+
+use simkit::{SimDuration, SimTime};
+
+/// Maximum NQN length per the spec (including the terminating NUL the
+/// wire format carries; we store it without).
+pub const NQN_MAX: usize = 223;
+
+/// The well-known discovery service NQN.
+pub const DISCOVERY_NQN: &str = "nqn.2014-08.org.nvmexpress.discovery";
+
+/// Fabrics command types (opcode 0x7F, FCTYPE selects).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u8)]
+pub enum FabricsType {
+    /// Property Set (controller registers).
+    PropertySet = 0x00,
+    /// Connect a queue.
+    Connect = 0x01,
+    /// Property Get.
+    PropertyGet = 0x04,
+}
+
+/// A fabrics/admin command, as carried in a command capsule.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AdminCmd {
+    /// Establish an admin or I/O queue for a host.
+    Connect {
+        /// Host NQN (identifies the tenant).
+        hostnqn: String,
+        /// Subsystem NQN being connected to.
+        subnqn: String,
+        /// Queue ID (0 = admin queue).
+        qid: u16,
+        /// Requested queue size (entries).
+        sqsize: u16,
+    },
+    /// Identify Controller (CNS 0x01).
+    IdentifyController,
+    /// Keep-alive heartbeat.
+    KeepAlive,
+    /// Get Log Page (discovery log, LID 0x70).
+    GetDiscoveryLog,
+    /// Property Get of CSTS (controller status).
+    PropertyGetCsts,
+}
+
+/// Admin command outcomes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AdminResp {
+    /// Connect succeeded; the allocated controller ID.
+    Connected {
+        /// Controller ID for subsequent commands.
+        cntlid: u16,
+    },
+    /// Identify data (4096-byte controller structure).
+    Identify(Box<IdentifyController>),
+    /// Keep-alive acknowledged.
+    KeepAliveOk,
+    /// Discovery log entries.
+    DiscoveryLog(Vec<DiscoveryEntry>),
+    /// Property value.
+    Property(u64),
+    /// Command failed.
+    Error(AdminError),
+}
+
+/// Admin-layer errors.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AdminError {
+    /// Subsystem NQN not served by this target.
+    NoSuchSubsystem,
+    /// Host not connected (no admin queue / expired keep-alive).
+    NotConnected,
+    /// Queue already connected.
+    AlreadyConnected,
+    /// Malformed command.
+    Invalid,
+    /// Controller limit reached.
+    TooManyControllers,
+}
+
+/// Identify Controller data (the fields the reproduction surfaces; the
+/// encode fills a spec-shaped 4096-byte structure).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct IdentifyController {
+    /// PCI vendor id.
+    pub vid: u16,
+    /// Serial number (20 ASCII chars, space padded).
+    pub sn: String,
+    /// Model number (40 ASCII chars, space padded).
+    pub mn: String,
+    /// Firmware revision (8 ASCII chars).
+    pub fr: String,
+    /// Max data transfer size as a power-of-two multiple of 4K.
+    pub mdts: u8,
+    /// Controller ID.
+    pub cntlid: u16,
+    /// Number of namespaces.
+    pub nn: u32,
+    /// Subsystem NQN.
+    pub subnqn: String,
+}
+
+impl IdentifyController {
+    /// Encode into the 4096-byte Identify structure at spec offsets.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut b = vec![0u8; 4096];
+        b[0..2].copy_from_slice(&self.vid.to_le_bytes());
+        put_padded(&mut b[4..24], &self.sn);
+        put_padded(&mut b[24..64], &self.mn);
+        put_padded(&mut b[64..72], &self.fr);
+        b[77] = self.mdts;
+        b[78..80].copy_from_slice(&self.cntlid.to_le_bytes());
+        b[516..520].copy_from_slice(&self.nn.to_le_bytes());
+        put_padded(&mut b[768..768 + 256], &self.subnqn);
+        b
+    }
+
+    /// Decode from the 4096-byte structure.
+    pub fn decode(b: &[u8]) -> Option<IdentifyController> {
+        if b.len() != 4096 {
+            return None;
+        }
+        Some(IdentifyController {
+            vid: u16::from_le_bytes([b[0], b[1]]),
+            sn: get_padded(&b[4..24]),
+            mn: get_padded(&b[24..64]),
+            fr: get_padded(&b[64..72]),
+            mdts: b[77],
+            cntlid: u16::from_le_bytes([b[78], b[79]]),
+            nn: u32::from_le_bytes([b[516], b[517], b[518], b[519]]),
+            subnqn: get_padded(&b[768..768 + 256]),
+        })
+    }
+}
+
+fn put_padded(dst: &mut [u8], s: &str) {
+    let bytes = s.as_bytes();
+    let n = bytes.len().min(dst.len());
+    dst[..n].copy_from_slice(&bytes[..n]);
+    for b in dst[n..].iter_mut() {
+        *b = b' ';
+    }
+}
+
+fn get_padded(src: &[u8]) -> String {
+    String::from_utf8_lossy(src)
+        .trim_end_matches([' ', '\0'])
+        .to_string()
+}
+
+/// One discovery log entry: a subsystem reachable through this target.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DiscoveryEntry {
+    /// Subsystem NQN.
+    pub subnqn: String,
+    /// Transport address (e.g. "10.0.0.1").
+    pub traddr: String,
+    /// Transport service id (TCP port).
+    pub trsvcid: u16,
+}
+
+/// Per-controller state on the target.
+#[derive(Clone, Debug)]
+struct Controller {
+    hostnqn: String,
+    subnqn: String,
+    last_keepalive: SimTime,
+    io_queues: Vec<u16>,
+}
+
+/// The target-side admin server: subsystem registry + controllers.
+#[derive(Debug)]
+pub struct AdminServer {
+    /// Exposed subsystems (NQN → namespace count).
+    subsystems: HashMap<String, u32>,
+    /// Discovery entries advertised to hosts.
+    discovery: Vec<DiscoveryEntry>,
+    controllers: HashMap<u16, Controller>,
+    next_cntlid: u16,
+    max_controllers: usize,
+    /// Keep-alive timeout; controllers expire past it.
+    kato: SimDuration,
+    serial: String,
+}
+
+impl AdminServer {
+    /// Create a server with the given keep-alive timeout.
+    pub fn new(kato: SimDuration, serial: impl Into<String>) -> Self {
+        AdminServer {
+            subsystems: HashMap::new(),
+            discovery: Vec::new(),
+            controllers: HashMap::new(),
+            next_cntlid: 1,
+            max_controllers: 256,
+            kato,
+            serial: serial.into(),
+        }
+    }
+
+    /// Expose a subsystem with `nn` namespaces at a transport address.
+    pub fn add_subsystem(&mut self, subnqn: &str, nn: u32, traddr: &str, trsvcid: u16) {
+        self.subsystems.insert(subnqn.to_string(), nn);
+        self.discovery.push(DiscoveryEntry {
+            subnqn: subnqn.to_string(),
+            traddr: traddr.to_string(),
+            trsvcid,
+        });
+    }
+
+    /// Connected controllers.
+    pub fn controller_count(&self) -> usize {
+        self.controllers.len()
+    }
+
+    /// Expire controllers whose keep-alive lapsed; returns expired IDs.
+    pub fn expire(&mut self, now: SimTime) -> Vec<u16> {
+        let kato = self.kato;
+        let dead: Vec<u16> = self
+            .controllers
+            .iter()
+            .filter(|(_, c)| now.since(c.last_keepalive) > kato)
+            .map(|(&id, _)| id)
+            .collect();
+        for id in &dead {
+            self.controllers.remove(id);
+        }
+        dead
+    }
+
+    /// Handle one admin command from `cntlid` (None before Connect).
+    pub fn handle(&mut self, now: SimTime, cntlid: Option<u16>, cmd: &AdminCmd) -> AdminResp {
+        match cmd {
+            AdminCmd::Connect {
+                hostnqn,
+                subnqn,
+                qid,
+                sqsize,
+            } => {
+                if hostnqn.is_empty()
+                    || hostnqn.len() > NQN_MAX
+                    || subnqn.len() > NQN_MAX
+                    || *sqsize == 0
+                {
+                    return AdminResp::Error(AdminError::Invalid);
+                }
+                if *qid == 0 {
+                    // Admin queue: allocate a controller.
+                    if !self.subsystems.contains_key(subnqn) && subnqn != DISCOVERY_NQN {
+                        return AdminResp::Error(AdminError::NoSuchSubsystem);
+                    }
+                    if self.controllers.len() >= self.max_controllers {
+                        return AdminResp::Error(AdminError::TooManyControllers);
+                    }
+                    let id = self.next_cntlid;
+                    self.next_cntlid += 1;
+                    self.controllers.insert(
+                        id,
+                        Controller {
+                            hostnqn: hostnqn.clone(),
+                            subnqn: subnqn.clone(),
+                            last_keepalive: now,
+                            io_queues: Vec::new(),
+                        },
+                    );
+                    AdminResp::Connected { cntlid: id }
+                } else {
+                    // I/O queue: requires a live controller.
+                    let Some(id) = cntlid else {
+                        return AdminResp::Error(AdminError::NotConnected);
+                    };
+                    let Some(c) = self.controllers.get_mut(&id) else {
+                        return AdminResp::Error(AdminError::NotConnected);
+                    };
+                    if c.io_queues.contains(qid) {
+                        return AdminResp::Error(AdminError::AlreadyConnected);
+                    }
+                    c.io_queues.push(*qid);
+                    c.last_keepalive = now;
+                    AdminResp::Connected { cntlid: id }
+                }
+            }
+            AdminCmd::IdentifyController => {
+                let Some(c) = cntlid.and_then(|id| self.controllers.get(&id)) else {
+                    return AdminResp::Error(AdminError::NotConnected);
+                };
+                let nn = self.subsystems.get(&c.subnqn).copied().unwrap_or(0);
+                AdminResp::Identify(Box::new(IdentifyController {
+                    vid: 0x1B36,
+                    sn: self.serial.clone(),
+                    mn: "NVMe-oPF simulated controller".into(),
+                    fr: "0.1".into(),
+                    mdts: 5, // 128K
+                    cntlid: cntlid.unwrap(),
+                    nn,
+                    subnqn: c.subnqn.clone(),
+                }))
+            }
+            AdminCmd::KeepAlive => {
+                let Some(c) = cntlid.and_then(|id| self.controllers.get_mut(&id)) else {
+                    return AdminResp::Error(AdminError::NotConnected);
+                };
+                c.last_keepalive = now;
+                AdminResp::KeepAliveOk
+            }
+            AdminCmd::GetDiscoveryLog => AdminResp::DiscoveryLog(self.discovery.clone()),
+            AdminCmd::PropertyGetCsts => {
+                // CSTS.RDY reflects whether the caller has a controller.
+                let rdy = cntlid.map(|id| self.controllers.contains_key(&id));
+                AdminResp::Property(u64::from(rdy == Some(true)))
+            }
+        }
+    }
+
+    /// Host NQN of a connected controller.
+    pub fn host_of(&self, cntlid: u16) -> Option<&str> {
+        self.controllers.get(&cntlid).map(|c| c.hostnqn.as_str())
+    }
+}
+
+/// Wire encoding of a Connect command's data (simplified spec shape:
+/// 256 B hostnqn + 256 B subnqn zones of the 1024-byte connect data).
+pub fn encode_connect_data(hostnqn: &str, subnqn: &str) -> Vec<u8> {
+    let mut b = vec![0u8; 1024];
+    put_padded(&mut b[0..256], hostnqn);
+    put_padded(&mut b[256..512], subnqn);
+    b
+}
+
+/// Decode Connect data.
+pub fn decode_connect_data(b: &[u8]) -> Option<(String, String)> {
+    if b.len() != 1024 {
+        return None;
+    }
+    Some((get_padded(&b[0..256]), get_padded(&b[256..512])))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn server() -> AdminServer {
+        let mut s = AdminServer::new(SimDuration::from_secs(2), "SN0001");
+        s.add_subsystem("nqn.2024-01.io.repro:ssd0", 1, "10.0.0.1", 4420);
+        s
+    }
+
+    fn connect(s: &mut AdminServer, host: &str) -> u16 {
+        match s.handle(
+            SimTime::ZERO,
+            None,
+            &AdminCmd::Connect {
+                hostnqn: host.into(),
+                subnqn: "nqn.2024-01.io.repro:ssd0".into(),
+                qid: 0,
+                sqsize: 128,
+            },
+        ) {
+            AdminResp::Connected { cntlid } => cntlid,
+            other => panic!("connect failed: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn connect_allocates_distinct_controllers() {
+        let mut s = server();
+        let a = connect(&mut s, "nqn.host.a");
+        let b = connect(&mut s, "nqn.host.b");
+        assert_ne!(a, b);
+        assert_eq!(s.controller_count(), 2);
+        assert_eq!(s.host_of(a), Some("nqn.host.a"));
+    }
+
+    #[test]
+    fn connect_unknown_subsystem_rejected() {
+        let mut s = server();
+        let r = s.handle(
+            SimTime::ZERO,
+            None,
+            &AdminCmd::Connect {
+                hostnqn: "nqn.host".into(),
+                subnqn: "nqn.bogus".into(),
+                qid: 0,
+                sqsize: 128,
+            },
+        );
+        assert_eq!(r, AdminResp::Error(AdminError::NoSuchSubsystem));
+    }
+
+    #[test]
+    fn io_queue_requires_admin_queue() {
+        let mut s = server();
+        let r = s.handle(
+            SimTime::ZERO,
+            None,
+            &AdminCmd::Connect {
+                hostnqn: "nqn.host".into(),
+                subnqn: "nqn.2024-01.io.repro:ssd0".into(),
+                qid: 1,
+                sqsize: 128,
+            },
+        );
+        assert_eq!(r, AdminResp::Error(AdminError::NotConnected));
+        let id = connect(&mut s, "nqn.host");
+        let r = s.handle(
+            SimTime::ZERO,
+            Some(id),
+            &AdminCmd::Connect {
+                hostnqn: "nqn.host".into(),
+                subnqn: "nqn.2024-01.io.repro:ssd0".into(),
+                qid: 1,
+                sqsize: 128,
+            },
+        );
+        assert!(matches!(r, AdminResp::Connected { .. }));
+        // Duplicate I/O queue id rejected.
+        let r = s.handle(
+            SimTime::ZERO,
+            Some(id),
+            &AdminCmd::Connect {
+                hostnqn: "nqn.host".into(),
+                subnqn: "nqn.2024-01.io.repro:ssd0".into(),
+                qid: 1,
+                sqsize: 128,
+            },
+        );
+        assert_eq!(r, AdminResp::Error(AdminError::AlreadyConnected));
+    }
+
+    #[test]
+    fn identify_roundtrips_at_spec_offsets() {
+        let mut s = server();
+        let id = connect(&mut s, "nqn.host");
+        let AdminResp::Identify(ident) = s.handle(SimTime::ZERO, Some(id), &AdminCmd::IdentifyController)
+        else {
+            panic!("identify failed")
+        };
+        assert_eq!(ident.cntlid, id);
+        assert_eq!(ident.nn, 1);
+        assert_eq!(ident.subnqn, "nqn.2024-01.io.repro:ssd0");
+        let raw = ident.encode();
+        assert_eq!(raw.len(), 4096);
+        let back = IdentifyController::decode(&raw).unwrap();
+        assert_eq!(back, *ident);
+        assert_eq!(back.sn, "SN0001");
+        // Spec offsets: serial at byte 4, cntlid at 78.
+        assert_eq!(&raw[4..10], b"SN0001");
+        assert_eq!(u16::from_le_bytes([raw[78], raw[79]]), id);
+    }
+
+    #[test]
+    fn keepalive_expiry() {
+        let mut s = server();
+        let a = connect(&mut s, "nqn.host.a");
+        let b = connect(&mut s, "nqn.host.b");
+        // a heartbeats at t=1.5s; b never does.
+        let t = SimTime::from_millis(1500);
+        assert_eq!(s.handle(t, Some(a), &AdminCmd::KeepAlive), AdminResp::KeepAliveOk);
+        let dead = s.expire(SimTime::from_millis(2600));
+        assert_eq!(dead, vec![b]);
+        assert_eq!(s.controller_count(), 1);
+        // b's commands now fail.
+        assert_eq!(
+            s.handle(SimTime::from_millis(2700), Some(b), &AdminCmd::KeepAlive),
+            AdminResp::Error(AdminError::NotConnected)
+        );
+        // a survives as long as it heartbeats.
+        assert_eq!(
+            s.handle(SimTime::from_millis(2700), Some(a), &AdminCmd::KeepAlive),
+            AdminResp::KeepAliveOk
+        );
+    }
+
+    #[test]
+    fn discovery_log_lists_subsystems() {
+        let mut s = server();
+        s.add_subsystem("nqn.2024-01.io.repro:ssd1", 2, "10.0.0.2", 4420);
+        let AdminResp::DiscoveryLog(entries) = s.handle(SimTime::ZERO, None, &AdminCmd::GetDiscoveryLog)
+        else {
+            panic!()
+        };
+        assert_eq!(entries.len(), 2);
+        assert!(entries.iter().any(|e| e.subnqn.ends_with("ssd1")));
+        assert_eq!(entries[0].trsvcid, 4420);
+    }
+
+    #[test]
+    fn csts_reflects_connection_state() {
+        let mut s = server();
+        assert_eq!(
+            s.handle(SimTime::ZERO, None, &AdminCmd::PropertyGetCsts),
+            AdminResp::Property(0)
+        );
+        let id = connect(&mut s, "nqn.host");
+        assert_eq!(
+            s.handle(SimTime::ZERO, Some(id), &AdminCmd::PropertyGetCsts),
+            AdminResp::Property(1)
+        );
+    }
+
+    #[test]
+    fn connect_data_codec() {
+        let raw = encode_connect_data("nqn.host.x", "nqn.sub.y");
+        assert_eq!(raw.len(), 1024);
+        let (h, sq) = decode_connect_data(&raw).unwrap();
+        assert_eq!(h, "nqn.host.x");
+        assert_eq!(sq, "nqn.sub.y");
+        assert!(decode_connect_data(&raw[..100]).is_none());
+    }
+
+    #[test]
+    fn invalid_connects_rejected() {
+        let mut s = server();
+        for (host, sq, size) in [
+            ("", "nqn.2024-01.io.repro:ssd0", 128u16),
+            ("nqn.host", "nqn.2024-01.io.repro:ssd0", 0),
+        ] {
+            let r = s.handle(
+                SimTime::ZERO,
+                None,
+                &AdminCmd::Connect {
+                    hostnqn: host.into(),
+                    subnqn: sq.into(),
+                    qid: 0,
+                    sqsize: size,
+                },
+            );
+            assert_eq!(r, AdminResp::Error(AdminError::Invalid));
+        }
+    }
+}

@@ -1,0 +1,48 @@
+//! # nvmf — NVMe-over-Fabrics (TCP transport) runtime
+//!
+//! The comparator the paper measures against: a userspace, polled,
+//! SPDK-v20.07-style NVMe-oF runtime. It provides:
+//!
+//! * [`pdu`] — NVMe/TCP PDU types with byte-level encode/decode
+//!   (CapsuleCmd, CapsuleResp, H2CData, C2HData, R2T). The common-header
+//!   flag bits and SQE reserved bytes that NVMe-oPF borrows for its
+//!   priority flags and initiator IDs (§IV-A) are modelled explicitly so
+//!   "the size of the PDUs remains unchanged".
+//! * [`qpair`] — command-identifier allocation and outstanding-request
+//!   tracking for one I/O queue pair.
+//! * [`costs`] — the reactor/initiator CPU cost model (per-PDU parse,
+//!   build, and send costs; Table I testbed scaling; the backpressured
+//!   small-send penalty).
+//! * [`admin`] — the fabrics control plane: Connect/Identify/Keep-Alive
+//!   commands, subsystem registry, discovery log pages.
+//! * [`target`] — the baseline target: single reactor, FIFO processing,
+//!   **one completion capsule per request** regardless of tenant needs.
+//! * [`initiator`] — the baseline initiator: closed queue-depth loop,
+//!   one completion processed per request.
+//!
+//! The NVMe-oPF runtime in the `opf` crate reuses the PDU, qpair and cost
+//! layers and replaces both endpoints' logic with priority managers.
+
+pub mod admin;
+pub mod admin_wire;
+pub mod costs;
+pub mod initiator;
+pub mod pdu;
+pub mod qpair;
+pub mod target;
+
+pub use admin::{AdminCmd, AdminResp, AdminServer};
+pub use admin_wire::{AdminClient, AdminService};
+pub use costs::CpuCosts;
+pub use initiator::{InitiatorStats, IoOutcome, SpdkInitiator};
+pub use pdu::{Pdu, PduKind, Priority};
+pub use qpair::QPair;
+pub use target::{SpdkTarget, TargetStats};
+
+use simkit::Kernel;
+
+/// How a target delivers a PDU back to one initiator, and how an
+/// initiator delivers to its target. Concrete runtimes register closures
+/// capturing their `Shared<...>` handles, which keeps the baseline and
+/// NVMe-oPF endpoints interoperable with the same plumbing.
+pub type PduRx = std::rc::Rc<dyn Fn(&mut Kernel, Pdu)>;

@@ -1,0 +1,155 @@
+//! I/O queue pair state: CID allocation and outstanding-request tracking.
+
+use crate::initiator::IoOutcome;
+use crate::pdu::Priority;
+use bytes::Bytes;
+use nvme::Opcode;
+use simkit::{Kernel, SimTime};
+use std::collections::HashMap;
+
+/// Callback invoked when a request completes.
+pub type IoCallback = Box<dyn FnOnce(&mut Kernel, IoOutcome)>;
+
+/// Per-request context held while a command is outstanding.
+pub struct ReqCtx {
+    /// Command opcode.
+    pub opcode: Opcode,
+    /// Starting LBA.
+    pub slba: u64,
+    /// Blocks covered (1-based).
+    pub blocks: u16,
+    /// Write payload awaiting an R2T grant.
+    pub payload: Option<Bytes>,
+    /// Read data received so far (C2H arrives before the response).
+    pub data: Option<Bytes>,
+    /// Priority the request was tagged with.
+    pub priority: Priority,
+    /// When the request was issued (for latency accounting).
+    pub issued_at: SimTime,
+    /// Completion callback.
+    pub cb: IoCallback,
+}
+
+/// A queue pair: a bounded set of command identifiers and the contexts of
+/// in-flight commands.
+pub struct QPair {
+    free_cids: Vec<u16>,
+    outstanding: HashMap<u16, ReqCtx>,
+    depth: usize,
+}
+
+impl std::fmt::Debug for QPair {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("QPair")
+            .field("depth", &self.depth)
+            .field("outstanding", &self.outstanding.len())
+            .finish()
+    }
+}
+
+impl QPair {
+    /// Create a queue pair with `depth` concurrently usable CIDs.
+    pub fn new(depth: usize) -> Self {
+        assert!(depth >= 1 && depth <= u16::MAX as usize);
+        // Hand out low CIDs first so traces are readable.
+        let free_cids = (0..depth as u16).rev().collect();
+        QPair {
+            free_cids,
+            outstanding: HashMap::with_capacity(depth),
+            depth,
+        }
+    }
+
+    /// Queue depth.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Commands currently in flight.
+    pub fn inflight(&self) -> usize {
+        self.outstanding.len()
+    }
+
+    /// True when another command can be issued.
+    pub fn has_capacity(&self) -> bool {
+        !self.free_cids.is_empty()
+    }
+
+    /// Allocate a CID and register the request context. `None` when the
+    /// queue pair is at depth.
+    pub fn begin(&mut self, ctx: ReqCtx) -> Option<u16> {
+        let cid = self.free_cids.pop()?;
+        let prev = self.outstanding.insert(cid, ctx);
+        debug_assert!(prev.is_none(), "CID {cid} double-allocated");
+        Some(cid)
+    }
+
+    /// Look up a request context mutably (e.g. to stash C2H data).
+    pub fn get_mut(&mut self, cid: u16) -> Option<&mut ReqCtx> {
+        self.outstanding.get_mut(&cid)
+    }
+
+    /// Complete a request: release the CID and return its context.
+    pub fn finish(&mut self, cid: u16) -> Option<ReqCtx> {
+        let ctx = self.outstanding.remove(&cid)?;
+        self.free_cids.push(cid);
+        Some(ctx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx() -> ReqCtx {
+        ReqCtx {
+            opcode: Opcode::Read,
+            slba: 0,
+            blocks: 1,
+            payload: None,
+            data: None,
+            priority: Priority::None,
+            issued_at: SimTime::ZERO,
+            cb: Box::new(|_, _| {}),
+        }
+    }
+
+    #[test]
+    fn allocates_up_to_depth() {
+        let mut q = QPair::new(3);
+        let a = q.begin(ctx()).unwrap();
+        let b = q.begin(ctx()).unwrap();
+        let c = q.begin(ctx()).unwrap();
+        assert!(q.begin(ctx()).is_none());
+        assert_eq!(q.inflight(), 3);
+        assert!(!q.has_capacity());
+        let mut cids = [a, b, c];
+        cids.sort_unstable();
+        assert_eq!(cids, [0, 1, 2]);
+    }
+
+    #[test]
+    fn finish_recycles_cids() {
+        let mut q = QPair::new(1);
+        let cid = q.begin(ctx()).unwrap();
+        assert!(q.finish(cid).is_some());
+        assert!(q.has_capacity());
+        let again = q.begin(ctx()).unwrap();
+        assert_eq!(again, cid);
+    }
+
+    #[test]
+    fn finish_unknown_cid_is_none() {
+        let mut q = QPair::new(2);
+        assert!(q.finish(7).is_none());
+    }
+
+    #[test]
+    fn get_mut_stashes_data() {
+        let mut q = QPair::new(2);
+        let cid = q.begin(ctx()).unwrap();
+        q.get_mut(cid).unwrap().data = Some(Bytes::from_static(&[1, 2, 3]));
+        let done = q.finish(cid).unwrap();
+        assert_eq!(done.data.as_deref(), Some(&[1u8, 2, 3][..]));
+    }
+}

@@ -1,0 +1,252 @@
+//! The baseline NVMe-oF target: an SPDK-style single-reactor poll loop.
+//!
+//! Processing is strictly FIFO and every request gets its own response
+//! capsule — the two properties the paper identifies as hostile to
+//! multi-tenancy: a latency-sensitive request "might find itself delayed
+//! by a backlog of requests from a high-throughput application" and every
+//! completion notification costs reactor time and a network packet.
+
+use crate::costs::CpuCosts;
+use crate::pdu::{Pdu, Priority};
+use crate::PduRx;
+use bytes::Bytes;
+use fabric::{Endpoint, Network};
+use nvme::{NvmeDevice, Opcode, Sqe};
+use simkit::{Kernel, Resource, Shared, SimDuration, Tracer};
+use std::collections::HashMap;
+
+/// Target-side counters. `resps_tx` is the completion-notification count
+/// Figure 6(c) compares between SPDK and NVMe-oPF.
+#[derive(Clone, Debug, Default)]
+pub struct TargetStats {
+    /// Command capsules received.
+    pub cmds_rx: u64,
+    /// H2C data PDUs received.
+    pub data_rx: u64,
+    /// Response capsules sent (completion notifications).
+    pub resps_tx: u64,
+    /// R2T PDUs sent.
+    pub r2ts_tx: u64,
+    /// C2H data PDUs sent.
+    pub data_tx: u64,
+    /// Commands completed by the device.
+    pub completed: u64,
+    /// Small sends that paid the backpressure penalty.
+    pub backpressured_sends: u64,
+}
+
+struct Conn {
+    ep: Shared<Endpoint>,
+    rx: PduRx,
+}
+
+/// The baseline SPDK-style target.
+pub struct SpdkTarget {
+    /// Target identifier (for traces).
+    pub id: u32,
+    reactor: Resource,
+    costs: CpuCosts,
+    net: Network,
+    ep: Shared<Endpoint>,
+    device: Shared<NvmeDevice>,
+    conns: HashMap<u8, Conn>,
+    /// Write commands waiting for their H2C data, keyed by
+    /// (initiator, CID).
+    pending_writes: HashMap<(u8, u16), (Sqe, Priority)>,
+    tracer: Tracer,
+    /// Counters.
+    pub stats: TargetStats,
+}
+
+impl SpdkTarget {
+    /// Create a target attached to `ep`, exposing `device`.
+    pub fn new(
+        id: u32,
+        net: Network,
+        ep: Shared<Endpoint>,
+        device: Shared<NvmeDevice>,
+        costs: CpuCosts,
+        tracer: Tracer,
+    ) -> Self {
+        SpdkTarget {
+            id,
+            reactor: Resource::new("reactor"),
+            costs,
+            net,
+            ep,
+            device,
+            conns: HashMap::new(),
+            pending_writes: HashMap::new(),
+            tracer,
+            stats: TargetStats::default(),
+        }
+    }
+
+    /// Register an initiator connection: its fabric endpoint and the
+    /// closure that delivers PDUs to it.
+    pub fn connect(&mut self, initiator: u8, ep: Shared<Endpoint>, rx: PduRx) {
+        let prev = self.conns.insert(initiator, Conn { ep, rx });
+        assert!(prev.is_none(), "initiator {initiator} connected twice");
+    }
+
+    /// Reactor utilization snapshot.
+    pub fn reactor_utilization(&self, now: simkit::SimTime) -> f64 {
+        self.reactor.utilization(now)
+    }
+
+    /// Cost of sending one small PDU right now, including any
+    /// backpressure penalty; also counts the penalty.
+    fn small_send_cost(&mut self, k: &Kernel) -> SimDuration {
+        let util = self.ep.borrow().uplink_utilization(k.now());
+        let penalty = self.costs.small_send_penalty(util);
+        if !penalty.is_zero() {
+            self.stats.backpressured_sends += 1;
+        }
+        self.costs.send_small + penalty
+    }
+
+    /// Deliver a PDU arriving from initiator `from`.
+    pub fn on_pdu(this: &Shared<SpdkTarget>, k: &mut Kernel, from: u8, pdu: Pdu) {
+        match pdu {
+            Pdu::CapsuleCmd { sqe, priority, .. } => {
+                Self::on_cmd(this, k, from, sqe, priority)
+            }
+            Pdu::H2CData { cccid, data } => Self::on_h2c_data(this, k, from, cccid, data),
+            other => panic!("target received unexpected PDU {:?}", other.kind()),
+        }
+    }
+
+    fn on_cmd(this: &Shared<SpdkTarget>, k: &mut Kernel, from: u8, sqe: Sqe, priority: Priority) {
+        let finish = {
+            let mut t = this.borrow_mut();
+            t.stats.cmds_rx += 1;
+            t.tracer
+                .emit(k.now(), "tgt.cmd_rx", u32::from(from), u64::from(sqe.cid));
+            match sqe.opcode {
+                Opcode::Write => {
+                    // Command phase of a write: parse, then grant an R2T.
+                    let cost = t.costs.parse_cmd + t.costs.build_r2t + t.small_send_cost(k);
+                    let grant = t.reactor.reserve(k.now(), cost);
+                    t.pending_writes.insert((from, sqe.cid), (sqe, priority));
+                    grant.finish
+                }
+                _ => {
+                    let cost = t.costs.parse_cmd + t.costs.submit_dev;
+                    t.reactor.reserve(k.now(), cost).finish
+                }
+            }
+        };
+
+        let this2 = this.clone();
+        match sqe.opcode {
+            Opcode::Write => {
+                k.schedule_at(finish, move |k| {
+                    let mut t = this2.borrow_mut();
+                    t.stats.r2ts_tx += 1;
+                    let pdu = Pdu::R2T {
+                        cccid: sqe.cid,
+                        r2tl: sqe.data_len() as u32,
+                    };
+                    t.send_to(k, from, pdu);
+                });
+            }
+            _ => {
+                k.schedule_at(finish, move |k| {
+                    Self::submit_to_device(&this2, k, from, sqe, priority, None);
+                });
+            }
+        }
+    }
+
+    fn on_h2c_data(this: &Shared<SpdkTarget>, k: &mut Kernel, from: u8, cccid: u16, data: Bytes) {
+        let (finish, sqe, priority) = {
+            let mut t = this.borrow_mut();
+            t.stats.data_rx += 1;
+            let (sqe, priority) = t
+                .pending_writes
+                .remove(&(from, cccid))
+                .expect("H2C data for unknown write");
+            let cost = t.costs.handle_data + t.costs.submit_dev;
+            (t.reactor.reserve(k.now(), cost).finish, sqe, priority)
+        };
+        let this2 = this.clone();
+        k.schedule_at(finish, move |k| {
+            Self::submit_to_device(&this2, k, from, sqe, priority, Some(data.to_vec()));
+        });
+    }
+
+    /// Hand a command to the NVMe device; on completion run the baseline
+    /// response path (data + response per request).
+    pub(crate) fn submit_to_device(
+        this: &Shared<SpdkTarget>,
+        k: &mut Kernel,
+        from: u8,
+        sqe: Sqe,
+        priority: Priority,
+        data: Option<Vec<u8>>,
+    ) {
+        let device = this.borrow().device.clone();
+        {
+            let t = this.borrow();
+            t.tracer
+                .emit(k.now(), "tgt.dev_submit", u32::from(from), u64::from(sqe.cid));
+        }
+        let this2 = this.clone();
+        NvmeDevice::submit(&device, k, sqe, data, move |k, result| {
+            {
+                let t = this2.borrow();
+                t.tracer
+                    .emit(k.now(), "tgt.dev_done", u32::from(from), u64::from(sqe.cid));
+            }
+            Self::on_device_done(&this2, k, from, sqe, priority, result);
+        });
+    }
+
+    fn on_device_done(
+        this: &Shared<SpdkTarget>,
+        k: &mut Kernel,
+        from: u8,
+        sqe: Sqe,
+        priority: Priority,
+        result: nvme::device::IoResult,
+    ) {
+        let finish = {
+            let mut t = this.borrow_mut();
+            t.stats.completed += 1;
+            let mut cost = t.costs.build_resp + t.small_send_cost(k);
+            if result.data.is_some() {
+                cost += t.costs.send_data;
+            }
+            t.reactor.reserve(k.now(), cost).finish
+        };
+        let this2 = this.clone();
+        k.schedule_at(finish, move |k| {
+            let mut t = this2.borrow_mut();
+            if let Some(bytes) = result.data {
+                t.stats.data_tx += 1;
+                let pdu = Pdu::C2HData {
+                    cccid: sqe.cid,
+                    data: bytes,
+                };
+                t.send_to(k, from, pdu);
+            }
+            t.stats.resps_tx += 1;
+            t.tracer
+                .emit(k.now(), "tgt.resp_tx", u32::from(from), u64::from(sqe.cid));
+            let pdu = Pdu::CapsuleResp {
+                cqe: result.cqe,
+                priority,
+            };
+            t.send_to(k, from, pdu);
+        });
+    }
+
+    /// Transmit a PDU to initiator `from` over the fabric.
+    pub(crate) fn send_to(&mut self, k: &mut Kernel, to: u8, pdu: Pdu) {
+        let conn = self.conns.get(&to).expect("send to unknown initiator");
+        let rx = conn.rx.clone();
+        let bytes = pdu.wire_len();
+        self.net
+            .send(k, &self.ep, &conn.ep, bytes, move |k| rx(k, pdu));
+    }
+}

@@ -1,0 +1,234 @@
+//! The zero-copy CID queue (paper §IV-B, §IV-C and Algorithms 1–2).
+//!
+//! NVMe-oPF queues never store requests or payloads — only each pending
+//! throughput-critical request's 16-bit command identifier (CID). This
+//! keeps the queue's space cost independent of I/O size and tenant count
+//! (§IV-B "Zero-Copy Queues").
+//!
+//! The same queue implements out-of-order completion handling (§IV-C):
+//! because the initiator keeps CIDs in *issue order*, receiving the single
+//! coalesced completion for a drain request lets it mark every preceding
+//! request complete in order — Algorithm 2's loop
+//! `for i = head; queue[i] && !cid; i++ { mark complete }`.
+
+use crate::spsc::{spsc_channel, Consumer, Producer};
+
+/// Outcome of [`CidQueue::complete_through`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CompleteResult {
+    /// The target CID was found; all CIDs up to and including it were
+    /// dequeued, in issue order (the matching CID is last).
+    Completed(Vec<u16>),
+    /// The queue drained without finding the CID — a protocol violation
+    /// (e.g. a completion for a request we never queued). The dequeued
+    /// CIDs are returned so the caller can recover or fail loudly.
+    Missing(Vec<u16>),
+}
+
+impl CompleteResult {
+    /// CIDs dequeued, regardless of outcome.
+    pub fn cids(&self) -> &[u16] {
+        match self {
+            CompleteResult::Completed(v) | CompleteResult::Missing(v) => v,
+        }
+    }
+
+    /// True when the target CID was found.
+    pub fn found(&self) -> bool {
+        matches!(self, CompleteResult::Completed(_))
+    }
+}
+
+/// A bounded queue of pending command identifiers.
+///
+/// Internally a lock-free SPSC ring ([`crate::spsc`]): in a threaded
+/// deployment the transport's receive path is the producer and the
+/// priority manager the consumer. The simulation drives both sides from
+/// one thread, which is trivially within the SPSC contract.
+pub struct CidQueue {
+    tx: Producer<u16>,
+    rx: Consumer<u16>,
+}
+
+impl std::fmt::Debug for CidQueue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CidQueue")
+            .field("len", &self.len())
+            .field("capacity", &self.capacity())
+            .finish()
+    }
+}
+
+impl CidQueue {
+    /// Create a queue holding at least `cap` CIDs. Sized in practice as
+    /// queue depth + window size so a full window of in-flight TC
+    /// requests can never overflow it (§IV-A's lock-up scenario).
+    pub fn new(cap: usize) -> Self {
+        let (tx, rx) = spsc_channel(cap);
+        CidQueue { tx, rx }
+    }
+
+    /// Algorithm 1: `queue[tail] <- req.cid; tail <- tail + 1`.
+    /// Errors with the CID when full.
+    pub fn push(&mut self, cid: u16) -> Result<(), u16> {
+        self.tx.push(cid)
+    }
+
+    /// Algorithm 2: dequeue and mark complete every CID up to and
+    /// including `cid`.
+    pub fn complete_through(&mut self, cid: u16) -> CompleteResult {
+        let mut done = Vec::new();
+        while let Some(c) = self.rx.pop() {
+            done.push(c);
+            if c == cid {
+                return CompleteResult::Completed(done);
+            }
+        }
+        CompleteResult::Missing(done)
+    }
+
+    /// Target-side drain (Algorithm 3): dequeue everything, in order.
+    pub fn drain_all(&mut self) -> Vec<u16> {
+        let mut out = Vec::with_capacity(self.len());
+        while let Some(c) = self.rx.pop() {
+            out.push(c);
+        }
+        out
+    }
+
+    /// Dequeue the oldest pending CID.
+    pub fn pop(&mut self) -> Option<u16> {
+        self.rx.pop()
+    }
+
+    /// The oldest pending CID, if any.
+    pub fn front(&mut self) -> Option<u16> {
+        self.rx.peek().copied()
+    }
+
+    /// Number of pending CIDs.
+    pub fn len(&self) -> usize {
+        self.rx.len()
+    }
+
+    /// True when no CIDs are pending.
+    pub fn is_empty(&self) -> bool {
+        self.rx.is_empty()
+    }
+
+    /// Ring capacity.
+    pub fn capacity(&self) -> usize {
+        self.rx.capacity()
+    }
+
+    /// Split into lock-free producer/consumer halves for cross-thread use.
+    pub fn split(self) -> (Producer<u16>, Consumer<u16>) {
+        (self.tx, self.rx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_then_complete_through_tail_drains_all() {
+        let mut q = CidQueue::new(16);
+        for cid in [3u16, 9, 1, 7] {
+            q.push(cid).unwrap();
+        }
+        let r = q.complete_through(7);
+        assert_eq!(r, CompleteResult::Completed(vec![3, 9, 1, 7]));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn complete_through_middle_keeps_rest() {
+        let mut q = CidQueue::new(16);
+        for cid in 0..8u16 {
+            q.push(cid).unwrap();
+        }
+        let r = q.complete_through(3);
+        assert_eq!(r, CompleteResult::Completed(vec![0, 1, 2, 3]));
+        assert_eq!(q.len(), 4);
+        assert_eq!(q.front(), Some(4));
+    }
+
+    #[test]
+    fn missing_cid_reports_protocol_violation() {
+        let mut q = CidQueue::new(8);
+        q.push(1).unwrap();
+        q.push(2).unwrap();
+        let r = q.complete_through(42);
+        assert_eq!(r, CompleteResult::Missing(vec![1, 2]));
+        assert!(!r.found());
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn out_of_order_device_completions_resolve_in_issue_order() {
+        // The device may complete 2 before 0; the initiator only sees the
+        // coalesced drain completion (for the last CID, 3) and must mark
+        // 0,1,2,3 complete in issue order regardless.
+        let mut q = CidQueue::new(8);
+        for cid in [10u16, 11, 12, 13] {
+            q.push(cid).unwrap();
+        }
+        let r = q.complete_through(13);
+        assert_eq!(r.cids(), &[10, 11, 12, 13]);
+    }
+
+    #[test]
+    fn drain_all_returns_issue_order() {
+        let mut q = CidQueue::new(8);
+        for cid in [5u16, 4, 6] {
+            q.push(cid).unwrap();
+        }
+        assert_eq!(q.drain_all(), vec![5, 4, 6]);
+        assert!(q.drain_all().is_empty());
+    }
+
+    #[test]
+    fn full_queue_rejects_push() {
+        let mut q = CidQueue::new(4);
+        let cap = q.capacity();
+        for cid in 0..cap as u16 {
+            q.push(cid).unwrap();
+        }
+        assert_eq!(q.push(99), Err(99));
+    }
+
+    #[test]
+    fn duplicate_cids_complete_to_first_match() {
+        // CIDs recycle in NVMe; a queue may briefly hold a recycled CID.
+        // complete_through stops at the *first* (oldest) match.
+        let mut q = CidQueue::new(8);
+        for cid in [1u16, 2, 1, 3] {
+            q.push(cid).unwrap();
+        }
+        let r = q.complete_through(1);
+        assert_eq!(r, CompleteResult::Completed(vec![1]));
+        assert_eq!(q.len(), 3);
+    }
+
+    proptest::proptest! {
+        /// complete_through(x) over unique CIDs returns exactly the prefix
+        /// ending at x, and leaves exactly the suffix.
+        #[test]
+        fn prefix_semantics(cids in proptest::collection::hash_set(0u16..512, 1..64),
+                            pick in proptest::prelude::any::<proptest::sample::Index>()) {
+            let cids: Vec<u16> = cids.into_iter().collect();
+            let target_idx = pick.index(cids.len());
+            let target = cids[target_idx];
+            let mut q = CidQueue::new(512);
+            for &c in &cids {
+                q.push(c).unwrap();
+            }
+            let r = q.complete_through(target);
+            proptest::prop_assert_eq!(r.cids(), &cids[..=target_idx]);
+            proptest::prop_assert!(r.found());
+            proptest::prop_assert_eq!(q.len(), cids.len() - target_idx - 1);
+            proptest::prop_assert_eq!(q.drain_all(), cids[target_idx + 1..].to_vec());
+        }
+    }
+}

@@ -1,0 +1,366 @@
+//! Bounded lock-free single-producer/single-consumer ring buffer.
+//!
+//! The classic two-index ring: the producer owns `tail`, the consumer owns
+//! `head`; each side publishes its index with `Release` and observes the
+//! other side's with `Acquire`, which is exactly the happens-before edge
+//! needed for the slot contents to be visible (Rust Atomics and Locks,
+//! ch. 5). Capacity is rounded up to a power of two so masking replaces
+//! modulo.
+//!
+//! Indices increase monotonically and are mapped into the buffer with a
+//! mask; `tail - head` is the occupancy. With `usize` indices a wraparound
+//! would need ~10^19 operations, far beyond any simulation.
+
+use crate::CachePadded;
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+struct Ring<T> {
+    buf: Box<[UnsafeCell<MaybeUninit<T>>]>,
+    mask: usize,
+    /// Consumer position (next slot to read). Owned by the consumer.
+    head: CachePadded<AtomicUsize>,
+    /// Producer position (next slot to write). Owned by the producer.
+    tail: CachePadded<AtomicUsize>,
+}
+
+// SAFETY: the ring transfers `T` values across threads; slots are only
+// accessed by the side that owns the index range, ordered by the
+// Acquire/Release pairs on head/tail.
+unsafe impl<T: Send> Send for Ring<T> {}
+unsafe impl<T: Send> Sync for Ring<T> {}
+
+impl<T> Ring<T> {
+    fn with_capacity(cap: usize) -> Self {
+        let cap = cap.max(2).next_power_of_two();
+        let buf = (0..cap)
+            .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        Ring {
+            buf,
+            mask: cap - 1,
+            head: CachePadded(AtomicUsize::new(0)),
+            tail: CachePadded(AtomicUsize::new(0)),
+        }
+    }
+
+    fn capacity(&self) -> usize {
+        self.mask + 1
+    }
+}
+
+impl<T> Drop for Ring<T> {
+    fn drop(&mut self) {
+        // Drop any values still in the ring. We have exclusive access here.
+        let head = self.head.load(Ordering::Relaxed);
+        let tail = self.tail.load(Ordering::Relaxed);
+        for i in head..tail {
+            let slot = self.buf[i & self.mask].get();
+            // SAFETY: slots in [head, tail) were written and never read.
+            unsafe { (*slot).assume_init_drop() };
+        }
+    }
+}
+
+/// Producing half of an SPSC channel. `!Clone`: single producer.
+pub struct Producer<T> {
+    ring: Arc<Ring<T>>,
+    /// Cached view of the consumer's head; refreshed only when the ring
+    /// looks full, keeping the hot path to one shared load.
+    cached_head: usize,
+}
+
+/// Consuming half of an SPSC channel. `!Clone`: single consumer.
+pub struct Consumer<T> {
+    ring: Arc<Ring<T>>,
+    /// Cached view of the producer's tail.
+    cached_tail: usize,
+}
+
+/// Create a bounded SPSC channel with room for at least `cap` items
+/// (rounded up to a power of two).
+pub fn spsc_channel<T>(cap: usize) -> (Producer<T>, Consumer<T>) {
+    let ring = Arc::new(Ring::with_capacity(cap));
+    (
+        Producer {
+            ring: ring.clone(),
+            cached_head: 0,
+        },
+        Consumer {
+            ring,
+            cached_tail: 0,
+        },
+    )
+}
+
+impl<T> Producer<T> {
+    /// Push a value; returns it back if the ring is full.
+    pub fn push(&mut self, value: T) -> Result<(), T> {
+        let ring = &*self.ring;
+        let tail = ring.tail.load(Ordering::Relaxed);
+        if tail - self.cached_head == ring.capacity() {
+            self.cached_head = ring.head.load(Ordering::Acquire);
+            if tail - self.cached_head == ring.capacity() {
+                return Err(value);
+            }
+        }
+        let slot = ring.buf[tail & ring.mask].get();
+        // SAFETY: the slot at `tail` is outside [head, tail) so the
+        // consumer will not touch it until we publish the new tail.
+        unsafe { (*slot).write(value) };
+        ring.tail.store(tail + 1, Ordering::Release);
+        Ok(())
+    }
+
+    /// Number of items currently queued (may be stale by the time it
+    /// returns; exact when no concurrent consumer activity).
+    pub fn len(&self) -> usize {
+        let tail = self.ring.tail.load(Ordering::Relaxed);
+        let head = self.ring.head.load(Ordering::Acquire);
+        tail - head
+    }
+
+    /// True when no items are queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Ring capacity.
+    pub fn capacity(&self) -> usize {
+        self.ring.capacity()
+    }
+}
+
+impl<T> Consumer<T> {
+    /// Pop the oldest value, or `None` when empty.
+    pub fn pop(&mut self) -> Option<T> {
+        let ring = &*self.ring;
+        let head = ring.head.load(Ordering::Relaxed);
+        if head == self.cached_tail {
+            self.cached_tail = ring.tail.load(Ordering::Acquire);
+            if head == self.cached_tail {
+                return None;
+            }
+        }
+        let slot = ring.buf[head & ring.mask].get();
+        // SAFETY: slot at `head` was published by the producer's Release
+        // store that we observed with Acquire.
+        let value = unsafe { (*slot).assume_init_read() };
+        ring.head.store(head + 1, Ordering::Release);
+        Some(value)
+    }
+
+    /// Peek at the oldest value without consuming it.
+    pub fn peek(&mut self) -> Option<&T> {
+        let ring = &*self.ring;
+        let head = ring.head.load(Ordering::Relaxed);
+        if head == self.cached_tail {
+            self.cached_tail = ring.tail.load(Ordering::Acquire);
+            if head == self.cached_tail {
+                return None;
+            }
+        }
+        let slot = ring.buf[head & ring.mask].get();
+        // SAFETY: as in `pop`, but we don't consume; `&mut self` prevents
+        // a simultaneous pop from invalidating the reference.
+        Some(unsafe { (*slot).assume_init_ref() })
+    }
+
+    /// Number of items currently queued.
+    pub fn len(&self) -> usize {
+        let head = self.ring.head.load(Ordering::Relaxed);
+        let tail = self.ring.tail.load(Ordering::Acquire);
+        tail - head
+    }
+
+    /// True when no items are queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Ring capacity.
+    pub fn capacity(&self) -> usize {
+        self.ring.capacity()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::VecDeque;
+
+    #[test]
+    fn push_pop_fifo() {
+        let (mut tx, mut rx) = spsc_channel::<u32>(8);
+        for i in 0..5 {
+            tx.push(i).unwrap();
+        }
+        for i in 0..5 {
+            assert_eq!(rx.pop(), Some(i));
+        }
+        assert_eq!(rx.pop(), None);
+    }
+
+    #[test]
+    fn capacity_rounds_up_and_fills() {
+        let (mut tx, mut rx) = spsc_channel::<u64>(5);
+        assert_eq!(tx.capacity(), 8);
+        for i in 0..8 {
+            tx.push(i).unwrap();
+        }
+        assert_eq!(tx.push(99), Err(99));
+        assert_eq!(rx.pop(), Some(0));
+        tx.push(99).unwrap(); // freed one slot
+        assert_eq!(tx.push(100), Err(100));
+    }
+
+    #[test]
+    fn peek_does_not_consume() {
+        let (mut tx, mut rx) = spsc_channel::<u32>(4);
+        tx.push(7).unwrap();
+        assert_eq!(rx.peek(), Some(&7));
+        assert_eq!(rx.peek(), Some(&7));
+        assert_eq!(rx.pop(), Some(7));
+        assert_eq!(rx.peek(), None);
+    }
+
+    #[test]
+    fn len_tracks_occupancy() {
+        let (mut tx, mut rx) = spsc_channel::<u8>(4);
+        assert!(tx.is_empty() && rx.is_empty());
+        tx.push(1).unwrap();
+        tx.push(2).unwrap();
+        assert_eq!(tx.len(), 2);
+        assert_eq!(rx.len(), 2);
+        rx.pop();
+        assert_eq!(rx.len(), 1);
+    }
+
+    #[test]
+    fn drops_pending_items() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        static DROPS: AtomicUsize = AtomicUsize::new(0);
+        #[derive(Debug)]
+        struct D;
+        impl Drop for D {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        {
+            let (mut tx, mut rx) = spsc_channel::<D>(8);
+            for _ in 0..6 {
+                tx.push(D).unwrap();
+            }
+            drop(rx.pop()); // one dropped by consumption
+        }
+        assert_eq!(DROPS.load(Ordering::Relaxed), 6);
+    }
+
+    #[test]
+    fn wraparound_many_times() {
+        let (mut tx, mut rx) = spsc_channel::<usize>(4);
+        for round in 0..1000 {
+            for i in 0..3 {
+                tx.push(round * 3 + i).unwrap();
+            }
+            for i in 0..3 {
+                assert_eq!(rx.pop(), Some(round * 3 + i));
+            }
+        }
+    }
+
+    #[test]
+    fn two_thread_stress_transfers_everything_in_order() {
+        const N: usize = 200_000;
+        let (mut tx, mut rx) = spsc_channel::<usize>(64);
+        let producer = std::thread::spawn(move || {
+            for i in 0..N {
+                let mut v = i;
+                loop {
+                    match tx.push(v) {
+                        Ok(()) => break,
+                        Err(back) => {
+                            v = back;
+                            std::hint::spin_loop();
+                        }
+                    }
+                }
+            }
+        });
+        let mut next = 0usize;
+        while next < N {
+            if let Some(v) = rx.pop() {
+                assert_eq!(v, next, "values must arrive in order");
+                next += 1;
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+        producer.join().unwrap();
+        assert_eq!(rx.pop(), None);
+    }
+
+    #[test]
+    fn two_thread_stress_with_boxed_values() {
+        // Heap values catch use-after-free / double-drop under ASAN-like
+        // scrutiny and MIRI.
+        const N: usize = 20_000;
+        let (mut tx, mut rx) = spsc_channel::<Box<usize>>(16);
+        let producer = std::thread::spawn(move || {
+            for i in 0..N {
+                let mut v = Box::new(i);
+                loop {
+                    match tx.push(v) {
+                        Ok(()) => break,
+                        Err(back) => {
+                            v = back;
+                            std::thread::yield_now();
+                        }
+                    }
+                }
+            }
+        });
+        let mut sum = 0usize;
+        let mut got = 0usize;
+        while got < N {
+            if let Some(v) = rx.pop() {
+                sum += *v;
+                got += 1;
+            } else {
+                std::thread::yield_now();
+            }
+        }
+        producer.join().unwrap();
+        assert_eq!(sum, N * (N - 1) / 2);
+    }
+
+    proptest::proptest! {
+        /// Any interleaved sequence of pushes and pops behaves like a
+        /// VecDeque of the same capacity.
+        #[test]
+        fn matches_vecdeque_model(ops in proptest::collection::vec(
+            proptest::prelude::any::<(bool, u16)>(), 0..400)) {
+            let (mut tx, mut rx) = spsc_channel::<u16>(16);
+            let cap = tx.capacity();
+            let mut model: VecDeque<u16> = VecDeque::new();
+            for (is_push, v) in ops {
+                if is_push {
+                    let r = tx.push(v);
+                    if model.len() == cap {
+                        proptest::prop_assert_eq!(r, Err(v));
+                    } else {
+                        proptest::prop_assert_eq!(r, Ok(()));
+                        model.push_back(v);
+                    }
+                } else {
+                    proptest::prop_assert_eq!(rx.pop(), model.pop_front());
+                }
+                proptest::prop_assert_eq!(rx.len(), model.len());
+            }
+        }
+    }
+}

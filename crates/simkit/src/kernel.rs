@@ -1,0 +1,296 @@
+//! The event kernel: a virtual clock plus a priority queue of closures.
+//!
+//! Events scheduled for the same instant execute in scheduling order (a
+//! monotone sequence number breaks ties), which makes every simulation a
+//! total deterministic order — a requirement for comparing the SPDK
+//! baseline against NVMe-oPF without measurement noise.
+
+use crate::rng::Pcg32;
+use crate::time::{SimDuration, SimTime};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// An event: a one-shot closure run with exclusive access to the kernel.
+pub type EventFn = Box<dyn FnOnce(&mut Kernel)>;
+
+struct Scheduled {
+    at: SimTime,
+    seq: u64,
+    f: Option<EventFn>,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Scheduled {}
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops
+        // first.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// Discrete-event simulation kernel.
+pub struct Kernel {
+    now: SimTime,
+    seq: u64,
+    heap: BinaryHeap<Scheduled>,
+    rng: Pcg32,
+    executed: u64,
+    /// Hard stop: events scheduled past this instant are silently dropped.
+    horizon: SimTime,
+}
+
+impl Kernel {
+    /// Create a kernel with the given RNG seed and no horizon.
+    pub fn new(seed: u64) -> Self {
+        Kernel {
+            now: SimTime::ZERO,
+            seq: 0,
+            heap: BinaryHeap::with_capacity(1024),
+            rng: Pcg32::new(seed),
+            executed: 0,
+            horizon: SimTime::MAX,
+        }
+    }
+
+    /// Current virtual time.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events executed so far.
+    #[inline]
+    pub fn events_executed(&self) -> u64 {
+        self.executed
+    }
+
+    /// Number of events currently pending.
+    #[inline]
+    pub fn events_pending(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// The kernel RNG. Components should usually [`fork`](Pcg32::fork)
+    /// their own stream at construction instead of sampling here, so that
+    /// unrelated events don't perturb each other's sequences.
+    #[inline]
+    pub fn rng(&mut self) -> &mut Pcg32 {
+        &mut self.rng
+    }
+
+    /// Set a hard horizon: events scheduled strictly after it are dropped.
+    /// Used to cut off the tail of open workloads at experiment end.
+    pub fn set_horizon(&mut self, horizon: SimTime) {
+        self.horizon = horizon;
+    }
+
+    /// Schedule `f` to run at absolute time `at` (clamped to `now` if in
+    /// the past, which models "immediately, after the current event").
+    pub fn schedule_at(&mut self, at: SimTime, f: impl FnOnce(&mut Kernel) + 'static) {
+        let at = at.max(self.now);
+        if at > self.horizon {
+            return;
+        }
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Scheduled {
+            at,
+            seq,
+            f: Some(Box::new(f)),
+        });
+    }
+
+    /// Schedule `f` to run `delay` after now.
+    #[inline]
+    pub fn schedule_in(&mut self, delay: SimDuration, f: impl FnOnce(&mut Kernel) + 'static) {
+        self.schedule_at(self.now + delay, f);
+    }
+
+    /// Schedule `f` to run "now" but after the current event finishes.
+    #[inline]
+    pub fn defer(&mut self, f: impl FnOnce(&mut Kernel) + 'static) {
+        self.schedule_at(self.now, f);
+    }
+
+    /// Execute a single event if one is pending. Returns `false` when the
+    /// queue is empty.
+    pub fn step(&mut self) -> bool {
+        match self.heap.pop() {
+            Some(mut ev) => {
+                debug_assert!(ev.at >= self.now, "time went backwards");
+                self.now = ev.at;
+                self.executed += 1;
+                let f = ev.f.take().expect("event fired twice");
+                f(self);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Run until the event queue drains.
+    pub fn run_to_completion(&mut self) {
+        while self.step() {}
+    }
+
+    /// Run until virtual time reaches `until` (inclusive of events exactly
+    /// at `until`) or the queue drains. The clock is advanced to `until`
+    /// even if the queue drained earlier.
+    pub fn run_until(&mut self, until: SimTime) {
+        while let Some(head) = self.heap.peek() {
+            if head.at > until {
+                break;
+            }
+            self.step();
+        }
+        self.now = self.now.max(until);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    #[test]
+    fn events_fire_in_time_order() {
+        let order = Rc::new(RefCell::new(Vec::new()));
+        let mut k = Kernel::new(0);
+        for &t in &[30u64, 10, 20] {
+            let order = order.clone();
+            k.schedule_at(SimTime::from_micros(t), move |k| {
+                order.borrow_mut().push(k.now().as_micros());
+            });
+        }
+        k.run_to_completion();
+        assert_eq!(*order.borrow(), vec![10, 20, 30]);
+        assert_eq!(k.events_executed(), 3);
+    }
+
+    #[test]
+    fn ties_fire_in_schedule_order() {
+        let order = Rc::new(RefCell::new(Vec::new()));
+        let mut k = Kernel::new(0);
+        for i in 0..16 {
+            let order = order.clone();
+            k.schedule_at(SimTime::from_micros(5), move |_| {
+                order.borrow_mut().push(i);
+            });
+        }
+        k.run_to_completion();
+        assert_eq!(*order.borrow(), (0..16).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn past_events_clamp_to_now() {
+        let mut k = Kernel::new(0);
+        let fired = Rc::new(RefCell::new(0u64));
+        let f2 = fired.clone();
+        k.schedule_at(SimTime::from_micros(10), move |k| {
+            let f3 = f2.clone();
+            // Scheduling "in the past" runs at current time, not before.
+            k.schedule_at(SimTime::from_micros(1), move |k| {
+                *f3.borrow_mut() = k.now().as_micros();
+            });
+        });
+        k.run_to_completion();
+        assert_eq!(*fired.borrow(), 10);
+    }
+
+    #[test]
+    fn nested_scheduling_chains() {
+        // An event that schedules an event that schedules an event...
+        let count = Rc::new(RefCell::new(0u32));
+        let mut k = Kernel::new(0);
+        fn chain(k: &mut Kernel, count: Rc<RefCell<u32>>, left: u32) {
+            if left == 0 {
+                return;
+            }
+            k.schedule_in(SimDuration::from_micros(1), move |k| {
+                *count.borrow_mut() += 1;
+                chain(k, count.clone(), left - 1);
+            });
+        }
+        chain(&mut k, count.clone(), 100);
+        k.run_to_completion();
+        assert_eq!(*count.borrow(), 100);
+        assert_eq!(k.now(), SimTime::from_micros(100));
+    }
+
+    #[test]
+    fn run_until_stops_and_advances_clock() {
+        let fired = Rc::new(RefCell::new(Vec::new()));
+        let mut k = Kernel::new(0);
+        for &t in &[5u64, 15, 25] {
+            let fired = fired.clone();
+            k.schedule_at(SimTime::from_micros(t), move |_| {
+                fired.borrow_mut().push(t);
+            });
+        }
+        k.run_until(SimTime::from_micros(15));
+        assert_eq!(*fired.borrow(), vec![5, 15]);
+        assert_eq!(k.now(), SimTime::from_micros(15));
+        assert_eq!(k.events_pending(), 1);
+        // Clock advances to `until` even with an empty relevant window.
+        k.run_until(SimTime::from_micros(20));
+        assert_eq!(k.now(), SimTime::from_micros(20));
+    }
+
+    #[test]
+    fn horizon_drops_late_events() {
+        let fired = Rc::new(RefCell::new(0u32));
+        let mut k = Kernel::new(0);
+        k.set_horizon(SimTime::from_micros(10));
+        let f = fired.clone();
+        k.schedule_at(SimTime::from_micros(5), move |_| *f.borrow_mut() += 1);
+        let f = fired.clone();
+        k.schedule_at(SimTime::from_micros(50), move |_| *f.borrow_mut() += 1);
+        k.run_to_completion();
+        assert_eq!(*fired.borrow(), 1);
+    }
+
+    #[test]
+    fn defer_runs_after_current_event_at_same_time() {
+        let order = Rc::new(RefCell::new(Vec::new()));
+        let mut k = Kernel::new(0);
+        let o = order.clone();
+        k.schedule_at(SimTime::from_micros(1), move |k| {
+            o.borrow_mut().push("outer");
+            let o2 = o.clone();
+            k.defer(move |_| o2.borrow_mut().push("deferred"));
+            o.borrow_mut().push("outer-end");
+        });
+        k.run_to_completion();
+        assert_eq!(*order.borrow(), vec!["outer", "outer-end", "deferred"]);
+    }
+
+    #[test]
+    fn identical_seeds_identical_traces() {
+        fn run(seed: u64) -> Vec<u64> {
+            let out = Rc::new(RefCell::new(Vec::new()));
+            let mut k = Kernel::new(seed);
+            for i in 0..50u64 {
+                let out = out.clone();
+                k.schedule_at(SimTime::from_nanos(i), move |k| {
+                    let jitter = k.rng().gen_range(0, 1000);
+                    out.borrow_mut().push(jitter);
+                });
+            }
+            k.run_to_completion();
+            Rc::try_unwrap(out).unwrap().into_inner()
+        }
+        assert_eq!(run(11), run(11));
+        assert_ne!(run(11), run(12));
+    }
+}

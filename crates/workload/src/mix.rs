@@ -1,0 +1,90 @@
+//! Workload mixes: the paper's read, write, and 50:50 mixed workloads.
+
+use serde::{Deserialize, Serialize};
+
+/// A read/write mix for 4K sequential I/O.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Mix {
+    /// Fraction of reads in `[0, 1]`.
+    pub read_fraction: f64,
+}
+
+impl Mix {
+    /// 100% sequential reads.
+    pub const READ: Mix = Mix { read_fraction: 1.0 };
+    /// 100% sequential writes.
+    pub const WRITE: Mix = Mix { read_fraction: 0.0 };
+    /// 50:50 mixed read/write.
+    pub const MIXED: Mix = Mix { read_fraction: 0.5 };
+
+    /// Fraction of writes.
+    pub fn write_fraction(&self) -> f64 {
+        1.0 - self.read_fraction
+    }
+
+    /// Decide whether the `n`-th request of a stream is a read.
+    ///
+    /// Deterministic low-discrepancy interleave: request `n` is a read
+    /// iff the fractional accumulation of `read_fraction` crosses an
+    /// integer boundary — a 50:50 mix strictly alternates, like perf's
+    /// `-M 50`.
+    pub fn is_read(&self, n: u64) -> bool {
+        let f = self.read_fraction;
+        if f >= 1.0 {
+            return true;
+        }
+        if f <= 0.0 {
+            return false;
+        }
+        let before = (n as f64 * f).floor();
+        let after = ((n + 1) as f64 * f).floor();
+        after > before
+    }
+
+    /// Figure label ("read", "write", "mixed 50:50").
+    pub fn label(&self) -> &'static str {
+        if self.read_fraction >= 1.0 {
+            "read"
+        } else if self.read_fraction <= 0.0 {
+            "write"
+        } else {
+            "mixed 50:50"
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pure_mixes() {
+        assert!((0..100).all(|n| Mix::READ.is_read(n)));
+        assert!((0..100).all(|n| !Mix::WRITE.is_read(n)));
+    }
+
+    #[test]
+    fn mixed_is_balanced_and_alternating() {
+        let reads = (0..1000).filter(|&n| Mix::MIXED.is_read(n)).count();
+        assert_eq!(reads, 500);
+        // Strict alternation for 50:50.
+        for n in 0..100 {
+            assert_ne!(Mix::MIXED.is_read(2 * n), Mix::MIXED.is_read(2 * n + 1));
+        }
+    }
+
+    #[test]
+    fn arbitrary_fraction_converges() {
+        let m = Mix { read_fraction: 0.7 };
+        let reads = (0..10_000).filter(|&n| m.is_read(n)).count();
+        assert!((6_900..=7_100).contains(&reads), "{reads}");
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(Mix::READ.label(), "read");
+        assert_eq!(Mix::WRITE.label(), "write");
+        assert_eq!(Mix::MIXED.label(), "mixed 50:50");
+        assert!((Mix::MIXED.write_fraction() - 0.5).abs() < 1e-12);
+    }
+}

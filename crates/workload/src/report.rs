@@ -1,0 +1,156 @@
+//! Plain-text tables and CSV output for experiment results.
+
+/// A simple column-aligned table.
+#[derive(Clone, Debug, Default)]
+pub struct Table {
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Create a table with the given headers.
+    pub fn new<S: Into<String>>(headers: impl IntoIterator<Item = S>) -> Self {
+        Table {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (must match the header count).
+    pub fn row<S: Into<String>>(&mut self, cells: impl IntoIterator<Item = S>) -> &mut Self {
+        let row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(row.len(), self.headers.len(), "row/header mismatch");
+        self.rows.push(row);
+        self
+    }
+}
+
+/// Render as an aligned monospace table.
+pub fn render_table(t: &Table) -> String {
+    let cols = t.headers.len();
+    let mut widths: Vec<usize> = t.headers.iter().map(|h| h.len()).collect();
+    for row in &t.rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        let mut line = String::new();
+        for i in 0..cols {
+            if i > 0 {
+                line.push_str("  ");
+            }
+            let cell = &cells[i];
+            // Right-align numeric-looking cells, left-align the rest.
+            let numeric = cell
+                .chars()
+                .all(|c| c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | '%' | 'x' | 'K' | 'M'));
+            if numeric && !cell.is_empty() {
+                line.push_str(&format!("{cell:>w$}", w = widths[i]));
+            } else {
+                line.push_str(&format!("{cell:<w$}", w = widths[i]));
+            }
+        }
+        line.trim_end().to_string()
+    };
+    out.push_str(&fmt_row(&t.headers, &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+    out.push('\n');
+    for row in &t.rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Render as CSV (RFC-4180-style quoting for cells containing commas or
+/// quotes).
+pub fn csv_table(t: &Table) -> String {
+    let esc = |c: &str| -> String {
+        if c.contains(',') || c.contains('"') || c.contains('\n') {
+            format!("\"{}\"", c.replace('"', "\"\""))
+        } else {
+            c.to_string()
+        }
+    };
+    let mut out = String::new();
+    out.push_str(
+        &t.headers
+            .iter()
+            .map(|h| esc(h))
+            .collect::<Vec<_>>()
+            .join(","),
+    );
+    out.push('\n');
+    for row in &t.rows {
+        out.push_str(&row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
+        out.push('\n');
+    }
+    out
+}
+
+/// Format IOPS compactly ("266.1K").
+pub fn fmt_iops(v: f64) -> String {
+    if v >= 1e6 {
+        format!("{:.2}M", v / 1e6)
+    } else if v >= 1e3 {
+        format!("{:.1}K", v / 1e3)
+    } else {
+        format!("{v:.0}")
+    }
+}
+
+/// Format microseconds compactly.
+pub fn fmt_us(v: f64) -> String {
+    if v >= 1e3 {
+        format!("{:.2}ms", v / 1e3)
+    } else {
+        format!("{v:.1}us")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(["name", "iops"]);
+        t.row(["spdk", "100"]);
+        t.row(["nvme-opf-longer", "2"]);
+        let s = render_table(&t);
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[2].starts_with("spdk"));
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatch")]
+    fn row_width_checked() {
+        let mut t = Table::new(["a", "b"]);
+        t.row(["only-one"]);
+    }
+
+    #[test]
+    fn csv_escapes() {
+        let mut t = Table::new(["a", "b"]);
+        t.row(["x,y", "has \"quotes\""]);
+        let csv = csv_table(&t);
+        assert!(csv.contains("\"x,y\""));
+        assert!(csv.contains("\"has \"\"quotes\"\"\""));
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(fmt_iops(266_100.0), "266.1K");
+        assert_eq!(fmt_iops(2_500_000.0), "2.50M");
+        assert_eq!(fmt_iops(42.0), "42");
+        assert_eq!(fmt_us(103.26), "103.3us");
+        assert_eq!(fmt_us(2500.0), "2.50ms");
+    }
+}

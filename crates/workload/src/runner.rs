@@ -1,0 +1,744 @@
+//! Scenario runner: builds the simulated cluster and drives closed-loop
+//! perf-style generators against it.
+
+use crate::hist::Histogram;
+use crate::scenario::{Pattern, RuntimeKind, Scenario, Speed, Transport};
+use bytes::Bytes;
+use fabric::{FabricConfig, Gbps, Network};
+use nvme::{FlashProfile, NvmeDevice, Opcode, BLOCK_SIZE};
+use nvmf::initiator::TargetRx;
+use nvmf::qpair::IoCallback;
+use nvmf::{CpuCosts, PduRx, SpdkInitiator, SpdkTarget};
+use opf::{OpfInitiator, OpfInitiatorConfig, OpfTarget, OpfTargetConfig, QueueMode, ReqClass};
+use simkit::{shared, Kernel, Pcg32, Shared, SimTime, Tracer};
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+
+/// Aggregated results of one scenario run.
+#[derive(Clone, Debug, Default)]
+pub struct RunResult {
+    /// Aggregate throughput of all TC initiators (4K IOPS) in the
+    /// measure window — what Figure 7's throughput bars show.
+    pub tc_iops: f64,
+    /// Same in MB/s (4 KiB per I/O).
+    pub tc_mb_s: f64,
+    /// Mean TC latency (µs).
+    pub tc_avg_us: f64,
+    /// 99.99th-percentile TC latency (µs).
+    pub tc_p9999_us: f64,
+    /// Aggregate LS throughput (IOPS).
+    pub ls_iops: f64,
+    /// Mean LS latency (µs).
+    pub ls_avg_us: f64,
+    /// 99.99th-percentile LS latency (µs) — Figure 7(d–f)'s metric.
+    pub ls_p9999_us: f64,
+    /// Completion notifications sent by all targets in the window —
+    /// Figure 6(c)'s metric.
+    pub notifications: u64,
+    /// Commands completed in the window (all classes).
+    pub completed: u64,
+    /// Mean target reactor utilization over the run.
+    pub reactor_util: f64,
+    /// Simulation events executed (cost accounting).
+    pub events: u64,
+}
+
+enum AnyInitiator {
+    Spdk(Shared<SpdkInitiator>),
+    Opf(Shared<OpfInitiator>),
+}
+
+impl AnyInitiator {
+    #[allow(clippy::too_many_arguments)]
+    #[allow(clippy::too_many_arguments)]
+    fn submit(
+        &self,
+        k: &mut Kernel,
+        class: ReqClass,
+        opcode: Opcode,
+        slba: u64,
+        blocks: u16,
+        payload: Option<Bytes>,
+        cb: IoCallback,
+    ) -> Option<u16> {
+        match self {
+            AnyInitiator::Spdk(i) => {
+                let priority = match class {
+                    ReqClass::LatencySensitive => nvmf::Priority::LatencySensitive,
+                    ReqClass::ThroughputCritical => {
+                        nvmf::Priority::ThroughputCritical { draining: false }
+                    }
+                };
+                SpdkInitiator::submit(i, k, opcode, slba, blocks, payload, priority, cb)
+            }
+            AnyInitiator::Opf(i) => {
+                OpfInitiator::submit(i, k, class, opcode, slba, blocks, payload, cb)
+            }
+        }
+    }
+}
+
+enum AnyTarget {
+    Spdk(Shared<SpdkTarget>),
+    Opf(Shared<OpfTarget>),
+}
+
+impl AnyTarget {
+    fn resps_tx(&self) -> u64 {
+        match self {
+            AnyTarget::Spdk(t) => t.borrow().stats.resps_tx,
+            AnyTarget::Opf(t) => t.borrow().stats.resps_tx,
+        }
+    }
+
+    fn reactor_utilization(&self, now: SimTime) -> f64 {
+        match self {
+            AnyTarget::Spdk(t) => t.borrow().reactor_utilization(now),
+            AnyTarget::Opf(t) => t.borrow().reactor_utilization(now),
+        }
+    }
+}
+
+struct Driver {
+    ini: AnyInitiator,
+    class: ReqClass,
+    mix: crate::Mix,
+    io_blocks: u16,
+    pattern: Pattern,
+    rng: Pcg32,
+    n: u64,
+    lba_base: u64,
+    lba_span: u64,
+    payload: Bytes,
+    hist: Rc<RefCell<Histogram>>,
+    win_start: SimTime,
+    win_end: SimTime,
+    completed_in_win: Rc<Cell<u64>>,
+}
+
+/// Issue the driver's next request; each completion re-issues (closed
+/// loop at the initiator's queue depth).
+fn issue(d: Rc<RefCell<Driver>>, k: &mut Kernel) {
+    let (class, opcode, slba, blocks, payload) = {
+        let mut dr = d.borrow_mut();
+        let n = dr.n;
+        dr.n += 1;
+        let opcode = if dr.mix.is_read(n) {
+            Opcode::Read
+        } else {
+            Opcode::Write
+        };
+        let blocks = dr.io_blocks;
+        let slots = dr.lba_span / u64::from(blocks).max(1);
+        let slot = match dr.pattern {
+            Pattern::Sequential => n % slots,
+            Pattern::Random => dr.rng.gen_range(0, slots),
+        };
+        let slba = dr.lba_base + slot * u64::from(blocks);
+        let payload = if opcode == Opcode::Write {
+            Some(dr.payload.clone())
+        } else {
+            None
+        };
+        (dr.class, opcode, slba, blocks, payload)
+    };
+    let d2 = d.clone();
+    let cb: IoCallback = Box::new(move |k, out| {
+        {
+            let dr = d2.borrow();
+            let now = k.now();
+            if now >= dr.win_start && now < dr.win_end {
+                dr.hist.borrow_mut().record(out.latency.as_nanos());
+                dr.completed_in_win.set(dr.completed_in_win.get() + 1);
+            }
+        }
+        if k.now() < d2.borrow().win_end {
+            issue(d2.clone(), k);
+        }
+    });
+    let ok = {
+        let dr = d.borrow();
+        dr.ini.submit(k, class, opcode, slba, blocks, payload, cb)
+    };
+    debug_assert!(ok.is_some(), "closed loop must respect queue depth");
+}
+
+
+/// A tenant's initiator handle in a [`Pair`]: runtime-agnostic submit.
+pub struct TenantHandle {
+    inner: AnyInitiator,
+}
+
+impl TenantHandle {
+    /// Submit one I/O. Returns false when the qpair is at depth.
+    #[allow(clippy::too_many_arguments)]
+    pub fn submit(
+        &self,
+        k: &mut Kernel,
+        class: ReqClass,
+        opcode: Opcode,
+        slba: u64,
+        blocks: u16,
+        payload: Option<Bytes>,
+        cb: IoCallback,
+    ) -> bool {
+        self.inner
+            .submit(k, class, opcode, slba, blocks, payload, cb)
+            .is_some()
+    }
+
+    /// True when another command can be issued.
+    pub fn has_capacity(&self) -> bool {
+        match &self.inner {
+            AnyInitiator::Spdk(i) => i.borrow().has_capacity(),
+            AnyInitiator::Opf(i) => i.borrow().has_capacity(),
+        }
+    }
+
+    /// Drain a partially filled NVMe-oPF window (no-op for SPDK or when
+    /// nothing is pending).
+    pub fn flush(&self, k: &mut Kernel) {
+        if let AnyInitiator::Opf(i) = &self.inner {
+            OpfInitiator::flush(i, k, Box::new(|_, _| {}));
+        }
+    }
+}
+
+/// One initiator-node/target-node pair with uniform-queue-depth tenants,
+/// for callers (like the trace replayer) that drive their own issue
+/// logic instead of the closed-loop `run()`.
+pub struct Pair {
+    /// Per-tenant initiator handles.
+    pub initiators: Vec<TenantHandle>,
+    target: AnyTarget,
+}
+
+impl Pair {
+    /// Completion notifications the target has sent so far.
+    pub fn notifications(&self) -> u64 {
+        self.target.resps_tx()
+    }
+}
+
+/// Build one pair: a target (of `runtime` kind) exposing one simulated
+/// SSD, plus `tenants` initiators each with queue depth `qd`, every
+/// initiator on its own node.
+#[allow(clippy::too_many_arguments)]
+pub fn build_pair(
+    k: &mut Kernel,
+    runtime: RuntimeKind,
+    speed: Speed,
+    tenants: usize,
+    qd: usize,
+    window: opf::WindowPolicy,
+    seed: u64,
+    timing_only: bool,
+) -> Pair {
+    build_pair_traced(
+        k,
+        runtime,
+        speed,
+        tenants,
+        qd,
+        window,
+        seed,
+        timing_only,
+        Tracer::disabled(),
+    )
+}
+
+/// [`build_pair`] with a tracer wired into the target (for phase
+/// breakdown experiments).
+#[allow(clippy::too_many_arguments)]
+pub fn build_pair_traced(
+    k: &mut Kernel,
+    runtime: RuntimeKind,
+    speed: Speed,
+    tenants: usize,
+    qd: usize,
+    window: opf::WindowPolicy,
+    seed: u64,
+    timing_only: bool,
+    tracer: Tracer,
+) -> Pair {
+    let _ = &*k;
+    let speed: Gbps = speed.into();
+    let net = Network::new(FabricConfig::preset(speed));
+    let (costs, profile) = match speed {
+        Gbps::G10 | Gbps::G25 => (CpuCosts::cc(), FlashProfile::cc_ssd()),
+        Gbps::G100 => (CpuCosts::cl(), FlashProfile::cl_ssd()),
+    };
+    let tep = net.add_endpoint("tgt");
+    let device = shared(NvmeDevice::new(profile, 1 << 30, seed ^ 0xFACE));
+    if timing_only {
+        device.borrow_mut().set_store_data(false);
+    }
+    let (target, target_rx): (AnyTarget, TargetRx) = match runtime {
+        RuntimeKind::Spdk => {
+            let t = shared(SpdkTarget::new(
+                0,
+                net.clone(),
+                tep.clone(),
+                device,
+                costs.clone(),
+                tracer.clone(),
+            ));
+            let t2 = t.clone();
+            let rx: TargetRx = Rc::new(move |k, from, pdu| SpdkTarget::on_pdu(&t2, k, from, pdu));
+            (AnyTarget::Spdk(t), rx)
+        }
+        RuntimeKind::Opf => {
+            let t = shared(OpfTarget::new(
+                0,
+                net.clone(),
+                tep.clone(),
+                device,
+                costs.clone(),
+                OpfTargetConfig::default(),
+                tracer.clone(),
+            ));
+            let t2 = t.clone();
+            let rx: TargetRx = Rc::new(move |k, from, pdu| OpfTarget::on_pdu(&t2, k, from, pdu));
+            (AnyTarget::Opf(t), rx)
+        }
+    };
+    let mut initiators = Vec::with_capacity(tenants);
+    for id in 0..tenants {
+        let iep = net.add_endpoint(format!("ini{id}"));
+        let inner = match runtime {
+            RuntimeKind::Spdk => {
+                let i = shared(SpdkInitiator::new(
+                    id as u8,
+                    qd,
+                    net.clone(),
+                    iep.clone(),
+                    tep.clone(),
+                    target_rx.clone(),
+                    costs.clone(),
+                    Tracer::disabled(),
+                ));
+                let i2 = i.clone();
+                let rx: PduRx = Rc::new(move |k, pdu| SpdkInitiator::on_pdu(&i2, k, pdu));
+                match &target {
+                    AnyTarget::Spdk(t) => t.borrow_mut().connect(id as u8, iep, rx),
+                    AnyTarget::Opf(_) => unreachable!(),
+                }
+                AnyInitiator::Spdk(i)
+            }
+            RuntimeKind::Opf => {
+                let i = shared(OpfInitiator::new(
+                    id as u8,
+                    qd,
+                    net.clone(),
+                    iep.clone(),
+                    tep.clone(),
+                    target_rx.clone(),
+                    costs.clone(),
+                    OpfInitiatorConfig {
+                        window,
+                        ..OpfInitiatorConfig::default()
+                    },
+                    Tracer::disabled(),
+                ));
+                let i2 = i.clone();
+                let rx: PduRx = Rc::new(move |k, pdu| OpfInitiator::on_pdu(&i2, k, pdu));
+                match &target {
+                    AnyTarget::Opf(t) => t.borrow_mut().connect(id as u8, iep, rx),
+                    AnyTarget::Spdk(_) => unreachable!(),
+                }
+                AnyInitiator::Opf(i)
+            }
+        };
+        initiators.push(TenantHandle { inner });
+    }
+    Pair { initiators, target }
+}
+
+/// Run one scenario to completion and collect its metrics.
+pub fn run(sc: &Scenario) -> RunResult {
+    let speed: Gbps = sc.speed.into();
+    let mut k = Kernel::new(sc.seed);
+    let net = Network::new(FabricConfig::preset(speed));
+    // Table I: the 10/25 Gbps testbed (Chameleon Cloud) has slower CPUs
+    // and a larger SSD than the 100 Gbps one (CloudLab).
+    let (costs, profile) = match speed {
+        Gbps::G10 | Gbps::G25 => (CpuCosts::cc(), FlashProfile::cc_ssd()),
+        Gbps::G100 => (CpuCosts::cl(), FlashProfile::cl_ssd()),
+    };
+    let costs = match sc.transport {
+        Transport::Tcp => costs,
+        Transport::Rdma => costs.to_rdma(),
+    };
+
+    let warm = SimTime::from_nanos((sc.warmup_s * 1e9) as u64);
+    let end = SimTime::from_nanos(((sc.warmup_s + sc.measure_s) * 1e9) as u64);
+
+    let ls_hist = Rc::new(RefCell::new(Histogram::new()));
+    let tc_hist = Rc::new(RefCell::new(Histogram::new()));
+    let ls_count = Rc::new(Cell::new(0u64));
+    let tc_count = Rc::new(Cell::new(0u64));
+    let payload = Bytes::from(vec![0u8; BLOCK_SIZE * sc.io_blocks.max(1) as usize]);
+
+    let mut targets = Vec::new();
+    let mut drivers = Vec::new();
+
+    for pair in 0..sc.pairs {
+        let tep = net.add_endpoint(format!("tgt{pair}"));
+        let device = shared(NvmeDevice::new(
+            profile.clone(),
+            1 << 30,
+            sc.seed ^ (pair as u64).wrapping_mul(0x9E37_79B9),
+        ));
+        device.borrow_mut().set_store_data(false);
+
+        let (target, target_rx): (AnyTarget, TargetRx) = match sc.runtime {
+            RuntimeKind::Spdk => {
+                let t = shared(SpdkTarget::new(
+                    pair as u32,
+                    net.clone(),
+                    tep.clone(),
+                    device.clone(),
+                    costs.clone(),
+                    Tracer::disabled(),
+                ));
+                let t2 = t.clone();
+                let rx: TargetRx =
+                    Rc::new(move |k, from, pdu| SpdkTarget::on_pdu(&t2, k, from, pdu));
+                (AnyTarget::Spdk(t), rx)
+            }
+            RuntimeKind::Opf => {
+                let tcfg = OpfTargetConfig {
+                    queue_mode: if sc.shared_queue {
+                        QueueMode::Shared
+                    } else {
+                        QueueMode::PerInitiator
+                    },
+                    ls_bypass: !sc.no_ls_bypass,
+                    ..OpfTargetConfig::default()
+                };
+                let t = shared(OpfTarget::new(
+                    pair as u32,
+                    net.clone(),
+                    tep.clone(),
+                    device.clone(),
+                    costs.clone(),
+                    tcfg,
+                    Tracer::disabled(),
+                ));
+                let t2 = t.clone();
+                let rx: TargetRx =
+                    Rc::new(move |k, from, pdu| OpfTarget::on_pdu(&t2, k, from, pdu));
+                (AnyTarget::Opf(t), rx)
+            }
+        };
+
+        // Initiators either share a node NIC or each get their own node
+        // (Figure 7 places every initiator on an individual node).
+        let shared_iep = if sc.separate_nodes {
+            None
+        } else {
+            Some(net.add_endpoint(format!("ini-node{pair}")))
+        };
+        let per_node = sc.ls_per_node + sc.tc_per_node;
+        for slot in 0..per_node {
+            let iep = match &shared_iep {
+                Some(ep) => ep.clone(),
+                None => net.add_endpoint(format!("ini{pair}-{slot}")),
+            };
+            let id = slot as u8;
+            let class = if slot < sc.ls_per_node {
+                ReqClass::LatencySensitive
+            } else {
+                ReqClass::ThroughputCritical
+            };
+            let qd = match class {
+                ReqClass::LatencySensitive => sc.ls_qd,
+                ReqClass::ThroughputCritical => sc.tc_qd,
+            };
+            let ini = match sc.runtime {
+                RuntimeKind::Spdk => {
+                    let i = shared(SpdkInitiator::new(
+                        id,
+                        qd,
+                        net.clone(),
+                        iep.clone(),
+                        tep.clone(),
+                        target_rx.clone(),
+                        costs.clone(),
+                        Tracer::disabled(),
+                    ));
+                    let i2 = i.clone();
+                    let rx: PduRx = Rc::new(move |k, pdu| SpdkInitiator::on_pdu(&i2, k, pdu));
+                    match &target {
+                        AnyTarget::Spdk(t) => t.borrow_mut().connect(id, iep.clone(), rx),
+                        AnyTarget::Opf(_) => unreachable!(),
+                    }
+                    AnyInitiator::Spdk(i)
+                }
+                RuntimeKind::Opf => {
+                    let icfg = OpfInitiatorConfig {
+                        window: sc.resolve_window(),
+                        ..OpfInitiatorConfig::default()
+                    };
+                    let i = shared(OpfInitiator::new(
+                        id,
+                        qd,
+                        net.clone(),
+                        iep.clone(),
+                        tep.clone(),
+                        target_rx.clone(),
+                        costs.clone(),
+                        icfg,
+                        Tracer::disabled(),
+                    ));
+                    let i2 = i.clone();
+                    let rx: PduRx = Rc::new(move |k, pdu| OpfInitiator::on_pdu(&i2, k, pdu));
+                    match &target {
+                        AnyTarget::Opf(t) => t.borrow_mut().connect(id, iep.clone(), rx),
+                        AnyTarget::Spdk(_) => unreachable!(),
+                    }
+                    AnyInitiator::Opf(i)
+                }
+            };
+
+            let global_idx = (pair * per_node + slot) as u64;
+            let (hist, count) = match class {
+                ReqClass::LatencySensitive => (ls_hist.clone(), ls_count.clone()),
+                ReqClass::ThroughputCritical => (tc_hist.clone(), tc_count.clone()),
+            };
+            let driver = Rc::new(RefCell::new(Driver {
+                ini,
+                class,
+                mix: sc.mix,
+                io_blocks: sc.io_blocks.max(1),
+                pattern: sc.pattern,
+                rng: Pcg32::new(sc.seed ^ (global_idx + 1).wrapping_mul(0x1357_9BDF)),
+                n: 0,
+                lba_base: global_idx * 8192 * u64::from(sc.io_blocks.max(1)),
+                lba_span: 8192 * u64::from(sc.io_blocks.max(1)),
+                payload: payload.clone(),
+                hist,
+                win_start: warm,
+                win_end: end,
+                completed_in_win: count,
+            }));
+            drivers.push((driver, qd, global_idx));
+        }
+        targets.push(target);
+    }
+
+    // Start each driver's closed loop, staggered by a microsecond per
+    // initiator so nothing runs in artificial lockstep.
+    for (driver, qd, idx) in drivers {
+        let d = driver.clone();
+        k.schedule_at(SimTime::from_micros(idx), move |k| {
+            for _ in 0..qd {
+                issue(d.clone(), k);
+            }
+        });
+    }
+
+    // Snapshot notification counters at the start of the measure window
+    // so `notifications` is a within-window delta (Figure 6(c) counts a
+    // fixed-duration run).
+    let notif_at_warm = Rc::new(Cell::new(0u64));
+    let warm_marker = notif_at_warm.clone();
+    {
+        let sums: Vec<_> = targets
+            .iter()
+            .map(|t| match t {
+                AnyTarget::Spdk(t) => {
+                    let t = t.clone();
+                    Box::new(move || t.borrow().stats.resps_tx) as Box<dyn Fn() -> u64>
+                }
+                AnyTarget::Opf(t) => {
+                    let t = t.clone();
+                    Box::new(move || t.borrow().stats.resps_tx) as Box<dyn Fn() -> u64>
+                }
+            })
+            .collect();
+        k.schedule_at(warm, move |_| {
+            warm_marker.set(sums.iter().map(|f| f()).sum());
+        });
+    }
+
+    k.set_horizon(end);
+    k.run_to_completion();
+
+    let measure_secs = sc.measure_s;
+    let tc_done = tc_count.get();
+    let ls_done = ls_count.get();
+    let notifications = targets.iter().map(|t| t.resps_tx()).sum::<u64>() - notif_at_warm.get();
+    let util = if targets.is_empty() {
+        0.0
+    } else {
+        targets
+            .iter()
+            .map(|t| t.reactor_utilization(end))
+            .sum::<f64>()
+            / targets.len() as f64
+    };
+
+    let tc_hist = tc_hist.borrow();
+    let ls_hist = ls_hist.borrow();
+    RunResult {
+        tc_iops: tc_done as f64 / measure_secs,
+        tc_mb_s: tc_done as f64 * (BLOCK_SIZE * sc.io_blocks.max(1) as usize) as f64 / 1e6
+            / measure_secs,
+        tc_avg_us: tc_hist.mean() / 1e3,
+        tc_p9999_us: tc_hist.percentile(0.9999) as f64 / 1e3,
+        ls_iops: ls_done as f64 / measure_secs,
+        ls_avg_us: ls_hist.mean() / 1e3,
+        ls_p9999_us: ls_hist.percentile(0.9999) as f64 / 1e3,
+        notifications,
+        completed: tc_done + ls_done,
+        reactor_util: util,
+        events: k.events_executed(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mix::Mix;
+    use crate::scenario::WindowSpec;
+
+    fn quick(runtime: RuntimeKind, speed: Gbps, mix: Mix, ls: usize, tc: usize) -> RunResult {
+        let mut sc = Scenario::ratio(runtime, speed, mix, ls, tc);
+        sc.warmup_s = 0.05;
+        sc.measure_s = 0.15;
+        run(&sc)
+    }
+
+    #[test]
+    fn spdk_read_baseline_is_cpu_bound() {
+        let r = quick(RuntimeKind::Spdk, Gbps::G100, Mix::READ, 1, 1);
+        assert!(r.tc_iops > 50_000.0, "tc_iops {}", r.tc_iops);
+        assert!(r.tc_iops < 300_000.0, "tc_iops {}", r.tc_iops);
+        assert!(r.reactor_util > 0.5, "util {}", r.reactor_util);
+        assert!(r.completed > 0);
+        assert!(r.notifications > 0);
+    }
+
+    #[test]
+    fn opf_read_beats_spdk_at_100g() {
+        let s = quick(RuntimeKind::Spdk, Gbps::G100, Mix::READ, 1, 4);
+        let o = quick(RuntimeKind::Opf, Gbps::G100, Mix::READ, 1, 4);
+        assert!(
+            o.tc_iops > s.tc_iops * 1.2,
+            "oPF {} vs SPDK {}",
+            o.tc_iops,
+            s.tc_iops
+        );
+        // Coalescing slashes notification counts.
+        assert!(
+            o.notifications * 4 < s.notifications,
+            "oPF {} vs SPDK {} notifications",
+            o.notifications,
+            s.notifications
+        );
+    }
+
+    #[test]
+    fn opf_cuts_ls_tail_latency() {
+        let s = quick(RuntimeKind::Spdk, Gbps::G100, Mix::READ, 1, 4);
+        let o = quick(RuntimeKind::Opf, Gbps::G100, Mix::READ, 1, 4);
+        assert!(
+            o.ls_p9999_us < s.ls_p9999_us,
+            "oPF {}us vs SPDK {}us",
+            o.ls_p9999_us,
+            s.ls_p9999_us
+        );
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let a = quick(RuntimeKind::Opf, Gbps::G25, Mix::MIXED, 1, 2);
+        let b = quick(RuntimeKind::Opf, Gbps::G25, Mix::MIXED, 1, 2);
+        assert_eq!(a.completed, b.completed);
+        assert_eq!(a.notifications, b.notifications);
+        assert_eq!(a.events, b.events);
+    }
+
+    #[test]
+    fn write_workload_runs() {
+        let r = quick(RuntimeKind::Opf, Gbps::G100, Mix::WRITE, 1, 2);
+        assert!(r.tc_iops > 10_000.0, "tc_iops {}", r.tc_iops);
+        assert!(r.ls_iops > 0.0);
+    }
+
+    #[test]
+    fn scale_out_pairs_multiply_throughput() {
+        let mut one = Scenario::ratio(RuntimeKind::Opf, Gbps::G100, Mix::READ, 0, 4);
+        one.warmup_s = 0.05;
+        one.measure_s = 0.1;
+        let mut three = one.clone();
+        three.pairs = 3;
+        let r1 = run(&one);
+        let r3 = run(&three);
+        assert!(
+            r3.tc_iops > r1.tc_iops * 2.5,
+            "3 pairs {} vs 1 pair {}",
+            r3.tc_iops,
+            r1.tc_iops
+        );
+    }
+
+    #[test]
+    fn large_io_reduces_coalescing_gain() {
+        // 64K I/O: data transfer dominates, so coalescing matters less.
+        let gain_for = |blocks: u16| {
+            let mut s = Scenario::ratio(RuntimeKind::Spdk, Gbps::G100, Mix::READ, 0, 1);
+            let mut o = Scenario::ratio(RuntimeKind::Opf, Gbps::G100, Mix::READ, 0, 1);
+            for sc in [&mut s, &mut o] {
+                sc.io_blocks = blocks;
+                sc.warmup_s = 0.03;
+                sc.measure_s = 0.1;
+            }
+            run(&o).tc_iops / run(&s).tc_iops
+        };
+        let small = gain_for(1);
+        let large = gain_for(16);
+        assert!(
+            small > large + 0.2,
+            "4K gain {small:.2} should exceed 64K gain {large:.2}"
+        );
+    }
+
+    #[test]
+    fn random_pattern_runs_and_differs_only_in_addressing() {
+        let mut sc = Scenario::ratio(RuntimeKind::Opf, Gbps::G100, Mix::READ, 0, 1);
+        sc.pattern = crate::Pattern::Random;
+        sc.warmup_s = 0.02;
+        sc.measure_s = 0.06;
+        let r = run(&sc);
+        assert!(r.tc_iops > 100_000.0, "{}", r.tc_iops);
+    }
+
+    #[test]
+    fn rdma_transport_lifts_the_baseline() {
+        let mut tcp = Scenario::ratio(RuntimeKind::Spdk, Gbps::G100, Mix::READ, 1, 4);
+        tcp.warmup_s = 0.03;
+        tcp.measure_s = 0.1;
+        let mut rdma = tcp.clone();
+        rdma.transport = crate::Transport::Rdma;
+        let t = run(&tcp);
+        let r = run(&rdma);
+        assert!(
+            r.tc_iops > t.tc_iops * 1.2,
+            "RDMA baseline should beat TCP: {} vs {}",
+            r.tc_iops,
+            t.tc_iops
+        );
+    }
+
+    #[test]
+    fn dynamic_window_scenario_runs() {
+        let mut sc = Scenario::ratio(RuntimeKind::Opf, Gbps::G100, Mix::READ, 1, 1);
+        sc.window = WindowSpec::Dynamic;
+        sc.warmup_s = 0.05;
+        sc.measure_s = 0.1;
+        let r = run(&sc);
+        assert!(r.tc_iops > 10_000.0);
+    }
+}

@@ -1,0 +1,232 @@
+//! Scenario descriptions: everything needed to reproduce one data point
+//! of a figure.
+
+use crate::mix::Mix;
+use fabric::Gbps;
+use serde::{Deserialize, Serialize};
+
+/// NVMe-oF transport binding.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Transport {
+    /// NVMe/TCP (the paper's transport).
+    Tcp,
+    /// NVMe/RDMA (cost-model approximation; see `CpuCosts::to_rdma`).
+    Rdma,
+}
+
+/// Logical-block access pattern.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Pattern {
+    /// Sequential within the initiator's region (the paper's workloads).
+    Sequential,
+    /// Uniform random within the region.
+    Random,
+}
+
+/// Which runtime serves the scenario.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RuntimeKind {
+    /// The SPDK-style baseline (FIFO, one notification per request).
+    Spdk,
+    /// NVMe-oPF (priority managers, coalescing, LS bypass).
+    Opf,
+}
+
+impl RuntimeKind {
+    /// Label used in figure output ("S" / "PF", as in the paper's
+    /// Figure 6).
+    pub fn label(self) -> &'static str {
+        match self {
+            RuntimeKind::Spdk => "SPDK",
+            RuntimeKind::Opf => "NVMe-oPF",
+        }
+    }
+}
+
+/// Window selection for NVMe-oPF initiators.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum WindowSpec {
+    /// Fixed size.
+    Static(u32),
+    /// The §IV-D static selection table (speed/mix/tenancy-aware).
+    Auto,
+    /// The §IV-D runtime hill-climbing optimizer.
+    Dynamic,
+}
+
+/// Serializable mirror of [`fabric::Gbps`] (kept separate so `fabric`
+/// stays serde-free).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Speed {
+    /// 10 Gbps.
+    G10,
+    /// 25 Gbps.
+    G25,
+    /// 100 Gbps.
+    G100,
+}
+
+impl From<Speed> for Gbps {
+    fn from(s: Speed) -> Gbps {
+        match s {
+            Speed::G10 => Gbps::G10,
+            Speed::G25 => Gbps::G25,
+            Speed::G100 => Gbps::G100,
+        }
+    }
+}
+
+impl From<Gbps> for Speed {
+    fn from(g: Gbps) -> Speed {
+        match g {
+            Gbps::G10 => Speed::G10,
+            Gbps::G25 => Speed::G25,
+            Gbps::G100 => Speed::G100,
+        }
+    }
+}
+
+/// One experiment configuration.
+///
+/// Topology follows the paper's setups: `pairs` initiator-node/target-node
+/// pairs; each initiator-node runs `ls_per_node` latency-sensitive and
+/// `tc_per_node` throughput-critical initiator processes, all connected
+/// to the paired target-node's single NVMe-oF target/SSD.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Scenario {
+    /// Runtime under test.
+    pub runtime: RuntimeKind,
+    /// Fabric speed.
+    pub speed: Speed,
+    /// Number of initiator-node/target-node pairs.
+    pub pairs: usize,
+    /// LS initiators per initiator-node (queue depth 1).
+    pub ls_per_node: usize,
+    /// TC initiators per initiator-node (queue depth 128).
+    pub tc_per_node: usize,
+    /// Read/write mix of the TC stream (LS probes use the same mix).
+    pub mix: Mix,
+    /// I/O size in 4K blocks (paper: 1 = 4K).
+    pub io_blocks: u16,
+    /// Access pattern (paper: sequential).
+    pub pattern: Pattern,
+    /// Transport binding (paper: TCP).
+    pub transport: Transport,
+    /// TC queue depth (paper: 128).
+    pub tc_qd: usize,
+    /// LS queue depth (paper: 1).
+    pub ls_qd: usize,
+    /// Window policy (NVMe-oPF only).
+    pub window: WindowSpec,
+    /// Warmup simulated seconds (excluded from measurement).
+    pub warmup_s: f64,
+    /// Measured simulated seconds.
+    pub measure_s: f64,
+    /// RNG seed.
+    pub seed: u64,
+    /// Place each initiator on its own node (Figure 7's setup: up to 5
+    /// individual initiator nodes). When false, a pair's initiators
+    /// share one node NIC (Figures 8/9 co-locate initiators per node).
+    pub separate_nodes: bool,
+    /// Ablation: shared TC queue instead of per-initiator.
+    pub shared_queue: bool,
+    /// Ablation: disable the LS bypass.
+    pub no_ls_bypass: bool,
+}
+
+impl Scenario {
+    /// A 1 LS : 1 TC two-tenant scenario on one pair — the Figure 6(a)
+    /// baseline shape.
+    pub fn two_tenant(runtime: RuntimeKind, speed: Gbps, mix: Mix) -> Scenario {
+        Scenario {
+            runtime,
+            speed: speed.into(),
+            pairs: 1,
+            ls_per_node: 1,
+            tc_per_node: 1,
+            mix,
+            io_blocks: 1,
+            pattern: Pattern::Sequential,
+            transport: Transport::Tcp,
+            tc_qd: 128,
+            ls_qd: 1,
+            window: WindowSpec::Auto,
+            warmup_s: 0.25,
+            measure_s: 1.0,
+            seed: 42,
+            separate_nodes: false,
+            shared_queue: false,
+            no_ls_bypass: false,
+        }
+    }
+
+    /// The Figure 7 ratio scenarios: `ls` + `tc` tenants, each on its
+    /// own initiator node, all against one target.
+    pub fn ratio(runtime: RuntimeKind, speed: Gbps, mix: Mix, ls: usize, tc: usize) -> Scenario {
+        Scenario {
+            ls_per_node: ls,
+            tc_per_node: tc,
+            separate_nodes: true,
+            ..Scenario::two_tenant(runtime, speed, mix)
+        }
+    }
+
+    /// Total number of initiators across all pairs.
+    pub fn total_initiators(&self) -> usize {
+        self.pairs * (self.ls_per_node + self.tc_per_node)
+    }
+
+    /// The ratio label the paper uses on Figure 7's x-axis ("1:4").
+    pub fn ratio_label(&self) -> String {
+        format!("{}:{}", self.ls_per_node, self.tc_per_node)
+    }
+
+    /// Resolve the window policy for this scenario.
+    pub fn resolve_window(&self) -> opf::WindowPolicy {
+        match self.window {
+            WindowSpec::Static(w) => opf::WindowPolicy::Static(w),
+            WindowSpec::Auto => opf::WindowPolicy::Static(opf::optimal_window(
+                self.speed.into(),
+                self.mix.write_fraction(),
+                self.tc_per_node,
+            )),
+            WindowSpec::Dynamic => opf::WindowPolicy::Dynamic { initial: 16 },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders() {
+        let s = Scenario::two_tenant(RuntimeKind::Opf, Gbps::G100, Mix::READ);
+        assert_eq!(s.total_initiators(), 2);
+        assert_eq!(s.ratio_label(), "1:1");
+        let s = Scenario::ratio(RuntimeKind::Spdk, Gbps::G10, Mix::WRITE, 1, 4);
+        assert_eq!(s.total_initiators(), 5);
+        assert_eq!(s.ratio_label(), "1:4");
+    }
+
+    #[test]
+    fn auto_window_resolves_from_table() {
+        let s = Scenario::two_tenant(RuntimeKind::Opf, Gbps::G100, Mix::READ);
+        assert_eq!(s.resolve_window(), opf::WindowPolicy::Static(32));
+        let s = Scenario::two_tenant(RuntimeKind::Opf, Gbps::G10, Mix::READ);
+        assert_eq!(s.resolve_window(), opf::WindowPolicy::Static(16));
+    }
+
+    #[test]
+    fn speed_roundtrip() {
+        for g in Gbps::ALL {
+            assert_eq!(Gbps::from(Speed::from(g)), g);
+        }
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(RuntimeKind::Spdk.label(), "SPDK");
+        assert_eq!(RuntimeKind::Opf.label(), "NVMe-oPF");
+    }
+}

@@ -1,0 +1,47 @@
+//! Multi-tenant demo: one latency-sensitive tenant sharing an NVMe SSD
+//! with four throughput-critical tenants — the paper's headline 1:4
+//! scenario — under the SPDK baseline and under NVMe-oPF.
+//!
+//! ```text
+//! cargo run --release --example multi_tenant
+//! ```
+
+use nvme_opf::fabric::Gbps;
+use nvme_opf::workload::report::{fmt_iops, fmt_us};
+use nvme_opf::workload::{render_table, run, Mix, RuntimeKind, Scenario, Table};
+
+fn main() {
+    println!("1 latency-sensitive + 4 throughput-critical tenants, 4K reads\n");
+
+    let mut t = Table::new([
+        "fabric",
+        "runtime",
+        "TC throughput",
+        "LS p99.99 tail",
+        "LS avg",
+        "notifications/req",
+    ]);
+
+    for speed in [Gbps::G10, Gbps::G100] {
+        for runtime in [RuntimeKind::Spdk, RuntimeKind::Opf] {
+            let mut sc = Scenario::ratio(runtime, speed, Mix::READ, 1, 4);
+            sc.warmup_s = 0.1;
+            sc.measure_s = 0.4;
+            let r = run(&sc);
+            t.row([
+                speed.to_string(),
+                runtime.label().to_string(),
+                fmt_iops(r.tc_iops),
+                fmt_us(r.ls_p9999_us),
+                fmt_us(r.ls_avg_us),
+                format!("{:.3}", r.notifications as f64 / r.completed.max(1) as f64),
+            ]);
+        }
+    }
+    println!("{}", render_table(&t));
+    println!(
+        "NVMe-oPF coalesces TC completions (fewer notifications), so the\n\
+         target reactor and the congested link stop throttling throughput,\n\
+         while the LS tenant bypasses the TC queues and keeps a flat tail."
+    );
+}

@@ -1,0 +1,63 @@
+//! Window-size tuning demo (§IV-D): sweep static windows, then let the
+//! dynamic hill-climbing optimizer find its own operating point.
+//!
+//! ```text
+//! cargo run --release --example window_tuning
+//! ```
+
+use nvme_opf::fabric::Gbps;
+use nvme_opf::opf::optimal_window;
+use nvme_opf::workload::report::fmt_iops;
+use nvme_opf::workload::{render_table, run, Mix, RuntimeKind, Scenario, Table, WindowSpec};
+
+fn main() {
+    let speed = Gbps::G25;
+    println!("window-size sweep: 1 TC tenant, 4K reads, {speed}\n");
+
+    let base = || {
+        let mut sc = Scenario::ratio(RuntimeKind::Opf, speed, Mix::READ, 0, 1);
+        sc.warmup_s = 0.1;
+        sc.measure_s = 0.3;
+        sc
+    };
+
+    let mut t = Table::new(["window policy", "TC throughput", "TC avg latency"]);
+    for w in [1u32, 2, 4, 8, 16, 32, 64] {
+        let mut sc = base();
+        sc.window = WindowSpec::Static(w);
+        let r = run(&sc);
+        t.row([
+            format!("static {w}"),
+            fmt_iops(r.tc_iops),
+            format!("{:.0}us", r.tc_avg_us),
+        ]);
+    }
+
+    let auto = optimal_window(speed, 0.0, 1);
+    t.row([
+        format!("auto table -> {auto}"),
+        {
+            let mut sc = base();
+            sc.window = WindowSpec::Auto;
+            fmt_iops(run(&sc).tc_iops)
+        },
+        String::from("-"),
+    ]);
+
+    let mut sc = base();
+    sc.window = WindowSpec::Dynamic;
+    let r = run(&sc);
+    t.row([
+        "dynamic (hill climbing)".to_string(),
+        fmt_iops(r.tc_iops),
+        format!("{:.0}us", r.tc_avg_us),
+    ]);
+
+    println!("{}", render_table(&t));
+    println!(
+        "window 1 disables coalescing (one notification per request);\n\
+         larger windows amortize the response path until the device\n\
+         saturates. The dynamic optimizer converges near the static optimum\n\
+         without being told the fabric speed or workload."
+    );
+}

@@ -1,0 +1,23 @@
+//! # nvme-opf — umbrella crate
+//!
+//! Re-exports the full NVMe-oPF reproduction workspace behind one
+//! dependency. See the README for an architecture overview and the
+//! individual crates for details:
+//!
+//! * [`simkit`] — deterministic discrete-event simulation kernel.
+//! * [`queues`] — lock-free CID queues used by the priority managers.
+//! * [`fabric`] — 10/25/100 Gbps Ethernet fabric model.
+//! * [`nvme`] — NVMe SSD controller/device model.
+//! * [`nvmf`] — NVMe-over-Fabrics (TCP) runtime: the SPDK-style baseline.
+//! * [`opf`] — NVMe-oPF priority schemes (the paper's contribution).
+//! * [`workload`] — perf-style workload generators and metrics.
+//! * [`h5`] — minimal HDF5-like format and h5bench-style kernels.
+
+pub use fabric;
+pub use h5;
+pub use nvme;
+pub use nvmf;
+pub use opf;
+pub use queues;
+pub use simkit;
+pub use workload;

@@ -1,0 +1,143 @@
+//! Headline-claim regression tests: quick (scaled-down) versions of the
+//! paper's main observations, run through the full workload harness.
+//! These protect the calibration — if a refactor breaks a mechanism
+//! (coalescing, bypass, backpressure, incast), a shape assertion fails.
+
+use nvme_opf::fabric::Gbps;
+use nvme_opf::workload::{run, Mix, RunResult, RuntimeKind, Scenario};
+
+fn quick(runtime: RuntimeKind, speed: Gbps, mix: Mix, ls: usize, tc: usize) -> RunResult {
+    let mut sc = Scenario::ratio(runtime, speed, mix, ls, tc);
+    sc.warmup_s = 0.05;
+    sc.measure_s = 0.2;
+    run(&sc)
+}
+
+/// Observation 2 / abstract: ~2.9X read throughput at 10 Gbps with
+/// 5 tenants (1 LS : 4 TC). We assert the shape: at least 2.3X.
+#[test]
+fn obs2_read_10g_multiple_of_spdk() {
+    let s = quick(RuntimeKind::Spdk, Gbps::G10, Mix::READ, 1, 4);
+    let o = quick(RuntimeKind::Opf, Gbps::G10, Mix::READ, 1, 4);
+    let ratio = o.tc_iops / s.tc_iops;
+    assert!(
+        ratio > 2.3,
+        "10G read 1:4 should be ~2.9X (paper): got {ratio:.2}X ({:.0} vs {:.0})",
+        o.tc_iops,
+        s.tc_iops
+    );
+}
+
+/// Observation 2: NVMe-oPF read throughput is comparable across
+/// 10/25/100 Gbps ("a suitable solution to achieve performance similar
+/// to 100 Gbps with just 10 Gbps").
+#[test]
+fn obs2_opf_read_comparable_across_speeds() {
+    let r10 = quick(RuntimeKind::Opf, Gbps::G10, Mix::READ, 1, 4);
+    let r100 = quick(RuntimeKind::Opf, Gbps::G100, Mix::READ, 1, 4);
+    let ratio = r10.tc_iops / r100.tc_iops;
+    assert!(
+        ratio > 0.85,
+        "oPF@10G should be close to oPF@100G for reads: {ratio:.2}"
+    );
+}
+
+/// Observation 2: write throughput gains ~33% at 100 Gbps but none at
+/// 10 Gbps (network-bound).
+#[test]
+fn obs2_write_gains_at_100g_not_10g() {
+    let s100 = quick(RuntimeKind::Spdk, Gbps::G100, Mix::WRITE, 1, 4);
+    let o100 = quick(RuntimeKind::Opf, Gbps::G100, Mix::WRITE, 1, 4);
+    let g100 = o100.tc_iops / s100.tc_iops;
+    assert!(
+        g100 > 1.2 && g100 < 1.7,
+        "100G write gain should be ~1.3-1.4X: {g100:.2}"
+    );
+
+    let s10 = quick(RuntimeKind::Spdk, Gbps::G10, Mix::WRITE, 1, 4);
+    let o10 = quick(RuntimeKind::Opf, Gbps::G10, Mix::WRITE, 1, 4);
+    let g10 = o10.tc_iops / s10.tc_iops;
+    assert!(
+        g10 < 1.15,
+        "10G write should show no benefit (incast-bound): {g10:.2}"
+    );
+}
+
+/// Observation 3: LS tail latency drops under NVMe-oPF for reads, and
+/// SPDK's tail grows with TC tenant count while NVMe-oPF's stays flat.
+#[test]
+fn obs3_tail_latency_flat_for_opf() {
+    let s1 = quick(RuntimeKind::Spdk, Gbps::G100, Mix::READ, 1, 1);
+    let s4 = quick(RuntimeKind::Spdk, Gbps::G100, Mix::READ, 1, 4);
+    let o1 = quick(RuntimeKind::Opf, Gbps::G100, Mix::READ, 1, 1);
+    let o4 = quick(RuntimeKind::Opf, Gbps::G100, Mix::READ, 1, 4);
+    // SPDK tail inflates with tenants (back-of-the-line waiting).
+    assert!(
+        s4.ls_p9999_us > s1.ls_p9999_us * 2.0,
+        "SPDK tail should grow with TC tenants: {} -> {}",
+        s1.ls_p9999_us,
+        s4.ls_p9999_us
+    );
+    // NVMe-oPF tail stays roughly flat (bypass).
+    assert!(
+        o4.ls_p9999_us < o1.ls_p9999_us * 1.5,
+        "oPF tail should stay flat: {} -> {}",
+        o1.ls_p9999_us,
+        o4.ls_p9999_us
+    );
+    // And is lower than SPDK's at every ratio.
+    assert!(o1.ls_p9999_us < s1.ls_p9999_us);
+    assert!(o4.ls_p9999_us < s4.ls_p9999_us);
+}
+
+/// Figure 6(c): coalescing slashes completion-notification counts —
+/// with window 32, NVMe-oPF sends fewer notifications for a QD-128
+/// stream than SPDK sends at queue depth 1.
+#[test]
+fn fig6c_notification_reduction() {
+    let s = quick(RuntimeKind::Spdk, Gbps::G100, Mix::READ, 0, 1);
+    let o = quick(RuntimeKind::Opf, Gbps::G100, Mix::READ, 0, 1);
+    let s_per_req = s.notifications as f64 / s.completed as f64;
+    let o_per_req = o.notifications as f64 / o.completed as f64;
+    assert!(
+        (s_per_req - 1.0).abs() < 0.05,
+        "SPDK: one notification per request, got {s_per_req:.3}"
+    );
+    assert!(
+        o_per_req < 0.06,
+        "oPF at W=32: ~1/32 notifications per request, got {o_per_req:.3}"
+    );
+}
+
+/// Observation 4 shape: scale-out throughput grows with node pairs for
+/// both runtimes, and NVMe-oPF stays ahead.
+#[test]
+fn obs4_scale_out_monotone() {
+    let mut results = Vec::new();
+    for runtime in [RuntimeKind::Spdk, RuntimeKind::Opf] {
+        for pairs in [1usize, 3] {
+            let mut sc = Scenario::ratio(runtime, Gbps::G100, Mix::READ, 0, 4);
+            sc.pairs = pairs;
+            sc.separate_nodes = false;
+            sc.warmup_s = 0.05;
+            sc.measure_s = 0.15;
+            results.push(run(&sc).tc_iops);
+        }
+    }
+    let (s1, s3, o1, o3) = (results[0], results[1], results[2], results[3]);
+    assert!(s3 > s1 * 2.5, "SPDK scales with pairs: {s1:.0} -> {s3:.0}");
+    assert!(o3 > o1 * 2.5, "oPF scales with pairs: {o1:.0} -> {o3:.0}");
+    assert!(o1 > s1 && o3 > s3, "oPF ahead at every scale");
+}
+
+/// Full determinism across the entire stack: identical scenarios produce
+/// bit-identical metrics.
+#[test]
+fn whole_stack_determinism() {
+    let a = quick(RuntimeKind::Opf, Gbps::G25, Mix::MIXED, 2, 3);
+    let b = quick(RuntimeKind::Opf, Gbps::G25, Mix::MIXED, 2, 3);
+    assert_eq!(a.completed, b.completed);
+    assert_eq!(a.notifications, b.notifications);
+    assert_eq!(a.events, b.events);
+    assert_eq!(a.ls_p9999_us, b.ls_p9999_us);
+}
