@@ -38,8 +38,13 @@ fn bench_fig6a(c: &mut Criterion) {
         g.bench_function(format!("opf_w{w}"), |b| {
             b.iter_batched(
                 || {
-                    let mut sc =
-                        quick(Scenario::ratio(RuntimeKind::Opf, Gbps::G100, Mix::READ, 1, 1));
+                    let mut sc = quick(Scenario::ratio(
+                        RuntimeKind::Opf,
+                        Gbps::G100,
+                        Mix::READ,
+                        1,
+                        1,
+                    ));
                     sc.window = WindowSpec::Static(w);
                     sc
                 },
@@ -73,7 +78,15 @@ fn bench_fig6c(c: &mut Criterion) {
     g.sample_size(10);
     g.bench_function("notifications", |b| {
         b.iter_batched(
-            || quick(Scenario::ratio(RuntimeKind::Opf, Gbps::G100, Mix::READ, 0, 1)),
+            || {
+                quick(Scenario::ratio(
+                    RuntimeKind::Opf,
+                    Gbps::G100,
+                    Mix::READ,
+                    0,
+                    1,
+                ))
+            },
             |sc| {
                 let r = run(&sc);
                 std::hint::black_box(r.notifications)
@@ -109,8 +122,13 @@ fn bench_fig8(c: &mut Criterion) {
     g.bench_function("opf_3pairs_mixed", |b| {
         b.iter_batched(
             || {
-                let mut sc =
-                    quick(Scenario::ratio(RuntimeKind::Opf, Gbps::G100, Mix::MIXED, 0, 4));
+                let mut sc = quick(Scenario::ratio(
+                    RuntimeKind::Opf,
+                    Gbps::G100,
+                    Mix::MIXED,
+                    0,
+                    4,
+                ));
                 sc.pairs = 3;
                 sc.separate_nodes = false;
                 sc
@@ -153,8 +171,13 @@ fn bench_ablate(c: &mut Criterion) {
         g.bench_function(label, |b| {
             b.iter_batched(
                 || {
-                    let mut sc =
-                        quick(Scenario::ratio(RuntimeKind::Opf, Gbps::G100, Mix::READ, 1, 4));
+                    let mut sc = quick(Scenario::ratio(
+                        RuntimeKind::Opf,
+                        Gbps::G100,
+                        Mix::READ,
+                        1,
+                        4,
+                    ));
                     sc.window = WindowSpec::Static(w);
                     sc
                 },

@@ -85,7 +85,9 @@ fn bench_pdu_codec(c: &mut Criterion) {
         priority: nvmf::Priority::ThroughputCritical { draining: true },
         initiator: 3,
     };
-    g.bench_function("encode_cmd", |b| b.iter(|| std::hint::black_box(cmd.encode())));
+    g.bench_function("encode_cmd", |b| {
+        b.iter(|| std::hint::black_box(cmd.encode()))
+    });
     let raw = cmd.encode();
     g.bench_function("decode_cmd", |b| {
         b.iter(|| std::hint::black_box(nvmf::Pdu::decode(&raw)))
@@ -122,7 +124,8 @@ fn bench_h5_format(c: &mut Criterion) {
         let data = vec![0xABu8; 1 << 20];
         b.iter(|| {
             let mut f = h5::H5File::create(h5::MemStore::new(300)).unwrap();
-            f.create_dataset("/d", h5::format::Dtype::U8, &data).unwrap();
+            f.create_dataset("/d", h5::format::Dtype::U8, &data)
+                .unwrap();
             std::hint::black_box(f.read_dataset("/d").unwrap().len())
         })
     });

@@ -1,0 +1,90 @@
+//! Typed protocol-violation reporting for the PDU hot paths.
+//!
+//! A malformed or misdirected capsule used to `panic!` deep inside
+//! [`crate::OpfInitiator::on_pdu`] / [`crate::OpfTarget::on_pdu`], aborting
+//! the whole simulation. In a multi-tenant run that is the wrong blast
+//! radius: one buggy tenant must not take down the fabric. These paths now
+//! record a [`ProtocolError`] on the affected component — counted in its
+//! stats, kept as `last_protocol_error`, and emitted through the tracer —
+//! and drop the offending PDU, so the tenant degrades (its request may
+//! strand) while every other tenant keeps running.
+
+use nvmf::PduKind;
+
+/// Which protocol engine detected the violation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ProtocolSide {
+    /// An initiator Priority Manager (value = tenant id).
+    Initiator(u8),
+    /// A target Priority Manager (value = target id).
+    Target(u32),
+}
+
+/// A protocol violation detected while processing a PDU.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ProtocolError {
+    /// A PDU kind this side never expects (e.g. an R2T arriving at the
+    /// target, or a command capsule arriving at an initiator).
+    UnexpectedPdu {
+        /// Engine that received the PDU.
+        side: ProtocolSide,
+        /// The offending PDU kind.
+        kind: PduKind,
+    },
+    /// A response, data, or R2T PDU referenced a CID with no matching
+    /// inflight command.
+    UnknownCid {
+        /// Engine that received the PDU.
+        side: ProtocolSide,
+        /// The CID that matched nothing.
+        cid: u16,
+    },
+    /// A coalesced TC response named a CID absent from the initiator's CID
+    /// queue (Algorithm 2 expects every drain CID to be queued). The CIDs
+    /// dequeued while searching are still completed so they do not strand.
+    CoalescedCidMissing {
+        /// Initiator that received the response.
+        initiator: u8,
+        /// The drain CID that was not in the queue.
+        cid: u16,
+        /// How many queued CIDs were dequeued (and completed) in the search.
+        drained: usize,
+    },
+    /// An R2T arrived for a command that has no payload to transfer.
+    R2tWithoutPayload {
+        /// Initiator that received the R2T.
+        initiator: u8,
+        /// The command the R2T referenced.
+        cid: u16,
+    },
+}
+
+impl std::fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtocolError::UnexpectedPdu { side, kind } => {
+                write!(f, "{side:?} received unexpected PDU {kind:?}")
+            }
+            ProtocolError::UnknownCid { side, cid } => {
+                write!(f, "{side:?} received PDU for unknown CID {cid}")
+            }
+            ProtocolError::CoalescedCidMissing {
+                initiator,
+                cid,
+                drained,
+            } => write!(
+                f,
+                "Initiator({initiator}) coalesced response CID {cid} not in queue \
+                 ({drained} CIDs force-drained)"
+            ),
+            ProtocolError::R2tWithoutPayload { initiator, cid } => {
+                write!(
+                    f,
+                    "Initiator({initiator}) got R2T for CID {cid} with no payload"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {}

@@ -1,15 +1,17 @@
 //! The NVMe-oPF initiator Priority Manager (Algorithms 1 and 2).
 
 use crate::config::{OpfInitiatorConfig, ReqClass, WindowPolicy};
+use crate::error::{ProtocolError, ProtocolSide};
 use crate::window::DynamicWindow;
 use bytes::Bytes;
 use fabric::{Endpoint, Network};
+use nvme::{Opcode, Sqe, Status};
 use nvmf::initiator::TargetRx;
 use nvmf::qpair::{IoCallback, QPair, ReqCtx};
 use nvmf::{CpuCosts, IoOutcome, Pdu, Priority};
-use nvme::{Opcode, Sqe, Status};
 use queues::{CidQueue, CompleteResult};
-use simkit::{Kernel, Resource, Shared, Tracer};
+use simkit::{Kernel, Metrics, MetricsSource, Resource, Shared, SimTime, Tracer};
+use std::collections::VecDeque;
 
 /// Initiator-side counters.
 #[derive(Clone, Debug, Default)]
@@ -40,6 +42,14 @@ pub struct OpfInitiatorStats {
     pub bytes_written: u64,
     /// Times the dynamic optimizer changed the window.
     pub window_changes: u64,
+    /// Protocol violations detected (malformed/misdirected PDUs). The
+    /// offending PDU is dropped; the sim keeps running.
+    pub protocol_errors: u64,
+    /// Summed drain latency (draining flag sent → coalesced response
+    /// received), in nanoseconds of virtual time.
+    pub drain_latency_sum_ns: u64,
+    /// Number of drain round trips measured.
+    pub drain_latency_count: u64,
 }
 
 /// The NVMe-oPF initiator.
@@ -78,9 +88,14 @@ pub struct OpfInitiator {
     window_generation: u64,
     /// A timeout event is pending (avoid stacking one per request).
     timer_armed: bool,
+    /// Send times of outstanding draining flags, FIFO: drains complete
+    /// in issue order, so the front matches the next coalesced response.
+    drain_sent_at: VecDeque<SimTime>,
     tracer: Tracer,
     /// Counters.
     pub stats: OpfInitiatorStats,
+    /// Most recent protocol violation, kept for diagnostics.
+    last_protocol_error: Option<ProtocolError>,
 }
 
 impl OpfInitiator {
@@ -120,9 +135,25 @@ impl OpfInitiator {
             dynamic,
             window_generation: 0,
             timer_armed: false,
+            drain_sent_at: VecDeque::new(),
             tracer,
             stats: OpfInitiatorStats::default(),
+            last_protocol_error: None,
         }
+    }
+
+    /// Most recent protocol violation, if any.
+    pub fn last_protocol_error(&self) -> Option<&ProtocolError> {
+        self.last_protocol_error.as_ref()
+    }
+
+    /// Record a protocol violation: count it, keep it for diagnostics,
+    /// trace it — and let the caller drop the offending PDU.
+    fn note_protocol_error(&mut self, now: simkit::SimTime, err: ProtocolError) {
+        self.stats.protocol_errors += 1;
+        self.tracer
+            .emit(now, "opf.protocol_error", u32::from(self.id), 0);
+        self.last_protocol_error = Some(err);
     }
 
     /// Queue pair depth.
@@ -198,6 +229,7 @@ impl OpfInitiator {
                         i.sent_in_window = 0;
                         i.window_generation += 1;
                         i.stats.drains_sent += 1;
+                        i.drain_sent_at.push_back(k.now());
                         i.tracer
                             .emit(k.now(), "opf.drain_tx", u32::from(i.id), u64::from(cid));
                     }
@@ -352,7 +384,19 @@ impl OpfInitiator {
             }
             Pdu::R2T { cccid, r2tl } => Self::on_r2t(this, k, cccid, r2tl),
             Pdu::CapsuleResp { cqe, priority } => Self::on_resp(this, k, cqe, priority),
-            other => panic!("initiator received unexpected PDU {:?}", other.kind()),
+            // A command capsule has no business arriving at an initiator:
+            // record the violation and drop it rather than abort the sim.
+            other => {
+                let mut i = this.borrow_mut();
+                let side = ProtocolSide::Initiator(i.id);
+                i.note_protocol_error(
+                    k.now(),
+                    ProtocolError::UnexpectedPdu {
+                        side,
+                        kind: other.kind(),
+                    },
+                );
+            }
         }
     }
 
@@ -360,11 +404,27 @@ impl OpfInitiator {
         let (finish, data) = {
             let mut i = this.borrow_mut();
             i.stats.r2ts_rx += 1;
+            let id = i.id;
+            let taken = match i.qpair.get_mut(cccid) {
+                None => Err(ProtocolError::UnknownCid {
+                    side: ProtocolSide::Initiator(id),
+                    cid: cccid,
+                }),
+                Some(ctx) => ctx.payload.take().ok_or(ProtocolError::R2tWithoutPayload {
+                    initiator: id,
+                    cid: cccid,
+                }),
+            };
+            let data = match taken {
+                Ok(d) => d,
+                Err(e) => {
+                    i.note_protocol_error(k.now(), e);
+                    return;
+                }
+            };
+            debug_assert_eq!(data.len(), r2tl as usize);
             let cost = i.costs.ini_on_r2t + i.costs.ini_send_data;
             let finish = i.cpu.reserve(k.now(), cost).finish;
-            let ctx = i.qpair.get_mut(cccid).expect("R2T for unknown command");
-            let data = ctx.payload.take().expect("R2T but no payload");
-            debug_assert_eq!(data.len(), r2tl as usize);
             (finish, data)
         };
         let this2 = this.clone();
@@ -392,14 +452,31 @@ impl OpfInitiator {
                 let result = i.cid_queue.complete_through(cqe.cid);
                 let cids = match result {
                     CompleteResult::Completed(v) => v,
+                    // The drain CID is not queued — a malformed or replayed
+                    // response. Everything dequeued during the search is
+                    // still completed (stranding them would leak qpair
+                    // slots); the violation is recorded and the sim runs on.
                     CompleteResult::Missing(v) => {
-                        panic!(
-                            "coalesced response for CID {} not in queue (drained {v:?})",
-                            cqe.cid
-                        )
+                        let id = i.id;
+                        i.note_protocol_error(
+                            k.now(),
+                            ProtocolError::CoalescedCidMissing {
+                                initiator: id,
+                                cid: cqe.cid,
+                                drained: v.len(),
+                            },
+                        );
+                        v
                     }
                 };
                 i.stats.coalesced_completions += cids.len() as u64;
+                // Drain round trip complete: draining flag out → coalesced
+                // response in. Forged responses (nothing outstanding) are
+                // simply not measured.
+                if let Some(sent) = i.drain_sent_at.pop_front() {
+                    i.stats.drain_latency_sum_ns += k.now().since(sent).as_nanos();
+                    i.stats.drain_latency_count += 1;
+                }
                 i.tracer.emit(
                     k.now(),
                     "opf.coalesced_rx",
@@ -408,8 +485,7 @@ impl OpfInitiator {
                 );
                 // One response-processing cost plus per-CID bookkeeping —
                 // the initiator-side saving of coalescing.
-                let cost =
-                    i.costs.ini_on_resp + i.cfg.coalesced_complete_each * cids.len() as u64;
+                let cost = i.costs.ini_on_resp + i.cfg.coalesced_complete_each * cids.len() as u64;
                 let finish = i.cpu.reserve(k.now(), cost).finish;
                 // Dynamic window retune (§IV-D).
                 let now = k.now();
@@ -443,10 +519,19 @@ impl OpfInitiator {
     fn complete(this: &Shared<OpfInitiator>, k: &mut Kernel, cid: u16, status: Status) {
         let (ctx, latency) = {
             let mut i = this.borrow_mut();
-            let ctx = i
-                .qpair
-                .finish(cid)
-                .unwrap_or_else(|| panic!("completion for unknown CID {cid}"));
+            let Some(ctx) = i.qpair.finish(cid) else {
+                // Completion for a CID with no inflight command (duplicate
+                // or forged response): record and drop it.
+                let id = i.id;
+                i.note_protocol_error(
+                    k.now(),
+                    ProtocolError::UnknownCid {
+                        side: ProtocolSide::Initiator(id),
+                        cid,
+                    },
+                );
+                return;
+            };
             i.stats.completed += 1;
             if !status.is_ok() {
                 i.stats.errors += 1;
@@ -460,5 +545,47 @@ impl OpfInitiator {
             latency,
         };
         (ctx.cb)(k, outcome);
+    }
+}
+
+impl MetricsSource for OpfInitiator {
+    fn metrics(&self, now: SimTime) -> Metrics {
+        let mut m = Metrics::at(now);
+        m.set("cpu_util", self.cpu.utilization(now));
+        m.set("inflight", self.qpair.inflight() as f64);
+        m.set("queue_depth", self.qpair.depth() as f64);
+        m.set("window", self.window as f64);
+        m.set("window_changes", self.stats.window_changes as f64);
+        m.set("pending_in_window", self.sent_in_window as f64);
+        m.set("submitted", self.stats.submitted as f64);
+        m.set("ls_submitted", self.stats.ls_submitted as f64);
+        m.set("tc_submitted", self.stats.tc_submitted as f64);
+        m.set("completed", self.stats.completed as f64);
+        m.set("errors", self.stats.errors as f64);
+        m.set("pdu.resps_rx", self.stats.resps_rx as f64);
+        m.set("pdu.data_rx", self.stats.data_rx as f64);
+        m.set("pdu.r2ts_rx", self.stats.r2ts_rx as f64);
+        m.set("drains_sent", self.stats.drains_sent as f64);
+        m.set(
+            "coalesced_completions",
+            self.stats.coalesced_completions as f64,
+        );
+        // Mean completions retired per response processed — the
+        // initiator-side saving Figure 6 quantifies.
+        let coalesce_ratio = if self.stats.resps_rx > 0 {
+            self.stats.completed as f64 / self.stats.resps_rx as f64
+        } else {
+            0.0
+        };
+        m.set("coalesce_ratio", coalesce_ratio);
+        let drain_avg_us = if self.stats.drain_latency_count > 0 {
+            self.stats.drain_latency_sum_ns as f64 / self.stats.drain_latency_count as f64 / 1e3
+        } else {
+            0.0
+        };
+        m.set("drain_latency_avg_us", drain_avg_us);
+        m.set("drain_latency_count", self.stats.drain_latency_count as f64);
+        m.set("protocol_errors", self.stats.protocol_errors as f64);
+        m
     }
 }

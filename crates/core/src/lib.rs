@@ -29,11 +29,13 @@
 //! it.
 
 pub mod config;
+pub mod error;
 pub mod initiator;
 pub mod target;
 pub mod window;
 
 pub use config::{OpfInitiatorConfig, OpfTargetConfig, QueueMode, ReqClass, WindowPolicy};
+pub use error::{ProtocolError, ProtocolSide};
 pub use initiator::{OpfInitiator, OpfInitiatorStats};
 pub use target::{OpfTarget, OpfTargetStats};
 pub use window::{optimal_window, DynamicWindow};

@@ -7,12 +7,13 @@
 //! immediately.
 
 use crate::config::{OpfTargetConfig, QueueMode};
+use crate::error::{ProtocolError, ProtocolSide};
 use bytes::Bytes;
 use fabric::{Endpoint, Network};
 use nvme::{NvmeDevice, Opcode, Sqe, Status};
 use nvmf::{CpuCosts, Pdu, PduRx, Priority};
 use queues::CidQueue;
-use simkit::{Kernel, Resource, Shared, SimDuration, Tracer};
+use simkit::{Kernel, Metrics, MetricsSource, Resource, Shared, SimDuration, SimTime, Tracer};
 use std::collections::{HashMap, VecDeque};
 
 /// Target-side counters. `resps_tx` is the Figure 6(c) notification
@@ -48,6 +49,9 @@ pub struct OpfTargetStats {
     pub max_ready: usize,
     /// Small sends that paid the backpressure penalty.
     pub backpressured_sends: u64,
+    /// Protocol violations detected (malformed/misdirected PDUs). The
+    /// offending PDU is dropped; the sim keeps running.
+    pub protocol_errors: u64,
 }
 
 /// A TC command staged in a tenant's queue, waiting for a drain.
@@ -160,6 +164,8 @@ pub struct OpfTarget {
     tracer: Tracer,
     /// Counters.
     pub stats: OpfTargetStats,
+    /// Most recent protocol violation, kept for diagnostics.
+    last_protocol_error: Option<ProtocolError>,
 }
 
 /// Key used for the shared-queue ablation: all tenants map to one queue.
@@ -196,12 +202,29 @@ impl OpfTarget {
             tc_inflight: 0,
             tracer,
             stats: OpfTargetStats::default(),
+            last_protocol_error: None,
         }
+    }
+
+    /// Most recent protocol violation, if any.
+    pub fn last_protocol_error(&self) -> Option<&ProtocolError> {
+        self.last_protocol_error.as_ref()
+    }
+
+    /// Record a protocol violation: count it, keep it for diagnostics,
+    /// trace it — and let the caller drop the offending PDU.
+    fn note_protocol_error(&mut self, now: simkit::SimTime, err: ProtocolError) {
+        self.stats.protocol_errors += 1;
+        self.tracer.emit(now, "opf.protocol_error", self.id, 0);
+        self.last_protocol_error = Some(err);
     }
 
     /// Register an initiator connection.
     pub fn connect(&mut self, initiator: u8, ep: Shared<Endpoint>, rx: PduRx) {
-        assert_ne!(initiator, SHARED_KEY, "initiator id {SHARED_KEY} is reserved");
+        assert_ne!(
+            initiator, SHARED_KEY,
+            "initiator id {SHARED_KEY} is reserved"
+        );
         let prev = self.conns.insert(initiator, Conn { ep, rx });
         assert!(prev.is_none(), "initiator {initiator} connected twice");
     }
@@ -239,7 +262,19 @@ impl OpfTarget {
                 Self::on_cmd(this, k, from, sqe, priority);
             }
             Pdu::H2CData { cccid, data } => Self::on_h2c_data(this, k, from, cccid, data),
-            other => panic!("target received unexpected PDU {:?}", other.kind()),
+            // Responses, R2Ts and C2H data never travel host → controller:
+            // record the violation and drop the PDU rather than abort.
+            other => {
+                let mut t = this.borrow_mut();
+                let side = ProtocolSide::Target(t.id);
+                t.note_protocol_error(
+                    k.now(),
+                    ProtocolError::UnexpectedPdu {
+                        side,
+                        kind: other.kind(),
+                    },
+                );
+            }
         }
     }
 
@@ -503,7 +538,8 @@ impl OpfTarget {
                     if cmd.needs_data {
                         // Drained before its H2C data landed: joins the
                         // batch when the payload arrives.
-                        t.awaiting_data.insert((owner, cmd.sqe.cid), (batch, cmd.sqe));
+                        t.awaiting_data
+                            .insert((owner, cmd.sqe.cid), (batch, cmd.sqe));
                     } else {
                         t.ready.push_back(ReadyCmd {
                             initiator: owner,
@@ -575,8 +611,12 @@ impl OpfTarget {
         let device = this.borrow().device.clone();
         {
             let t = this.borrow();
-            t.tracer
-                .emit(k.now(), "opf.dev_submit", u32::from(from), u64::from(sqe.cid));
+            t.tracer.emit(
+                k.now(),
+                "opf.dev_submit",
+                u32::from(from),
+                u64::from(sqe.cid),
+            );
         }
         let this2 = this.clone();
         NvmeDevice::submit(&device, k, sqe, data, move |k, result| {
@@ -727,5 +767,60 @@ impl OpfTarget {
         let bytes = pdu.wire_len();
         self.net
             .send(k, &self.ep, &conn.ep, bytes, move |k| rx(k, pdu));
+    }
+
+    /// Current length of tenant `initiator`'s TC staging queue (the
+    /// shared-queue ablation reports the one shared queue for every
+    /// tenant).
+    pub fn tc_queue_depth(&self, initiator: u8) -> usize {
+        self.tc
+            .get(&self.queue_key(initiator))
+            .map_or(0, |s| s.order.len())
+    }
+}
+
+impl MetricsSource for OpfTarget {
+    fn metrics(&self, now: SimTime) -> Metrics {
+        let mut m = Metrics::at(now);
+        m.set("reactor_util", self.reactor_utilization(now));
+        m.set("pdu.cmds_rx", self.stats.cmds_rx as f64);
+        m.set("pdu.ls_rx", self.stats.ls_rx as f64);
+        m.set("pdu.tc_rx", self.stats.tc_rx as f64);
+        m.set("pdu.drains_rx", self.stats.drains_rx as f64);
+        m.set("pdu.data_rx", self.stats.data_rx as f64);
+        m.set("pdu.resps_tx", self.stats.resps_tx as f64);
+        m.set(
+            "pdu.coalesced_resps_tx",
+            self.stats.coalesced_resps_tx as f64,
+        );
+        m.set("pdu.r2ts_tx", self.stats.r2ts_tx as f64);
+        m.set("pdu.data_tx", self.stats.data_tx as f64);
+        m.set("completed", self.stats.completed as f64);
+        m.set("ls_bypassed", self.stats.ls_bypassed as f64);
+        m.set("max_tc_queue", self.stats.max_tc_queue as f64);
+        m.set("max_ready", self.stats.max_ready as f64);
+        m.set("backpressured_sends", self.stats.backpressured_sends as f64);
+        m.set("tc_inflight", self.tc_inflight as f64);
+        m.set("ready_queue", self.ready.len() as f64);
+        // Commands retired per completion notification — the Figure 6(c)
+        // saving: baseline is 1.0, oPF approaches the window size.
+        let ratio = if self.stats.resps_tx > 0 {
+            self.stats.completed as f64 / self.stats.resps_tx as f64
+        } else {
+            0.0
+        };
+        m.set("coalesce_ratio", ratio);
+        // Per-tenant TC staging-queue depth at snapshot time. Connected
+        // tenants are enumerated in sorted order for determinism.
+        let mut tenants: Vec<u8> = self.conns.keys().copied().collect();
+        tenants.sort_unstable();
+        for t in tenants {
+            m.set(
+                format!("tenant{t}.tc_queue_depth"),
+                self.tc_queue_depth(t) as f64,
+            );
+        }
+        m.set("protocol_errors", self.stats.protocol_errors as f64);
+        m
     }
 }

@@ -7,8 +7,7 @@ use nvme::{FlashProfile, NvmeDevice, Opcode, Status, BLOCK_SIZE};
 use nvmf::initiator::TargetRx;
 use nvmf::{CpuCosts, PduRx};
 use opf::{
-    OpfInitiator, OpfInitiatorConfig, OpfTarget, OpfTargetConfig, QueueMode, ReqClass,
-    WindowPolicy,
+    OpfInitiator, OpfInitiatorConfig, OpfTarget, OpfTargetConfig, QueueMode, ReqClass, WindowPolicy,
 };
 use simkit::{shared, Kernel, Shared, SimDuration, SimTime, Tracer};
 use std::cell::RefCell;
@@ -125,7 +124,11 @@ fn tc_reads_return_correct_data() {
     // Seed blocks with distinct patterns.
     for lba in 0..8u64 {
         let block = vec![lba as u8 + 1; BLOCK_SIZE];
-        r.device.borrow_mut().namespace_mut().write(lba, &block).unwrap();
+        r.device
+            .borrow_mut()
+            .namespace_mut()
+            .write(lba, &block)
+            .unwrap();
     }
     let got = Rc::new(RefCell::new(Vec::new()));
     for lba in 0..8u64 {

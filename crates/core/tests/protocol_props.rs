@@ -14,13 +14,14 @@ use fabric::{FabricConfig, Gbps, Network};
 use nvme::{FlashProfile, NvmeDevice, Opcode, BLOCK_SIZE};
 use nvmf::initiator::TargetRx;
 use nvmf::{CpuCosts, PduRx};
-use opf::{
-    OpfInitiator, OpfInitiatorConfig, OpfTarget, OpfTargetConfig, ReqClass, WindowPolicy,
-};
+use opf::{OpfInitiator, OpfInitiatorConfig, OpfTarget, OpfTargetConfig, ReqClass, WindowPolicy};
 use proptest::prelude::*;
 use simkit::{shared, Kernel, Shared, Tracer};
 use std::cell::RefCell;
 use std::rc::Rc;
+
+/// Per-tenant completion log: (lba, success) in completion order.
+type CompletionLog = Rc<RefCell<Vec<Vec<(u64, bool)>>>>;
 
 #[derive(Clone, Debug)]
 struct Params {
@@ -87,8 +88,7 @@ fn run_scenario(p: &Params) -> Outcome {
     let t2 = target.clone();
     let target_rx: TargetRx = Rc::new(move |k, from, pdu| OpfTarget::on_pdu(&t2, k, from, pdu));
 
-    let completions: Rc<RefCell<Vec<Vec<(u64, bool)>>>> =
-        Rc::new(RefCell::new(vec![Vec::new(); p.tenants]));
+    let completions: CompletionLog = Rc::new(RefCell::new(vec![Vec::new(); p.tenants]));
     let payload = Bytes::from(vec![0u8; BLOCK_SIZE]);
 
     let mut inis = Vec::new();
@@ -122,7 +122,7 @@ fn run_scenario(p: &Params) -> Outcome {
         issued: usize,
         total: usize,
         p: Params,
-        completions: Rc<RefCell<Vec<Vec<(u64, bool)>>>>,
+        completions: CompletionLog,
         payload: Bytes,
     }
     fn issue(d: Rc<RefCell<Drv>>, k: &mut Kernel) {
@@ -142,8 +142,16 @@ fn run_scenario(p: &Params) -> Outcome {
                 };
                 let is_write =
                     dr.p.write_every > 0 && (n as usize) % dr.p.write_every == dr.p.write_every - 1;
-                let opcode = if is_write { Opcode::Write } else { Opcode::Read };
-                let payload = if is_write { Some(dr.payload.clone()) } else { None };
+                let opcode = if is_write {
+                    Opcode::Write
+                } else {
+                    Opcode::Read
+                };
+                let payload = if is_write {
+                    Some(dr.payload.clone())
+                } else {
+                    None
+                };
                 (dr.ini.clone(), class, opcode, n, payload, dr.tenant)
             };
             let d2 = d.clone();
@@ -202,6 +210,54 @@ fn run_scenario(p: &Params) -> Outcome {
     out
 }
 
+fn check_invariants(p: &Params, out: &Outcome) {
+    for (tenant, comps) in out.completions.iter().enumerate() {
+        // 1. Everything completes exactly once.
+        assert_eq!(
+            comps.len(),
+            p.reqs_per_tenant,
+            "tenant {} completed {}/{} (p={:?})",
+            tenant,
+            comps.len(),
+            p.reqs_per_tenant,
+            p
+        );
+        let mut seen: Vec<u64> = comps.iter().map(|(n, _)| *n).collect();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), p.reqs_per_tenant, "duplicate completions");
+
+        // 2. TC completions in issue order (LS may overtake — that
+        // is the point of the bypass).
+        let tc_only: Vec<u64> = comps
+            .iter()
+            .map(|(n, _)| *n)
+            .filter(|n| !(p.ls_every > 0 && (*n as usize) % p.ls_every == p.ls_every - 1))
+            .collect();
+        assert!(
+            tc_only.windows(2).all(|w| w[0] < w[1]),
+            "TC completions out of issue order for tenant {}: {:?}",
+            tenant,
+            tc_only
+        );
+
+        // 4. No injected errors => no error completions.
+        if p.error_rate == 0.0 {
+            assert!(comps.iter().all(|(_, ok)| *ok));
+        }
+    }
+
+    // 3. Coalescing factor: one response per drain or LS request
+    // (plus at most one flush-drain per tenant per retry).
+    assert!(
+        out.resps_tx <= out.drains_rx + out.ls_rx,
+        "responses {} > drains {} + LS {}",
+        out.resps_tx,
+        out.drains_rx,
+        out.ls_rx
+    );
+}
+
 proptest! {
     #![proptest_config(ProptestConfig {
         cases: 48, ..ProptestConfig::default()
@@ -210,45 +266,87 @@ proptest! {
     #[test]
     fn protocol_invariants(p in params()) {
         let out = run_scenario(&p);
+        check_invariants(&p, &out);
+    }
+}
 
-        for (tenant, comps) in out.completions.iter().enumerate() {
-            // 1. Everything completes exactly once.
-            prop_assert_eq!(
-                comps.len(),
-                p.reqs_per_tenant,
-                "tenant {} completed {}/{} (p={:?})",
-                tenant, comps.len(), p.reqs_per_tenant, p
-            );
-            let mut seen: Vec<u64> = comps.iter().map(|(n, _)| *n).collect();
-            seen.sort_unstable();
-            seen.dedup();
-            prop_assert_eq!(seen.len(), p.reqs_per_tenant, "duplicate completions");
+/// The shrunk case from `protocol_props.proptest-regressions`, pinned as a
+/// deterministic test: a single LS request behind a static window (7) larger
+/// than the queue depth (1) — the paper's §IV-A lock-up hazard. The window
+/// clamp in `OpfInitiator::new` plus the tail flush must still complete it.
+#[test]
+fn regression_window_exceeds_qd() {
+    let p = Params {
+        tenants: 1,
+        window: 7,
+        qd: 1,
+        reqs_per_tenant: 1,
+        write_every: 0,
+        ls_every: 2,
+        error_rate: 0.0,
+        seed: 0,
+    };
+    let out = run_scenario(&p);
+    check_invariants(&p, &out);
+}
 
-            // 2. TC completions in issue order (LS may overtake — that
-            // is the point of the bypass).
-            let tc_only: Vec<u64> = comps
-                .iter()
-                .map(|(n, _)| *n)
-                .filter(|n| !(p.ls_every > 0 && (*n as usize) % p.ls_every == p.ls_every - 1))
-                .collect();
-            prop_assert!(
-                tc_only.windows(2).all(|w| w[0] < w[1]),
-                "TC completions out of issue order for tenant {}: {:?}",
-                tenant, tc_only
-            );
-
-            // 4. No injected errors => no error completions.
-            if p.error_rate == 0.0 {
-                prop_assert!(comps.iter().all(|(_, ok)| *ok));
+/// Sweep the hazard region exhaustively: every (window, qd, reqs) combination
+/// with window around and beyond qd must drain to completion — no strand, no
+/// duplicate — including streams that end mid-window.
+#[test]
+fn regression_window_qd_sweep() {
+    for window in [1u32, 2, 3, 7, 8, 33] {
+        for qd in [1usize, 2, 7, 8] {
+            for reqs in [1usize, 2, 7, 15] {
+                for ls_every in [0usize, 2] {
+                    let p = Params {
+                        tenants: 2,
+                        window,
+                        qd,
+                        reqs_per_tenant: reqs,
+                        write_every: 3,
+                        ls_every,
+                        error_rate: 0.0,
+                        seed: 42,
+                    };
+                    let out = run_scenario(&p);
+                    check_invariants(&p, &out);
+                }
             }
         }
-
-        // 3. Coalescing factor: one response per drain or LS request
-        // (plus at most one flush-drain per tenant per retry).
-        prop_assert!(
-            out.resps_tx <= out.drains_rx + out.ls_rx,
-            "responses {} > drains {} + LS {}",
-            out.resps_tx, out.drains_rx, out.ls_rx
-        );
     }
+}
+
+#[test]
+#[ignore]
+fn hunt_exhaustive() {
+    let mut n = 0u64;
+    for tenants in [1usize, 2, 4] {
+        for window in [1u32, 2, 3, 7, 8, 16, 39] {
+            for qd in [1usize, 2, 3, 7, 8, 39] {
+                for reqs in [1usize, 2, 7, 8, 20, 79] {
+                    for write_every in [0usize, 1, 3] {
+                        for ls_every in [0usize, 1, 2, 6] {
+                            for error_rate in [0.0, 0.3] {
+                                let p = Params {
+                                    tenants,
+                                    window,
+                                    qd,
+                                    reqs_per_tenant: reqs,
+                                    write_every,
+                                    ls_every,
+                                    error_rate,
+                                    seed: 7,
+                                };
+                                let out = run_scenario(&p);
+                                check_invariants(&p, &out);
+                                n += 1;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    eprintln!("hunted {n} combos");
 }

@@ -5,12 +5,15 @@
 //! artifacts: table1 fig6a fig6b fig6c fig7 fig8 fig9 ablate all
 //! ```
 
-use experiments::{ablate, breakdown, fig6, fig7, fig8, fig9, iosize, openloop, table1, transport, Durations};
+use experiments::{
+    ablate, breakdown, fig6, fig7, fig8, fig9, iosize, observe, openloop, table1, transport,
+    Durations,
+};
 
 fn usage() -> ! {
     eprintln!(
         "usage: repro [--quick] [--threads N] <artifact>...\n\
-         artifacts: table1 fig6a fig6b fig6c fig7 fig8 fig9 ablate iosize openloop transport breakdown all"
+         artifacts: table1 fig6a fig6b fig6c fig7 fig8 fig9 ablate iosize openloop transport breakdown observe all"
     );
     std::process::exit(2);
 }
@@ -62,6 +65,7 @@ fn main() {
             "openloop" => openloop::all(d, threads),
             "transport" => transport::all(d, threads),
             "breakdown" => breakdown::all(d, threads),
+            "observe" => observe::all(d, threads),
             "all" => {
                 table1::print();
                 fig6::fig6a(d, threads);
@@ -75,6 +79,7 @@ fn main() {
                 openloop::all(d, threads);
                 transport::all(d, threads);
                 breakdown::all(d, threads);
+                observe::all(d, threads);
             }
             _ => usage(),
         }

@@ -65,7 +65,14 @@ fn drive(runtime: RuntimeKind, d: Durations) -> Phases {
     let end = SimTime::from_nanos(((d.warmup_s + d.measure_s) * 1e9) as u64);
     for tenant in 1..5 {
         for q in 0..128u64 {
-            pump(pair.clone(), &mut k, tenant, ReqClass::ThroughputCritical, q, end);
+            pump(
+                pair.clone(),
+                &mut k,
+                tenant,
+                ReqClass::ThroughputCritical,
+                q,
+                end,
+            );
         }
     }
     pump(pair.clone(), &mut k, 0, ReqClass::LatencySensitive, 0, end);

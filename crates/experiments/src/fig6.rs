@@ -32,7 +32,14 @@ pub fn fig6a(d: Durations, threads: Option<usize>) {
     let speeds = [Gbps::G25, Gbps::G100];
     let mut scenarios = Vec::new();
     for &speed in &speeds {
-        scenarios.push(scenario(RuntimeKind::Spdk, speed, 1, 1, WindowSpec::Auto, d));
+        scenarios.push(scenario(
+            RuntimeKind::Spdk,
+            speed,
+            1,
+            1,
+            WindowSpec::Auto,
+            d,
+        ));
         for &w in &WINDOWS {
             scenarios.push(scenario(
                 RuntimeKind::Opf,
@@ -77,7 +84,14 @@ pub fn fig6b(d: Durations, threads: Option<usize>) {
     println!("== Fig 6(b): throughput vs window size across 10/25/100 Gbps (1 TC, read) ==\n");
     let mut scenarios = Vec::new();
     for speed in Gbps::ALL {
-        scenarios.push(scenario(RuntimeKind::Spdk, speed, 0, 1, WindowSpec::Auto, d));
+        scenarios.push(scenario(
+            RuntimeKind::Spdk,
+            speed,
+            0,
+            1,
+            WindowSpec::Auto,
+            d,
+        ));
         for &w in &WINDOWS {
             scenarios.push(scenario(
                 RuntimeKind::Opf,
@@ -137,17 +151,29 @@ pub fn fig6c(d: Durations, threads: Option<usize>) {
         "completed",
         "notifications",
         "notif/req",
+        "coalesce",
+        "drain avg",
     ]);
     let mut it = results.iter();
     for &mix in &mixes {
         for label in ["S QD=1", "S QD=128", "PF W=16", "PF W=32", "PF W=64"] {
             let r = it.next().unwrap();
+            // Snapshot-derived columns: the target's completions-per-
+            // response ratio and the initiator-observed drain latency
+            // (both 0/"-" for the SPDK baseline, which never drains).
+            let coalesce = r.metrics.get("pair0.tgt.coalesce_ratio").unwrap_or(0.0);
+            let drain = match r.metrics.get("ini0.drain_latency_avg_us") {
+                Some(us) if us > 0.0 => format!("{us:.0}us"),
+                _ => "-".to_string(),
+            };
             t.row([
                 mix.label().to_string(),
                 label.to_string(),
                 r.completed.to_string(),
                 r.notifications.to_string(),
                 format!("{:.3}", r.notifications as f64 / r.completed.max(1) as f64),
+                format!("{coalesce:.1}"),
+                drain,
             ]);
         }
     }

@@ -29,9 +29,7 @@ fn tables_for(_mix: Mix, results: &[RunResult]) -> (Table, Table) {
     let mut tput = Table::new([
         "LS:TC", "S-10", "PF-10", "S-25", "PF-25", "S-100", "PF-100", "PF/S@10", "PF/S@100",
     ]);
-    let mut tail = Table::new([
-        "LS:TC", "S-10", "PF-10", "S-25", "PF-25", "S-100", "PF-100",
-    ]);
+    let mut tail = Table::new(["LS:TC", "S-10", "PF-10", "S-25", "PF-25", "S-100", "PF-100"]);
     // results laid out: speed-major, then runtime, then ratio.
     let idx = |speed_i: usize, runtime_i: usize, ratio_i: usize| {
         speed_i * 2 * RATIOS.len() + runtime_i * RATIOS.len() + ratio_i

@@ -26,12 +26,7 @@ fn pattern2(runtime: RuntimeKind, mix: Mix, pairs: usize, d: Durations) -> Scena
 }
 
 /// One panel (one workload, one pattern).
-fn panel(
-    mix: Mix,
-    pattern: u8,
-    d: Durations,
-    threads: Option<usize>,
-) -> Table {
+fn panel(mix: Mix, pattern: u8, d: Durations, threads: Option<usize>) -> Table {
     let points: Vec<usize> = (1..=5).collect();
     let mut scenarios = Vec::new();
     for runtime in [RuntimeKind::Spdk, RuntimeKind::Opf] {
@@ -74,11 +69,36 @@ fn panel(
 pub fn all(d: Durations, threads: Option<usize>) {
     let panels = [
         (Mix::READ, 1, "a", "read, 5 pairs, scaling initiators/node"),
-        (Mix::MIXED, 1, "b", "mixed 50:50, 5 pairs, scaling initiators/node"),
-        (Mix::WRITE, 1, "c", "write, 5 pairs, scaling initiators/node"),
-        (Mix::READ, 2, "d", "read, 4 initiators/node, scaling node pairs"),
-        (Mix::MIXED, 2, "e", "mixed 50:50, 4 initiators/node, scaling node pairs"),
-        (Mix::WRITE, 2, "f", "write, 4 initiators/node, scaling node pairs"),
+        (
+            Mix::MIXED,
+            1,
+            "b",
+            "mixed 50:50, 5 pairs, scaling initiators/node",
+        ),
+        (
+            Mix::WRITE,
+            1,
+            "c",
+            "write, 5 pairs, scaling initiators/node",
+        ),
+        (
+            Mix::READ,
+            2,
+            "d",
+            "read, 4 initiators/node, scaling node pairs",
+        ),
+        (
+            Mix::MIXED,
+            2,
+            "e",
+            "mixed 50:50, 4 initiators/node, scaling node pairs",
+        ),
+        (
+            Mix::WRITE,
+            2,
+            "f",
+            "write, 4 initiators/node, scaling node pairs",
+        ),
     ];
     for (mix, pattern, tag, desc) in panels {
         println!("== Fig 8({tag}): {desc}, 100 Gbps ==\n");

@@ -10,8 +10,8 @@
 
 use crate::Durations;
 use h5::bench::{run_h5bench, H5BenchConfig, H5BenchResult, H5Kernel, H5Runtime};
-use parking_lot::Mutex;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 use workload::report::fmt_us;
 use workload::Table;
 
@@ -44,12 +44,13 @@ fn run_points(configs: Vec<H5BenchConfig>, threads: Option<usize>) -> Vec<H5Benc
                     break;
                 }
                 let r = run_h5bench(&configs[i]);
-                results.lock()[i] = Some(r);
+                results.lock().unwrap()[i] = Some(r);
             });
         }
     });
     results
         .into_inner()
+        .unwrap()
         .into_iter()
         .map(|r| r.expect("filled"))
         .collect()
@@ -98,10 +99,30 @@ fn panel(kernel: H5Kernel, pattern: u8, d: Durations, threads: Option<usize>) ->
 /// All of Figure 9.
 pub fn all(d: Durations, threads: Option<usize>) {
     let panels = [
-        (H5Kernel::Write, 2, "a", "h5bench write, scaling initiator-nodes (10 ranks/node)"),
-        (H5Kernel::Read, 2, "b", "h5bench read, scaling initiator-nodes (10 ranks/node)"),
-        (H5Kernel::Write, 1, "c", "h5bench write, scaling ranks/node (4 nodes)"),
-        (H5Kernel::Read, 1, "d", "h5bench read, scaling ranks/node (4 nodes)"),
+        (
+            H5Kernel::Write,
+            2,
+            "a",
+            "h5bench write, scaling initiator-nodes (10 ranks/node)",
+        ),
+        (
+            H5Kernel::Read,
+            2,
+            "b",
+            "h5bench read, scaling initiator-nodes (10 ranks/node)",
+        ),
+        (
+            H5Kernel::Write,
+            1,
+            "c",
+            "h5bench write, scaling ranks/node (4 nodes)",
+        ),
+        (
+            H5Kernel::Read,
+            1,
+            "d",
+            "h5bench read, scaling ranks/node (4 nodes)",
+        ),
     ];
     for (kernel, pattern, tag, desc) in panels {
         println!("== Fig 9({tag}): {desc}, 25 Gbps ==\n");

@@ -14,6 +14,7 @@
 //! | [`openloop`] | extension: open-loop latency vs offered load        |
 //! | [`transport`] | extension: TCP vs RDMA transport comparison        |
 //! | [`breakdown`] | extension: target-side latency phase breakdown     |
+//! | [`observe`] | extension: unified metrics snapshot, SPDK vs oPF     |
 //!
 //! The `repro` binary drives them; results print as aligned tables and
 //! are written as CSV under `results/`.
@@ -25,10 +26,11 @@ pub mod fig7;
 pub mod fig8;
 pub mod fig9;
 pub mod iosize;
+pub mod observe;
 pub mod openloop;
 pub mod sweep;
-pub mod transport;
 pub mod table1;
+pub mod transport;
 
 use std::path::PathBuf;
 

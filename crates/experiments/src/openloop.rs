@@ -11,9 +11,9 @@
 //! Figure 7 shows, now visible as headroom instead of throughput.
 
 use crate::Durations;
-use parking_lot::Mutex;
 use simkit::SimDuration;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 use workload::report::fmt_us;
 use workload::{replay, Mix, ReplayConfig, ReplayResult, RuntimeKind, Table, TraceLog};
 
@@ -54,12 +54,13 @@ pub fn all(d: Durations, threads: Option<usize>) {
                         ..ReplayConfig::default()
                     },
                 );
-                results.lock()[i] = Some(r);
+                results.lock().unwrap()[i] = Some(r);
             });
         }
     });
     let results: Vec<ReplayResult> = results
         .into_inner()
+        .unwrap()
         .into_iter()
         .map(|r| r.expect("filled"))
         .collect();

@@ -6,8 +6,8 @@
 //! — each worker owns its scenarios, results come back through a
 //! mutex-guarded vector indexed by position).
 
-use parking_lot::Mutex;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 use workload::{run, RunResult, Scenario};
 
 /// Run all scenarios, preserving input order, using up to
@@ -38,12 +38,13 @@ pub fn run_all(scenarios: &[Scenario], threads: Option<usize>) -> Vec<RunResult>
                     break;
                 }
                 let r = run(&scenarios[i]);
-                results.lock()[i] = Some(r);
+                results.lock().unwrap()[i] = Some(r);
             });
         }
     });
     results
         .into_inner()
+        .unwrap()
         .into_iter()
         .map(|r| r.expect("every slot filled"))
         .collect()

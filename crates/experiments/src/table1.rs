@@ -13,8 +13,16 @@ pub fn build() -> Table {
         "AMD EPYC 7352 2.3GHz (costs x2.8/2.3)",
         "AMD EPYC 7543 2.8GHz (baseline costs)",
     ]);
-    t.row(["Cores", "24 (1 reactor/target modelled)", "32 (1 reactor/target modelled)"]);
-    t.row(["RAM", "256GB (not a bottleneck)", "256GB (not a bottleneck)"]);
+    t.row([
+        "Cores",
+        "24 (1 reactor/target modelled)",
+        "32 (1 reactor/target modelled)",
+    ]);
+    t.row([
+        "RAM",
+        "256GB (not a bottleneck)",
+        "256GB (not a bottleneck)",
+    ]);
     t.row(["NIC", "10/25 Gbps", "100 Gbps"]);
     t.row(["SSD", "3.2 TB NVMe-SSD", "1.6 TB NVMe-SSD"]);
 

@@ -45,7 +45,11 @@ pub fn all(d: Durations, threads: Option<usize>) {
     ]);
     let mut it = results.chunks(2);
     for speed in ["10 Gbps", "10 Gbps", "100 Gbps", "100 Gbps"] {
-        let transport = if t.rows.len().is_multiple_of(2) { "TCP" } else { "RDMA" };
+        let transport = if t.rows.len().is_multiple_of(2) {
+            "TCP"
+        } else {
+            "RDMA"
+        };
         let pair = it.next().unwrap();
         let (s, o) = (&pair[0], &pair[1]);
         t.row([

@@ -1,6 +1,6 @@
 //! Endpoints: a node's attachment to the fabric.
 
-use simkit::{Resource, SimDuration, SimTime};
+use simkit::{Metrics, MetricsSource, Resource, SimDuration, SimTime};
 
 /// Index of an endpoint within its [`crate::Network`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -76,5 +76,30 @@ impl Endpoint {
     /// its send-path backpressure signal.
     pub fn uplink_backlog(&self, now: SimTime) -> SimDuration {
         self.uplink.backlog(now)
+    }
+}
+
+impl MetricsSource for Endpoint {
+    fn metrics(&self, now: SimTime) -> Metrics {
+        let mut m = Metrics::at(now);
+        m.set("link.uplink_util", self.uplink_utilization(now));
+        m.set("link.downlink_util", self.downlink_utilization(now));
+        m.set(
+            "link.uplink_backlog_us",
+            self.uplink_backlog(now).as_micros_f64(),
+        );
+        m.set(
+            "link.downlink_backlog_us",
+            self.downlink_backlog(now).as_micros_f64(),
+        );
+        m.set("nic.tx_util", self.tx_nic.utilization(now));
+        m.set("nic.rx_util", self.rx_nic.utilization(now));
+        m.set("msgs_tx", self.stats.msgs_tx as f64);
+        m.set("msgs_rx", self.stats.msgs_rx as f64);
+        m.set("bytes_tx", self.stats.bytes_tx as f64);
+        m.set("bytes_rx", self.stats.bytes_rx as f64);
+        m.set("frames_tx", self.stats.frames_tx as f64);
+        m.set("frames_rx", self.stats.frames_rx as f64);
+        m
     }
 }

@@ -234,7 +234,10 @@ mod tests {
         k.run_to_completion();
         let now = k.now();
         let up = a.borrow().uplink_utilization(now);
-        assert!(up > 0.8, "back-to-back sends should keep the link busy: {up}");
+        assert!(
+            up > 0.8,
+            "back-to-back sends should keep the link busy: {up}"
+        );
         assert_eq!(a.borrow().downlink_utilization(now), 0.0);
     }
 

@@ -15,9 +15,7 @@ use fabric::{FabricConfig, Gbps, Network};
 use nvme::{FlashProfile, NvmeDevice, Opcode, BLOCK_SIZE};
 use nvmf::initiator::TargetRx;
 use nvmf::{CpuCosts, PduRx, SpdkInitiator, SpdkTarget};
-use opf::{
-    OpfInitiator, OpfInitiatorConfig, OpfTarget, OpfTargetConfig, ReqClass, WindowPolicy,
-};
+use opf::{OpfInitiator, OpfInitiatorConfig, OpfTarget, OpfTargetConfig, ReqClass, WindowPolicy};
 use simkit::{shared, Kernel, SimDuration, SimTime, Tracer};
 use std::cell::Cell;
 use std::rc::Rc;
@@ -266,7 +264,11 @@ pub fn run_h5bench(cfg: &H5BenchConfig) -> H5BenchResult {
     };
     let window = opf::optimal_window(
         cfg.speed,
-        if cfg.kernel == H5Kernel::Write { 1.0 } else { 0.0 },
+        if cfg.kernel == H5Kernel::Write {
+            1.0
+        } else {
+            0.0
+        },
         cfg.ranks_per_node.saturating_sub(1).max(1),
     );
 
@@ -390,13 +392,10 @@ pub fn run_h5bench(cfg: &H5BenchConfig) -> H5BenchResult {
                     tc_ranks += 1;
                     cfg.particles
                 }
-                ReqClass::LatencySensitive => {
-                    (cfg.particles / LS_VOLUME_DIVISOR).max(1024)
-                }
+                ReqClass::LatencySensitive => (cfg.particles / LS_VOLUME_DIVISOR).max(1024),
             };
             let bytes = particles * 4;
-            let region =
-                (4 + cfg.timesteps as u64 * (1 + bytes.div_ceil(BLOCK_SIZE as u64))) + 16;
+            let region = (4 + cfg.timesteps as u64 * (1 + bytes.div_ceil(BLOCK_SIZE as u64))) + 16;
             // Regions are sized by the largest (TC) rank so they never
             // overlap regardless of class.
             let tc_bytes = cfg.bytes_per_timestep();

@@ -345,9 +345,7 @@ impl<S: SyncStore> H5File<S> {
             alloc_ptr: 2,
         };
         let root = Group::default();
-        store
-            .write_block(1, &root.encode()?)
-            .map_err(H5Error::Io)?;
+        store.write_block(1, &root.encode()?).map_err(H5Error::Io)?;
         store.write_block(0, &sb.encode()).map_err(H5Error::Io)?;
         Ok(H5File { store, sb })
     }
@@ -510,7 +508,9 @@ impl<S: SyncStore> H5File<S> {
         data: &[u8],
     ) -> Result<DatasetInfo, H5Error> {
         if !data.len().is_multiple_of(dtype.size()) {
-            return Err(H5Error::Corrupt("data not a whole number of elements".into()));
+            return Err(H5Error::Corrupt(
+                "data not a whole number of elements".into(),
+            ));
         }
         let len = (data.len() / dtype.size()) as u64;
         let plan = self.plan_dataset(path, dtype, len)?;
@@ -543,12 +543,7 @@ impl<S: SyncStore> H5File<S> {
     /// Attach (or replace) an attribute on a dataset. Returns the
     /// updated header block write (also applied locally), so a VOL can
     /// ship it as a latency-sensitive metadata update.
-    pub fn set_attr(
-        &mut self,
-        path: &str,
-        name: &str,
-        value: &[u8],
-    ) -> Result<MetaWrite, H5Error> {
+    pub fn set_attr(&mut self, path: &str, name: &str, value: &[u8]) -> Result<MetaWrite, H5Error> {
         if name.is_empty() || name.len() > MAX_NAME || value.len() > 255 {
             return Err(H5Error::Corrupt("attribute too large".into()));
         }
@@ -572,7 +567,11 @@ impl<S: SyncStore> H5File<S> {
         }
         // Header capacity check: attributes must fit beside the fixed
         // fields and the checksum.
-        let attr_bytes: usize = info.attrs.iter().map(|a| 2 + a.name.len() + a.value.len()).sum();
+        let attr_bytes: usize = info
+            .attrs
+            .iter()
+            .map(|a| 2 + a.name.len() + a.value.len())
+            .sum();
         if 32 + attr_bytes > BLOCK_SIZE - 4 || info.attrs.len() > 255 {
             return Err(H5Error::TooLarge);
         }
@@ -796,15 +795,15 @@ mod tests {
             f.get_attr("/d", "missing"),
             Err(H5Error::NotFound(_))
         ));
-        assert!(matches!(f.set_attr("/nope", "a", b"b"), Err(H5Error::NotFound(_))));
+        assert!(matches!(
+            f.set_attr("/nope", "a", b"b"),
+            Err(H5Error::NotFound(_))
+        ));
         // Fill until the header block overflows: each attr ~260 bytes,
         // ~15 fit in 4060 usable bytes.
         let mut overflowed = false;
         for i in 0..40 {
-            if f
-                .set_attr("/d", &format!("attr{i}"), &[7u8; 250])
-                .is_err()
-            {
+            if f.set_attr("/d", &format!("attr{i}"), &[7u8; 250]).is_err() {
                 overflowed = true;
                 break;
             }

@@ -38,7 +38,9 @@ impl RankInitiator {
             RankInitiator::Spdk(i) => {
                 let priority = match class {
                     ReqClass::LatencySensitive => Priority::LatencySensitive,
-                    ReqClass::ThroughputCritical => Priority::ThroughputCritical { draining: false },
+                    ReqClass::ThroughputCritical => {
+                        Priority::ThroughputCritical { draining: false }
+                    }
                 };
                 SpdkInitiator::submit(i, k, opcode, lba, 1, payload, priority, cb)
             }

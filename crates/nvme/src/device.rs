@@ -5,7 +5,7 @@ use crate::namespace::{Namespace, NsError};
 use crate::rings::{CompletionRing, SubmissionRing};
 use crate::spec::{Cqe, Opcode, Sqe, Status, BLOCK_SIZE};
 use bytes::Bytes;
-use simkit::{Kernel, Pcg32, Resource, Shared, SimDuration, SimTime};
+use simkit::{Kernel, Metrics, MetricsSource, Pcg32, Resource, Shared, SimDuration, SimTime};
 
 /// Outcome of one I/O delivered to the submitter's callback.
 #[derive(Debug)]
@@ -74,7 +74,9 @@ pub struct NvmeDevice {
 impl NvmeDevice {
     /// Create a device with the given flash profile, capacity and seed.
     pub fn new(profile: FlashProfile, capacity_blocks: u64, seed: u64) -> Self {
-        let units = (0..profile.units).map(|_| Resource::new("flash_unit")).collect();
+        let units = (0..profile.units)
+            .map(|_| Resource::new("flash_unit"))
+            .collect();
         NvmeDevice {
             profile,
             ns: Namespace::new(1, capacity_blocks),
@@ -122,6 +124,16 @@ impl NvmeDevice {
     /// Commands currently being serviced.
     pub fn inflight(&self) -> usize {
         self.inflight
+    }
+
+    /// Mean busy fraction of the flash units over `[0, now]` — the
+    /// device-level utilization figure the paper's throughput plots use.
+    pub fn flash_busy_fraction(&self, now: SimTime) -> f64 {
+        if self.units.is_empty() {
+            return 0.0;
+        }
+        let sum: f64 = self.units.iter().map(|u| u.utilization(now)).sum();
+        sum / self.units.len() as f64
     }
 
     /// Pick the unit that frees up soonest (controller striping).
@@ -305,6 +317,29 @@ impl NvmeDevice {
     }
 }
 
+impl MetricsSource for NvmeDevice {
+    fn metrics(&self, now: SimTime) -> Metrics {
+        let mut m = Metrics::at(now);
+        m.set("flash.busy_fraction", self.flash_busy_fraction(now));
+        m.set("flash.units", self.units.len() as f64);
+        m.set("inflight", self.inflight as f64);
+        m.set("max_inflight", self.stats.max_inflight as f64);
+        m.set("reads", self.stats.reads as f64);
+        m.set("writes", self.stats.writes as f64);
+        m.set("flushes", self.stats.flushes as f64);
+        m.set("errors", self.stats.errors as f64);
+        m.set("blocks_read", self.stats.blocks_read as f64);
+        m.set("blocks_written", self.stats.blocks_written as f64);
+        // §IV-C: out-of-submission-order completions are what the
+        // initiator-side CID queue must absorb (CQ reorder depth proxy).
+        m.set(
+            "cq.out_of_order_completions",
+            self.stats.out_of_order_completions as f64,
+        );
+        m
+    }
+}
+
 fn ns_status(e: NsError) -> Status {
     match e {
         NsError::OutOfRange { .. } => Status::LbaOutOfRange,
@@ -334,13 +369,19 @@ mod tests {
         let d2 = dev.clone();
         let g = got.clone();
         let p = payload.clone();
-        NvmeDevice::submit(&dev, &mut k, Sqe::write(1, 1, 42, 1), Some(p), move |k, r| {
-            assert!(r.cqe.status.is_ok());
-            NvmeDevice::submit(&d2, k, Sqe::read(2, 1, 42, 1), None, move |_, r| {
+        NvmeDevice::submit(
+            &dev,
+            &mut k,
+            Sqe::write(1, 1, 42, 1),
+            Some(p),
+            move |k, r| {
                 assert!(r.cqe.status.is_ok());
-                *g.borrow_mut() = r.data;
-            });
-        });
+                NvmeDevice::submit(&d2, k, Sqe::read(2, 1, 42, 1), None, move |_, r| {
+                    assert!(r.cqe.status.is_ok());
+                    *g.borrow_mut() = r.data;
+                });
+            },
+        );
         k.run_to_completion();
         assert_eq!(got.borrow().as_deref(), Some(&payload[..]));
         let dev = dev.borrow();
@@ -371,9 +412,17 @@ mod tests {
         for i in 0..64u16 {
             let rt2 = rt.clone();
             let start = k.now();
-            NvmeDevice::submit(&dev, &mut k, Sqe::read(i, 1, u64::from(i), 1), None, move |k, _| {
-                rt2.borrow_mut().0.push(k.now().since(start).as_micros_f64());
-            });
+            NvmeDevice::submit(
+                &dev,
+                &mut k,
+                Sqe::read(i, 1, u64::from(i), 1),
+                None,
+                move |k, _| {
+                    rt2.borrow_mut()
+                        .0
+                        .push(k.now().since(start).as_micros_f64());
+                },
+            );
         }
         k.run_to_completion();
         let mut k = Kernel::new(3);
@@ -387,7 +436,9 @@ mod tests {
                 Sqe::write(i, 1, u64::from(i), 1),
                 Some(vec![0; BLOCK_SIZE]),
                 move |k, _| {
-                    rt2.borrow_mut().1.push(k.now().since(start).as_micros_f64());
+                    rt2.borrow_mut()
+                        .1
+                        .push(k.now().since(start).as_micros_f64());
                 },
             );
         }
@@ -405,9 +456,15 @@ mod tests {
         let order = Rc::new(RefCell::new(Vec::new()));
         for i in 0..256u16 {
             let o = order.clone();
-            NvmeDevice::submit(&dev, &mut k, Sqe::read(i, 1, u64::from(i), 1), None, move |_, r| {
-                o.borrow_mut().push(r.cqe.cid);
-            });
+            NvmeDevice::submit(
+                &dev,
+                &mut k,
+                Sqe::read(i, 1, u64::from(i), 1),
+                None,
+                move |_, r| {
+                    o.borrow_mut().push(r.cqe.cid);
+                },
+            );
         }
         k.run_to_completion();
         let order = order.borrow();
@@ -480,16 +537,22 @@ mod tests {
         let outcomes = Rc::new(RefCell::new((0u32, 0u32)));
         for i in 0..200u16 {
             let o = outcomes.clone();
-            NvmeDevice::submit(&dev, &mut k, Sqe::read(i % 128, 1, u64::from(i), 1), None, move |_, r| {
-                let mut o = o.borrow_mut();
-                if r.cqe.status.is_ok() {
-                    o.0 += 1;
-                } else {
-                    assert_eq!(r.cqe.status, Status::InternalError);
-                    assert!(r.data.is_none());
-                    o.1 += 1;
-                }
-            });
+            NvmeDevice::submit(
+                &dev,
+                &mut k,
+                Sqe::read(i % 128, 1, u64::from(i), 1),
+                None,
+                move |_, r| {
+                    let mut o = o.borrow_mut();
+                    if r.cqe.status.is_ok() {
+                        o.0 += 1;
+                    } else {
+                        assert_eq!(r.cqe.status, Status::InternalError);
+                        assert!(r.data.is_none());
+                        o.1 += 1;
+                    }
+                },
+            );
         }
         k.run_to_completion();
         let (ok, err) = *outcomes.borrow();
@@ -502,11 +565,17 @@ mod tests {
         let errs2 = Rc::new(RefCell::new(0u32));
         for i in 0..200u16 {
             let e = errs2.clone();
-            NvmeDevice::submit(&dev2, &mut k2, Sqe::read(i % 128, 1, u64::from(i), 1), None, move |_, r| {
-                if !r.cqe.status.is_ok() {
-                    *e.borrow_mut() += 1;
-                }
-            });
+            NvmeDevice::submit(
+                &dev2,
+                &mut k2,
+                Sqe::read(i % 128, 1, u64::from(i), 1),
+                None,
+                move |_, r| {
+                    if !r.cqe.status.is_ok() {
+                        *e.borrow_mut() += 1;
+                    }
+                },
+            );
         }
         k2.run_to_completion();
         assert_eq!(err, *errs2.borrow());

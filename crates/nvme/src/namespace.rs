@@ -59,7 +59,9 @@ impl Namespace {
     }
 
     fn check(&self, slba: u64, nblocks: u64) -> Result<(), NsError> {
-        let end = slba.checked_add(nblocks).ok_or(NsError::OutOfRange { lba: u64::MAX })?;
+        let end = slba
+            .checked_add(nblocks)
+            .ok_or(NsError::OutOfRange { lba: u64::MAX })?;
         if end > self.capacity_blocks {
             return Err(NsError::OutOfRange {
                 lba: self.capacity_blocks,

@@ -209,7 +209,10 @@ mod tests {
         }
         assert_eq!(cq.len(), 3);
         let reaped = cq.reap_all();
-        assert_eq!(reaped.iter().map(|c| c.cid).collect::<Vec<_>>(), vec![0, 1, 2]);
+        assert_eq!(
+            reaped.iter().map(|c| c.cid).collect::<Vec<_>>(),
+            vec![0, 1, 2]
+        );
         assert!(cq.is_empty());
     }
 

@@ -442,7 +442,8 @@ mod tests {
     fn identify_roundtrips_at_spec_offsets() {
         let mut s = server();
         let id = connect(&mut s, "nqn.host");
-        let AdminResp::Identify(ident) = s.handle(SimTime::ZERO, Some(id), &AdminCmd::IdentifyController)
+        let AdminResp::Identify(ident) =
+            s.handle(SimTime::ZERO, Some(id), &AdminCmd::IdentifyController)
         else {
             panic!("identify failed")
         };
@@ -466,7 +467,10 @@ mod tests {
         let b = connect(&mut s, "nqn.host.b");
         // a heartbeats at t=1.5s; b never does.
         let t = SimTime::from_millis(1500);
-        assert_eq!(s.handle(t, Some(a), &AdminCmd::KeepAlive), AdminResp::KeepAliveOk);
+        assert_eq!(
+            s.handle(t, Some(a), &AdminCmd::KeepAlive),
+            AdminResp::KeepAliveOk
+        );
         let dead = s.expire(SimTime::from_millis(2600));
         assert_eq!(dead, vec![b]);
         assert_eq!(s.controller_count(), 1);
@@ -486,7 +490,8 @@ mod tests {
     fn discovery_log_lists_subsystems() {
         let mut s = server();
         s.add_subsystem("nqn.2024-01.io.repro:ssd1", 2, "10.0.0.2", 4420);
-        let AdminResp::DiscoveryLog(entries) = s.handle(SimTime::ZERO, None, &AdminCmd::GetDiscoveryLog)
+        let AdminResp::DiscoveryLog(entries) =
+            s.handle(SimTime::ZERO, None, &AdminCmd::GetDiscoveryLog)
         else {
             panic!()
         };

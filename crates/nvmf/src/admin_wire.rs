@@ -234,12 +234,7 @@ impl AdminClient {
     pub fn start_keepalive(this: &Shared<AdminClient>, k: &mut Kernel, every: SimDuration) {
         let this2 = this.clone();
         k.schedule_in(every, move |k| {
-            AdminClient::send(
-                &this2,
-                k,
-                AdminCmd::KeepAlive,
-                Box::new(|_, _| {}),
-            );
+            AdminClient::send(&this2, k, AdminCmd::KeepAlive, Box::new(|_, _| {}));
             AdminClient::start_keepalive(&this2, k, every);
         });
     }
@@ -359,7 +354,10 @@ mod tests {
         let now = k.now();
         service.borrow_mut().server.expire(now);
         assert_eq!(service.borrow().server.controller_count(), 1);
-        assert!(b.borrow().cntlid.is_some(), "b was connected before expiring");
+        assert!(
+            b.borrow().cntlid.is_some(),
+            "b was connected before expiring"
+        );
         assert_eq!(
             service.borrow().server.host_of(a.borrow().cntlid.unwrap()),
             Some("nqn.host.a")

@@ -7,7 +7,7 @@ use crate::qpair::{IoCallback, QPair, ReqCtx};
 use bytes::Bytes;
 use fabric::{Endpoint, Network};
 use nvme::{Opcode, Sqe, Status};
-use simkit::{Kernel, Resource, Shared, SimDuration, Tracer};
+use simkit::{Kernel, Metrics, MetricsSource, Resource, Shared, SimDuration, SimTime, Tracer};
 use std::rc::Rc;
 
 /// Result of one I/O as seen by the submitting application.
@@ -128,8 +128,9 @@ impl SpdkInitiator {
         let (cid, finish, id) = {
             let mut i = this.borrow_mut();
             debug_assert!(
-                opcode != Opcode::Write || payload.as_ref().map(|p| p.len())
-                    == Some(blocks as usize * nvme::BLOCK_SIZE),
+                opcode != Opcode::Write
+                    || payload.as_ref().map(|p| p.len())
+                        == Some(blocks as usize * nvme::BLOCK_SIZE),
                 "write payload must cover the request"
             );
             let ctx = ReqCtx {
@@ -146,7 +147,8 @@ impl SpdkInitiator {
             i.stats.submitted += 1;
             let c = i.costs.ini_submit;
             let finish = i.cpu.reserve(k.now(), c).finish;
-            i.tracer.emit(k.now(), "ini.submit", u32::from(i.id), u64::from(cid));
+            i.tracer
+                .emit(k.now(), "ini.submit", u32::from(i.id), u64::from(cid));
             (cid, finish, i.id)
         };
         let this2 = this.clone();
@@ -267,6 +269,24 @@ impl SpdkInitiator {
     }
 }
 
+impl MetricsSource for SpdkInitiator {
+    fn metrics(&self, now: SimTime) -> Metrics {
+        let mut m = Metrics::at(now);
+        m.set("cpu_util", self.cpu.utilization(now));
+        m.set("inflight", self.qpair.inflight() as f64);
+        m.set("queue_depth", self.qpair.depth() as f64);
+        m.set("submitted", self.stats.submitted as f64);
+        m.set("completed", self.stats.completed as f64);
+        m.set("errors", self.stats.errors as f64);
+        m.set("pdu.resps_rx", self.stats.resps_rx as f64);
+        m.set("pdu.data_rx", self.stats.data_rx as f64);
+        m.set("pdu.r2ts_rx", self.stats.r2ts_rx as f64);
+        m.set("bytes_read", self.stats.bytes_read as f64);
+        m.set("bytes_written", self.stats.bytes_written as f64);
+        m
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -347,7 +367,11 @@ mod tests {
         let out = out.borrow_mut().take().unwrap();
         assert!(out.status.is_ok());
         assert_eq!(out.data.as_deref(), Some(&golden[..]));
-        assert!(out.latency > SimDuration::from_micros(40), "{:?}", out.latency);
+        assert!(
+            out.latency > SimDuration::from_micros(40),
+            "{:?}",
+            out.latency
+        );
         let i = ini.borrow();
         assert_eq!(i.stats.completed, 1);
         assert_eq!(i.stats.resps_rx, 1);
@@ -377,7 +401,10 @@ mod tests {
         .unwrap();
         k.run_to_completion();
         assert!(*done.borrow());
-        assert_eq!(dev.borrow_mut().namespace_mut().read(77, 1).unwrap(), payload);
+        assert_eq!(
+            dev.borrow_mut().namespace_mut().read(77, 1).unwrap(),
+            payload
+        );
         let t = tgt.borrow();
         assert_eq!(t.stats.r2ts_tx, 1, "writes take the R2T path");
         assert_eq!(t.stats.data_rx, 1);

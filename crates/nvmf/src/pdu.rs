@@ -197,9 +197,7 @@ impl Pdu {
             Pdu::CapsuleCmd { priority, .. } => (priority.to_flag_bits(), CAPSULE_CMD_LEN),
             Pdu::CapsuleResp { priority, .. } => (priority.to_flag_bits(), CAPSULE_RESP_LEN),
             Pdu::R2T { .. } => (0, R2T_LEN),
-            Pdu::H2CData { data, .. } | Pdu::C2HData { data, .. } => {
-                (0, DATA_HDR_LEN + data.len())
-            }
+            Pdu::H2CData { data, .. } | Pdu::C2HData { data, .. } => (0, DATA_HDR_LEN + data.len()),
         };
         // Common header: type, flags, hlen, pdo, plen.
         b.put_u8(self.kind() as u8);

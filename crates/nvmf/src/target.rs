@@ -12,7 +12,7 @@ use crate::PduRx;
 use bytes::Bytes;
 use fabric::{Endpoint, Network};
 use nvme::{NvmeDevice, Opcode, Sqe};
-use simkit::{Kernel, Resource, Shared, SimDuration, Tracer};
+use simkit::{Kernel, Metrics, MetricsSource, Resource, Shared, SimDuration, SimTime, Tracer};
 use std::collections::HashMap;
 
 /// Target-side counters. `resps_tx` is the completion-notification count
@@ -108,9 +108,7 @@ impl SpdkTarget {
     /// Deliver a PDU arriving from initiator `from`.
     pub fn on_pdu(this: &Shared<SpdkTarget>, k: &mut Kernel, from: u8, pdu: Pdu) {
         match pdu {
-            Pdu::CapsuleCmd { sqe, priority, .. } => {
-                Self::on_cmd(this, k, from, sqe, priority)
-            }
+            Pdu::CapsuleCmd { sqe, priority, .. } => Self::on_cmd(this, k, from, sqe, priority),
             Pdu::H2CData { cccid, data } => Self::on_h2c_data(this, k, from, cccid, data),
             other => panic!("target received unexpected PDU {:?}", other.kind()),
         }
@@ -188,8 +186,12 @@ impl SpdkTarget {
         let device = this.borrow().device.clone();
         {
             let t = this.borrow();
-            t.tracer
-                .emit(k.now(), "tgt.dev_submit", u32::from(from), u64::from(sqe.cid));
+            t.tracer.emit(
+                k.now(),
+                "tgt.dev_submit",
+                u32::from(from),
+                u64::from(sqe.cid),
+            );
         }
         let this2 = this.clone();
         NvmeDevice::submit(&device, k, sqe, data, move |k, result| {
@@ -248,5 +250,27 @@ impl SpdkTarget {
         let bytes = pdu.wire_len();
         self.net
             .send(k, &self.ep, &conn.ep, bytes, move |k| rx(k, pdu));
+    }
+}
+
+impl MetricsSource for SpdkTarget {
+    fn metrics(&self, now: SimTime) -> Metrics {
+        let mut m = Metrics::at(now);
+        m.set("reactor_util", self.reactor_utilization(now));
+        m.set("pdu.cmds_rx", self.stats.cmds_rx as f64);
+        m.set("pdu.data_rx", self.stats.data_rx as f64);
+        m.set("pdu.resps_tx", self.stats.resps_tx as f64);
+        m.set("pdu.r2ts_tx", self.stats.r2ts_tx as f64);
+        m.set("pdu.data_tx", self.stats.data_tx as f64);
+        m.set("completed", self.stats.completed as f64);
+        m.set("backpressured_sends", self.stats.backpressured_sends as f64);
+        // Baseline sends one response per completion: coalesce ratio 1.
+        let ratio = if self.stats.resps_tx > 0 {
+            self.stats.completed as f64 / self.stats.resps_tx as f64
+        } else {
+            0.0
+        };
+        m.set("coalesce_ratio", ratio);
+        m
     }
 }

@@ -32,14 +32,16 @@ fn params() -> impl Strategy<Value = Params> {
         prop_oneof![Just(0.0), Just(0.2)],
         any::<u64>(),
     )
-        .prop_map(|(tenants, qd, reqs_per_tenant, write_every, error_rate, seed)| Params {
-            tenants,
-            qd,
-            reqs_per_tenant,
-            write_every,
-            error_rate,
-            seed,
-        })
+        .prop_map(
+            |(tenants, qd, reqs_per_tenant, write_every, error_rate, seed)| Params {
+                tenants,
+                qd,
+                reqs_per_tenant,
+                write_every,
+                error_rate,
+                seed,
+            },
+        )
 }
 
 fn run_baseline(p: &Params) -> (Vec<usize>, u64, u64) {
@@ -97,10 +99,18 @@ fn run_baseline(p: &Params) -> (Vec<usize>, u64, u64) {
                     }
                     let n = dr.issued as u64;
                     dr.issued += 1;
-                    let is_write = dr.write_every > 0
-                        && (n as usize) % dr.write_every == dr.write_every - 1;
-                    let opcode = if is_write { Opcode::Write } else { Opcode::Read };
-                    let payload = if is_write { Some(dr.payload.clone()) } else { None };
+                    let is_write =
+                        dr.write_every > 0 && (n as usize) % dr.write_every == dr.write_every - 1;
+                    let opcode = if is_write {
+                        Opcode::Write
+                    } else {
+                        Opcode::Read
+                    };
+                    let payload = if is_write {
+                        Some(dr.payload.clone())
+                    } else {
+                        None
+                    };
                     (dr.ini.clone(), opcode, n, payload, dr.tenant)
                 };
                 let d2 = d.clone();

@@ -181,7 +181,7 @@ mod tests {
         let mut got = 0usize;
         // Per-producer order check: each producer's items arrive in its
         // own order even though streams interleave.
-        let mut last_per_producer = vec![None::<usize>; PRODUCERS];
+        let mut last_per_producer = [None::<usize>; PRODUCERS];
         // SAFETY-free trick: consumer needs &mut; keep the Arc but only
         // this thread calls pop via get_mut-like raw access. Instead we
         // consume after producers finish to keep it simple and still
@@ -212,16 +212,15 @@ mod tests {
         // give the consumer &mut while producers use &.
         let q = Box::leak(Box::new(MpscQueue::new()));
         let qref: &'static MpscQueue<usize> = q;
-        crossbeam::scope(|s| {
+        std::thread::scope(|s| {
             for p in 0..PRODUCERS {
-                s.spawn(move |_| {
+                s.spawn(move || {
                     for i in 0..PER {
                         qref.push(p * PER + i);
                     }
                 });
             }
-        })
-        .unwrap();
+        });
         // Drain after the scope (producers joined) — all items present.
         let qmut: &mut MpscQueue<usize> =
             unsafe { &mut *(qref as *const _ as *mut MpscQueue<usize>) };

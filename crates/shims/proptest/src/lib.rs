@@ -1,0 +1,641 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The container this workspace builds in has no crates.io access, so the
+//! workspace vendors a deterministic randomized-testing harness with the
+//! subset of the proptest API it actually uses:
+//!
+//! - the [`proptest!`] macro with `name in strategy` and `name: Type`
+//!   parameters, doc comments / attributes on the inner functions, and an
+//!   optional `#![proptest_config(..)]` header
+//! - [`Strategy`] implementations for integer ranges, tuples (up to 8),
+//!   [`Just`], [`prelude::any`] over primitive types, `collection::{vec,
+//!   hash_set}`, `sample::Index`, and [`prop_oneof!`]
+//! - panic-based [`prop_assert!`] / [`prop_assert_eq!`]
+//!
+//! Differences from the real crate, deliberately accepted for an offline
+//! test environment: inputs are drawn from a fixed per-test seed (derived
+//! from the test name), so runs are reproducible but there is **no
+//! shrinking** — on failure the harness prints the full failing input
+//! instead. `*.proptest-regressions` files are not consumed; regressions
+//! worth pinning get an explicit unit test instead.
+
+use std::fmt::Debug;
+
+// ---------------------------------------------------------------------------
+// Deterministic RNG (PCG-XSH-RR 32, same construction simkit uses, duplicated
+// here so the shim has zero workspace dependencies).
+// ---------------------------------------------------------------------------
+
+/// Deterministic random source handed to [`Strategy::generate`].
+pub struct TestRng {
+    state: u64,
+    inc: u64,
+}
+
+impl TestRng {
+    /// Seed the RNG from an arbitrary label (the test function name), so every
+    /// test gets an independent but fully reproducible stream.
+    pub fn deterministic(label: &str) -> Self {
+        // FNV-1a over the label picks the stream.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in label.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        let mut rng = TestRng {
+            state: 0,
+            inc: (h << 1) | 1,
+        };
+        rng.state = rng.state.wrapping_add(h).wrapping_add(rng.inc);
+        rng.next_u32();
+        rng
+    }
+
+    fn next_u32(&mut self) -> u32 {
+        let old = self.state;
+        self.state = old
+            .wrapping_mul(6_364_136_223_846_793_005)
+            .wrapping_add(self.inc);
+        let xorshifted = (((old >> 18) ^ old) >> 27) as u32;
+        let rot = (old >> 59) as u32;
+        xorshifted.rotate_right(rot)
+    }
+
+    /// Uniform-ish u64 (two PCG draws).
+    pub fn next_u64(&mut self) -> u64 {
+        ((self.next_u32() as u64) << 32) | self.next_u32() as u64
+    }
+
+    /// A value in `[0, bound)`. Modulo bias is irrelevant at test scale.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "empty range handed to strategy");
+        self.next_u64() % bound
+    }
+
+    /// A uniform bool.
+    pub fn bool(&mut self) -> bool {
+        self.next_u32() & 1 == 1
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Strategy
+// ---------------------------------------------------------------------------
+
+/// A recipe for generating values of `Self::Value`.
+pub trait Strategy {
+    /// The value type this strategy produces.
+    type Value: Debug;
+
+    /// Draw one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        O: Debug,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Box the strategy, erasing its concrete type (used by `prop_oneof!`).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy {
+            inner: Box::new(self),
+        }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, O> Strategy for Map<S, F>
+where
+    S: Strategy,
+    O: Debug,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Type-erased strategy.
+pub struct BoxedStrategy<V> {
+    inner: Box<dyn Strategy<Value = V>>,
+}
+
+impl<V: Debug> Strategy for BoxedStrategy<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        self.inner.generate(rng)
+    }
+}
+
+/// Always produces a clone of the wrapped value.
+#[derive(Clone, Debug)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+// Integer range strategies: `lo..hi` draws uniformly from [lo, hi).
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                self.start.wrapping_add(rng.below(span) as $t)
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as u64).wrapping_sub(lo as u64).wrapping_add(1);
+                if span == 0 {
+                    // Full-domain u64 inclusive range.
+                    return rng.next_u64() as $t;
+                }
+                lo.wrapping_add(rng.below(span) as $t)
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for std::ops::Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        self.start + unit * (self.end - self.start)
+    }
+}
+
+// Tuple strategies: a tuple of strategies yields a tuple of values.
+macro_rules! tuple_strategy {
+    ($(($($s:ident . $idx:tt),+);)*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A.0);
+    (A.0, B.1);
+    (A.0, B.1, C.2);
+    (A.0, B.1, C.2, D.3);
+    (A.0, B.1, C.2, D.3, E.4);
+    (A.0, B.1, C.2, D.3, E.4, F.5);
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6);
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7);
+}
+
+/// One of several alternatives, uniformly chosen (`prop_oneof!`).
+pub struct Union<V> {
+    variants: Vec<BoxedStrategy<V>>,
+}
+
+impl<V: Debug> Union<V> {
+    /// Build from already-boxed alternatives.
+    pub fn new(variants: Vec<BoxedStrategy<V>>) -> Self {
+        assert!(!variants.is_empty(), "prop_oneof! needs at least one arm");
+        Union { variants }
+    }
+}
+
+impl<V: Debug> Strategy for Union<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let i = rng.below(self.variants.len() as u64) as usize;
+        self.variants[i].generate(rng)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Arbitrary + any::<T>()
+// ---------------------------------------------------------------------------
+
+/// Types with a canonical full-domain strategy (`any::<T>()`).
+pub trait Arbitrary: Debug + Sized {
+    /// Draw one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! int_arbitrary {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.bool()
+    }
+}
+
+macro_rules! tuple_arbitrary {
+    ($(($($t:ident),+);)*) => {$(
+        impl<$($t: Arbitrary),+> Arbitrary for ($($t,)+) {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                ($($t::arbitrary(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_arbitrary! {
+    (A);
+    (A, B);
+    (A, B, C);
+    (A, B, C, D);
+}
+
+/// Strategy produced by [`prelude::any`].
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// collection / sample
+// ---------------------------------------------------------------------------
+
+/// `vec` / `hash_set` strategies over an element strategy and a length range.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::collections::HashSet;
+    use std::hash::Hash;
+    use std::ops::Range;
+
+    /// Strategy for `Vec<S::Value>` with length drawn from `len`.
+    pub struct VecStrategy<S> {
+        elem: S,
+        len: Range<usize>,
+    }
+
+    /// A `Vec` whose length is drawn from `len` and elements from `elem`.
+    pub fn vec<S: Strategy>(elem: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { elem, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n =
+                self.len.start + rng.below((self.len.end - self.len.start).max(1) as u64) as usize;
+            (0..n).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+
+    /// Strategy for `HashSet<S::Value>` with target size drawn from `len`.
+    pub struct HashSetStrategy<S> {
+        elem: S,
+        len: Range<usize>,
+    }
+
+    /// A `HashSet` with size drawn from `len` (best effort: duplicates from
+    /// a small element domain may produce fewer entries, matching proptest's
+    /// own behavior for tight domains).
+    pub fn hash_set<S>(elem: S, len: Range<usize>) -> HashSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Eq + Hash,
+    {
+        HashSetStrategy { elem, len }
+    }
+
+    impl<S> Strategy for HashSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Eq + Hash + std::fmt::Debug,
+    {
+        type Value = HashSet<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> HashSet<S::Value> {
+            let n =
+                self.len.start + rng.below((self.len.end - self.len.start).max(1) as u64) as usize;
+            let mut out = HashSet::with_capacity(n);
+            // Bounded attempts so tight element domains cannot loop forever.
+            let mut attempts = 0usize;
+            while out.len() < n && attempts < n.saturating_mul(16) + 64 {
+                out.insert(self.elem.generate(rng));
+                attempts += 1;
+            }
+            out
+        }
+    }
+}
+
+/// `sample::Index` — a position that scales to any collection length.
+pub mod sample {
+    use super::{Arbitrary, TestRng};
+
+    /// An abstract index into a collection of unknown length.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Index(u64);
+
+    impl Index {
+        /// Resolve against a concrete collection length. Panics on `len == 0`
+        /// (same contract as the real crate).
+        pub fn index(&self, len: usize) -> usize {
+            assert!(len > 0, "Index::index on empty collection");
+            (self.0 % len as u64) as usize
+        }
+    }
+
+    impl Arbitrary for Index {
+        fn arbitrary(rng: &mut TestRng) -> Index {
+            Index(rng.next_u64())
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Config
+// ---------------------------------------------------------------------------
+
+/// Subset of proptest's per-test configuration.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+    /// Accepted for source compatibility; this shim never persists failures.
+    pub failure_persistence: Option<()>,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 64,
+            failure_persistence: None,
+        }
+    }
+}
+
+impl ProptestConfig {
+    /// Convenience mirroring `ProptestConfig::with_cases`.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig {
+            cases,
+            ..Default::default()
+        }
+    }
+}
+
+/// Commonly imported names, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::sample;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Any, Arbitrary,
+        BoxedStrategy, Just, ProptestConfig, Strategy,
+    };
+
+    /// The canonical strategy for `T` (`any::<u8>()`, `any::<(bool, u16)>()`…).
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any {
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+pub use prelude::any;
+
+// ---------------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------------
+
+/// Assert inside a property; panics (and so fails the case) when false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond)
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*)
+    };
+}
+
+/// Assert equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {
+        assert_eq!($a, $b)
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_eq!($a, $b, $($fmt)*)
+    };
+}
+
+/// Assert inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {
+        assert_ne!($a, $b)
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_ne!($a, $b, $($fmt)*)
+    };
+}
+
+/// Uniformly choose among alternative strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($strat)),+])
+    };
+}
+
+/// Define property tests. Supports:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig { cases: 48, ..Default::default() })]
+///     /// doc comments pass through
+///     #[test]
+///     fn roundtrip(cid: u16, nlb in 0u16..64, flags in prop_oneof![Just(0u8), Just(1u8)]) {
+///         prop_assert_eq!(decode(encode(cid, nlb, flags)), (cid, nlb, flags));
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    ( #![proptest_config($cfg:expr)] $($rest:tt)* ) => {
+        $crate::__proptest_fns! { @cfg ($cfg) $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_fns! { @cfg ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    ( @cfg ($cfg:expr) ) => {};
+    ( @cfg ($cfg:expr)
+      $(#[$meta:meta])*
+      fn $name:ident ( $($params:tt)* ) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            $crate::__proptest_case! {
+                @cfg ($cfg) @name ($name) @acc () @params ( $($params)* ) @body ($body)
+            }
+        }
+        $crate::__proptest_fns! { @cfg ($cfg) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_case {
+    // `name in strategy, ...`
+    ( @cfg ($cfg:expr) @name ($name:ident) @acc ($($an:ident => $as:expr,)*)
+      @params ( $pn:ident in $ps:expr, $($rest:tt)* ) @body ($body:block) ) => {
+        $crate::__proptest_case! {
+            @cfg ($cfg) @name ($name) @acc ($($an => $as,)* $pn => $ps,)
+            @params ( $($rest)* ) @body ($body)
+        }
+    };
+    // `name in strategy` (final)
+    ( @cfg ($cfg:expr) @name ($name:ident) @acc ($($an:ident => $as:expr,)*)
+      @params ( $pn:ident in $ps:expr ) @body ($body:block) ) => {
+        $crate::__proptest_case! {
+            @cfg ($cfg) @name ($name) @acc ($($an => $as,)* $pn => $ps,)
+            @params ( ) @body ($body)
+        }
+    };
+    // `name: Type, ...`
+    ( @cfg ($cfg:expr) @name ($name:ident) @acc ($($an:ident => $as:expr,)*)
+      @params ( $pn:ident : $pt:ty, $($rest:tt)* ) @body ($body:block) ) => {
+        $crate::__proptest_case! {
+            @cfg ($cfg) @name ($name)
+            @acc ($($an => $as,)* $pn => $crate::prelude::any::<$pt>(),)
+            @params ( $($rest)* ) @body ($body)
+        }
+    };
+    // `name: Type` (final)
+    ( @cfg ($cfg:expr) @name ($name:ident) @acc ($($an:ident => $as:expr,)*)
+      @params ( $pn:ident : $pt:ty ) @body ($body:block) ) => {
+        $crate::__proptest_case! {
+            @cfg ($cfg) @name ($name)
+            @acc ($($an => $as,)* $pn => $crate::prelude::any::<$pt>(),)
+            @params ( ) @body ($body)
+        }
+    };
+    // All params accumulated: run the cases.
+    ( @cfg ($cfg:expr) @name ($name:ident) @acc ($($an:ident => $as:expr,)*)
+      @params ( ) @body ($body:block) ) => {{
+        use $crate::Strategy as _;
+        let __cfg: $crate::ProptestConfig = $cfg;
+        let mut __rng = $crate::TestRng::deterministic(concat!(
+            module_path!(), "::", stringify!($name)
+        ));
+        for __case in 0..__cfg.cases {
+            $(let $an = ($as).generate(&mut __rng);)*
+            let __input = format!(
+                concat!("{{ ", $(stringify!($an), ": {:?}, ",)* "}}"),
+                $(&$an),*
+            );
+            let __outcome = ::std::panic::catch_unwind(
+                ::std::panic::AssertUnwindSafe(move || $body),
+            );
+            if let Err(__panic) = __outcome {
+                eprintln!(
+                    "proptest case {}/{} of `{}` failed with input {}",
+                    __case + 1,
+                    __cfg.cases,
+                    stringify!($name),
+                    __input,
+                );
+                ::std::panic::resume_unwind(__panic);
+            }
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn deterministic_streams() {
+        let mut a = crate::TestRng::deterministic("x");
+        let mut b = crate::TestRng::deterministic("x");
+        let mut c = crate::TestRng::deterministic("y");
+        let va: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        let vc: Vec<u64> = (0..8).map(|_| c.next_u64()).collect();
+        assert_eq!(va, vb);
+        assert_ne!(va, vc);
+    }
+
+    #[test]
+    fn range_and_collection_bounds() {
+        let mut rng = crate::TestRng::deterministic("bounds");
+        for _ in 0..200 {
+            let v = (3u16..9).generate(&mut rng);
+            assert!((3..9).contains(&v));
+            let xs = crate::collection::vec(0u8..4, 2..6).generate(&mut rng);
+            assert!(xs.len() >= 2 && xs.len() < 6);
+            assert!(xs.iter().all(|&x| x < 4));
+            let set = crate::collection::hash_set(0u16..512, 1..64).generate(&mut rng);
+            assert!(!set.is_empty() && set.len() < 64);
+            let idx = any::<sample::Index>().generate(&mut rng);
+            assert!(idx.index(7) < 7);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 32, ..Default::default() })]
+
+        /// Mixed parameter styles exercise the macro muncher.
+        #[test]
+        fn macro_smoke(cid: u16, nlb in 0u16..64, pick in prop_oneof![Just(1u8), Just(2u8)]) {
+            prop_assert!(nlb < 64);
+            prop_assert!(pick == 1 || pick == 2);
+            prop_assert_eq!(cid, cid);
+        }
+
+        #[test]
+        fn tuple_and_vec(ops in crate::collection::vec((0u64..64, 1u64..4, any::<u8>()), 1..40)) {
+            prop_assert!(!ops.is_empty() && ops.len() < 40);
+            for (a, b, _c) in ops {
+                prop_assert!(a < 64 && (1..4).contains(&b));
+            }
+        }
+    }
+}

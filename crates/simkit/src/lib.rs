@@ -26,12 +26,14 @@
 //! ```
 
 pub mod kernel;
+pub mod metrics;
 pub mod resource;
 pub mod rng;
 pub mod time;
 pub mod trace;
 
 pub use kernel::{EventFn, Kernel};
+pub use metrics::{Metrics, MetricsSource};
 pub use resource::Resource;
 pub use rng::Pcg32;
 pub use time::{SimDuration, SimTime};

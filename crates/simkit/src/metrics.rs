@@ -1,0 +1,205 @@
+//! Unified observability: virtual-time-stamped metric snapshots.
+//!
+//! Every layer of the stack (fabric endpoints, the NVMe device model, the
+//! baseline and oPF protocol engines, the workload runner) exposes its
+//! counters through one [`MetricsSource`] trait instead of bespoke stat
+//! structs, so experiment harnesses and the sweep runner can collect,
+//! merge, diff, and serialize a whole-cluster snapshot without knowing
+//! which component produced which number.
+//!
+//! Snapshots are deliberately simple — an ordered list of
+//! `(name, f64)` entries stamped with the virtual time they were taken —
+//! and deliberately deterministic: entries are kept sorted by name and the
+//! JSON encoding never touches wall-clock time, hash iteration order, or
+//! locale-dependent formatting, so the same simulation produces
+//! bit-identical output on every run.
+
+use crate::time::SimTime;
+
+/// One named-counter snapshot taken at a virtual time.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Metrics {
+    taken_at: SimTime,
+    /// Sorted by name; names are unique.
+    entries: Vec<(String, f64)>,
+}
+
+impl Metrics {
+    /// An empty snapshot stamped `now`.
+    pub fn at(now: SimTime) -> Self {
+        Metrics {
+            taken_at: now,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Virtual time the snapshot was taken.
+    pub fn taken_at(&self) -> SimTime {
+        self.taken_at
+    }
+
+    /// Record `name = value`. Replaces an existing entry of the same name.
+    pub fn set(&mut self, name: impl Into<String>, value: f64) {
+        let name = name.into();
+        match self
+            .entries
+            .binary_search_by(|(n, _)| n.as_str().cmp(&name))
+        {
+            Ok(i) => self.entries[i].1 = value,
+            Err(i) => self.entries.insert(i, (name, value)),
+        }
+    }
+
+    /// Look up a metric by exact name.
+    pub fn get(&self, name: &str) -> Option<f64> {
+        self.entries
+            .binary_search_by(|(n, _)| n.as_str().cmp(name))
+            .ok()
+            .map(|i| self.entries[i].1)
+    }
+
+    /// Absorb `other`, prefixing each of its names with `prefix`.
+    /// (`merge("pair0.tgt.", t.metrics(now))` yields `pair0.tgt.resps_tx`…)
+    pub fn merge(&mut self, prefix: &str, other: &Metrics) {
+        for (name, value) in &other.entries {
+            self.set(format!("{prefix}{name}"), *value);
+        }
+    }
+
+    /// Sum `other` into this snapshot entry-wise (missing entries are
+    /// created). Used to aggregate per-component counters cluster-wide.
+    pub fn accumulate(&mut self, other: &Metrics) {
+        for (name, value) in &other.entries {
+            let base = self.get(name).unwrap_or(0.0);
+            self.set(name.clone(), base + value);
+        }
+    }
+
+    /// Iterate entries in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.entries.iter().map(|(n, v)| (n.as_str(), *v))
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no entries have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Deterministic JSON object: `{"taken_at_ns":N,"metrics":{...}}`.
+    /// Entries appear in name order; floats use Rust's shortest
+    /// round-trip formatting, so identical runs serialize bit-identically.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(32 + self.entries.len() * 24);
+        out.push_str("{\"taken_at_ns\":");
+        out.push_str(&self.taken_at.as_nanos().to_string());
+        out.push_str(",\"metrics\":{");
+        for (i, (name, value)) in self.entries.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('"');
+            // Metric names are ASCII identifiers with dots; still escape
+            // defensively so the output is always valid JSON.
+            for c in name.chars() {
+                match c {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                    c => out.push(c),
+                }
+            }
+            out.push_str("\":");
+            out.push_str(&format_f64(*value));
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+/// Deterministic JSON-safe float formatting (shared with the sweep
+/// runner's report writer): finite values use Rust's shortest round-trip
+/// `Display`; non-finite values (invalid JSON) degrade to `null`.
+pub fn format_f64(v: f64) -> String {
+    if v.is_finite() {
+        let s = v.to_string();
+        // `Display` prints integral floats without a dot; keep them as-is
+        // (valid JSON numbers) for compactness.
+        s
+    } else {
+        "null".to_string()
+    }
+}
+
+/// A component able to report a [`Metrics`] snapshot of itself.
+///
+/// Names should be stable, lower_snake_case, and scoped to the component
+/// (no global prefix — the collector adds one via [`Metrics::merge`]).
+pub trait MetricsSource {
+    /// Snapshot this component's metrics as of virtual time `now`.
+    fn metrics(&self, now: SimTime) -> Metrics;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimTime;
+
+    #[test]
+    fn set_get_sorted_and_replace() {
+        let mut m = Metrics::at(SimTime::from_micros(5));
+        m.set("zeta", 1.0);
+        m.set("alpha", 2.0);
+        m.set("mid", 3.0);
+        m.set("alpha", 4.0); // replace
+        assert_eq!(m.len(), 3);
+        assert_eq!(m.get("alpha"), Some(4.0));
+        assert_eq!(m.get("missing"), None);
+        let names: Vec<_> = m.iter().map(|(n, _)| n.to_string()).collect();
+        assert_eq!(names, vec!["alpha", "mid", "zeta"]);
+    }
+
+    #[test]
+    fn merge_prefixes_and_accumulate_sums() {
+        let mut a = Metrics::at(SimTime::ZERO);
+        a.set("x", 1.0);
+        let mut b = Metrics::at(SimTime::ZERO);
+        b.set("x", 2.0);
+        b.set("y", 3.0);
+        a.merge("tgt.", &b);
+        assert_eq!(a.get("tgt.x"), Some(2.0));
+        assert_eq!(a.get("tgt.y"), Some(3.0));
+        assert_eq!(a.get("x"), Some(1.0));
+
+        let mut acc = Metrics::at(SimTime::ZERO);
+        acc.accumulate(&b);
+        acc.accumulate(&b);
+        assert_eq!(acc.get("x"), Some(4.0));
+        assert_eq!(acc.get("y"), Some(6.0));
+    }
+
+    #[test]
+    fn json_is_deterministic_and_ordered() {
+        let mut m = Metrics::at(SimTime::from_nanos(1234));
+        m.set("b.count", 2.0);
+        m.set("a.rate", 0.5);
+        let j = m.to_json();
+        assert_eq!(
+            j,
+            "{\"taken_at_ns\":1234,\"metrics\":{\"a.rate\":0.5,\"b.count\":2}}"
+        );
+        assert_eq!(j, m.clone().to_json());
+    }
+
+    #[test]
+    fn non_finite_floats_degrade_to_null() {
+        assert_eq!(format_f64(f64::NAN), "null");
+        assert_eq!(format_f64(f64::INFINITY), "null");
+        assert_eq!(format_f64(1.25), "1.25");
+        assert_eq!(format_f64(3.0), "3");
+    }
+}

@@ -1,0 +1,470 @@
+//! # sweep — automated scenario sweeps with unified metrics output
+//!
+//! Takes a scenario description (JSON: runtime × speed × mix × LS:TC
+//! ratio × seeds), expands the cross product in a fixed order, fans the
+//! runs out across OS threads (each simulation is single-threaded and
+//! deterministic), and emits a machine-readable `BENCH_<name>.json`
+//! report — every point carrying the whole-cluster [`simkit::Metrics`]
+//! snapshot — plus a flat CSV for spreadsheets.
+//!
+//! Output is bit-identical across runs of the same spec: points are
+//! ordered by expansion index (never by completion), floats use Rust's
+//! shortest round-trip formatting, and no wall-clock time is recorded.
+//!
+//! ## Spec schema
+//!
+//! ```json
+//! {
+//!   "name": "smoke",
+//!   "runtimes": ["spdk", "opf"],
+//!   "speeds": [10, 25, 100],
+//!   "mixes": ["read", "write", "mixed"],
+//!   "ratios": [[1, 1], [1, 4]],
+//!   "seeds": [42, 43],
+//!   "warmup_s": 0.05,
+//!   "measure_s": 0.15,
+//!   "threads": 4
+//! }
+//! ```
+//!
+//! Only `name` is required. `mixes` entries may also be numbers (the
+//! read fraction, e.g. `0.7`). `threads` defaults to the machine's
+//! available parallelism; everything else defaults to a small smoke
+//! sweep (see [`SweepSpec::from_json`]).
+
+pub mod json;
+
+use fabric::Gbps;
+use json::Json;
+use simkit::metrics::format_f64;
+use workload::scenario::Speed;
+use workload::{Mix, RunResult, RuntimeKind, Scenario};
+
+/// A parsed sweep specification.
+#[derive(Clone, Debug)]
+pub struct SweepSpec {
+    /// Report name: output lands in `BENCH_<name>.json` / `.csv`.
+    pub name: String,
+    /// Runtimes to sweep.
+    pub runtimes: Vec<RuntimeKind>,
+    /// Fabric speeds to sweep.
+    pub speeds: Vec<Gbps>,
+    /// Read/write mixes to sweep.
+    pub mixes: Vec<Mix>,
+    /// LS:TC tenant ratios to sweep.
+    pub ratios: Vec<(usize, usize)>,
+    /// Seeds to sweep.
+    pub seeds: Vec<u64>,
+    /// Warmup simulated seconds per run.
+    pub warmup_s: f64,
+    /// Measured simulated seconds per run.
+    pub measure_s: f64,
+    /// Worker threads (`None` = available parallelism).
+    pub threads: Option<usize>,
+}
+
+/// One expanded point of the sweep (the cross-product coordinates).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Point {
+    /// Runtime under test.
+    pub runtime: RuntimeKind,
+    /// Fabric speed in Gbps.
+    pub speed_gbps: u32,
+    /// Mix read fraction.
+    pub read_fraction: f64,
+    /// LS tenants.
+    pub ls: usize,
+    /// TC tenants.
+    pub tc: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Point {
+    fn runtime_name(&self) -> &'static str {
+        match self.runtime {
+            RuntimeKind::Spdk => "spdk",
+            RuntimeKind::Opf => "opf",
+        }
+    }
+
+    fn mix_name(&self) -> String {
+        if self.read_fraction >= 1.0 {
+            "read".to_string()
+        } else if self.read_fraction <= 0.0 {
+            "write".to_string()
+        } else {
+            format!("mixed-{}", format_f64(self.read_fraction))
+        }
+    }
+}
+
+fn parse_runtime(v: &Json) -> Result<RuntimeKind, String> {
+    match v.as_str() {
+        Some("spdk") | Some("SPDK") => Ok(RuntimeKind::Spdk),
+        Some("opf") | Some("OPF") | Some("nvme-opf") => Ok(RuntimeKind::Opf),
+        _ => Err(format!("unknown runtime {v:?} (want \"spdk\" or \"opf\")")),
+    }
+}
+
+fn parse_speed(v: &Json) -> Result<Gbps, String> {
+    match v.as_u64() {
+        Some(10) => Ok(Gbps::G10),
+        Some(25) => Ok(Gbps::G25),
+        Some(100) => Ok(Gbps::G100),
+        _ => Err(format!("unknown speed {v:?} (want 10, 25 or 100)")),
+    }
+}
+
+fn parse_mix(v: &Json) -> Result<Mix, String> {
+    if let Some(f) = v.as_f64() {
+        if (0.0..=1.0).contains(&f) {
+            return Ok(Mix { read_fraction: f });
+        }
+        return Err(format!("mix fraction {f} outside [0, 1]"));
+    }
+    match v.as_str() {
+        Some("read") => Ok(Mix::READ),
+        Some("write") => Ok(Mix::WRITE),
+        Some("mixed") => Ok(Mix::MIXED),
+        _ => Err(format!(
+            "unknown mix {v:?} (want \"read\", \"write\", \"mixed\" or a fraction)"
+        )),
+    }
+}
+
+fn parse_ratio(v: &Json) -> Result<(usize, usize), String> {
+    let arr = v
+        .as_arr()
+        .ok_or_else(|| format!("ratio {v:?} not a pair"))?;
+    match arr {
+        [ls, tc] => {
+            let ls = ls.as_u64().ok_or("LS count not an integer")? as usize;
+            let tc = tc.as_u64().ok_or("TC count not an integer")? as usize;
+            if ls + tc == 0 {
+                return Err("ratio [0, 0] has no tenants".to_string());
+            }
+            Ok((ls, tc))
+        }
+        _ => Err(format!("ratio {v:?} must be [ls, tc]")),
+    }
+}
+
+fn list<T>(
+    doc: &Json,
+    key: &str,
+    parse_one: impl Fn(&Json) -> Result<T, String>,
+    default: Vec<T>,
+) -> Result<Vec<T>, String> {
+    match doc.get(key) {
+        None => Ok(default),
+        Some(v) => {
+            let arr = v
+                .as_arr()
+                .ok_or_else(|| format!("{key} must be an array"))?;
+            if arr.is_empty() {
+                return Err(format!("{key} must not be empty"));
+            }
+            arr.iter()
+                .map(&parse_one)
+                .collect::<Result<Vec<T>, String>>()
+                .map_err(|e| format!("{key}: {e}"))
+        }
+    }
+}
+
+impl SweepSpec {
+    /// Parse a spec document. Only `name` is required; everything else
+    /// defaults to a small two-runtime smoke sweep at 100 Gbps.
+    pub fn from_json(src: &str) -> Result<SweepSpec, String> {
+        let doc = json::parse(src)?;
+        let name = doc
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or("spec needs a string \"name\"")?
+            .to_string();
+        if name.is_empty()
+            || !name
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '_')
+        {
+            return Err(format!(
+                "name {name:?} must be non-empty [A-Za-z0-9_-] (it names the output file)"
+            ));
+        }
+        let spec = SweepSpec {
+            name,
+            runtimes: list(
+                &doc,
+                "runtimes",
+                parse_runtime,
+                vec![RuntimeKind::Spdk, RuntimeKind::Opf],
+            )?,
+            speeds: list(&doc, "speeds", parse_speed, vec![Gbps::G100])?,
+            mixes: list(&doc, "mixes", parse_mix, vec![Mix::READ])?,
+            ratios: list(&doc, "ratios", parse_ratio, vec![(1, 1)])?,
+            seeds: list(
+                &doc,
+                "seeds",
+                |v| {
+                    v.as_u64()
+                        .ok_or_else(|| format!("seed {v:?} not an integer"))
+                },
+                vec![42],
+            )?,
+            warmup_s: doc.get("warmup_s").and_then(Json::as_f64).unwrap_or(0.05),
+            measure_s: doc.get("measure_s").and_then(Json::as_f64).unwrap_or(0.15),
+            threads: doc
+                .get("threads")
+                .map(|v| {
+                    v.as_u64()
+                        .filter(|&t| t >= 1)
+                        .map(|t| t as usize)
+                        .ok_or_else(|| format!("threads {v:?} not a positive integer"))
+                })
+                .transpose()?,
+        };
+        if !(spec.warmup_s >= 0.0 && spec.warmup_s.is_finite()) {
+            return Err("warmup_s must be a finite non-negative number".to_string());
+        }
+        if !(spec.measure_s > 0.0 && spec.measure_s.is_finite()) {
+            return Err("measure_s must be a finite positive number".to_string());
+        }
+        Ok(spec)
+    }
+
+    /// Expand the cross product in its canonical order: runtime (outer)
+    /// × speed × mix × ratio × seed (inner). Report points keep this
+    /// index order regardless of which worker finishes first.
+    pub fn expand(&self) -> Vec<(Point, Scenario)> {
+        let mut out = Vec::new();
+        for &runtime in &self.runtimes {
+            for &speed in &self.speeds {
+                for &mix in &self.mixes {
+                    for &(ls, tc) in &self.ratios {
+                        for &seed in &self.seeds {
+                            let mut sc = Scenario::ratio(runtime, speed, mix, ls, tc);
+                            sc.warmup_s = self.warmup_s;
+                            sc.measure_s = self.measure_s;
+                            sc.seed = seed;
+                            let point = Point {
+                                runtime,
+                                speed_gbps: match Speed::from(speed) {
+                                    Speed::G10 => 10,
+                                    Speed::G25 => 25,
+                                    Speed::G100 => 100,
+                                },
+                                read_fraction: mix.read_fraction,
+                                ls,
+                                tc,
+                                seed,
+                            };
+                            out.push((point, sc));
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Run every point of the spec (parallel fan-out, deterministic order).
+pub fn run_spec(spec: &SweepSpec) -> Vec<(Point, RunResult)> {
+    let expanded = spec.expand();
+    let scenarios: Vec<Scenario> = expanded.iter().map(|(_, sc)| sc.clone()).collect();
+    let results = experiments::sweep::run_all(&scenarios, spec.threads);
+    expanded.into_iter().map(|(p, _)| p).zip(results).collect()
+}
+
+fn result_json(r: &RunResult) -> String {
+    format!(
+        concat!(
+            "{{\"tc_iops\":{},\"tc_mb_s\":{},\"tc_avg_us\":{},\"tc_p9999_us\":{},",
+            "\"ls_iops\":{},\"ls_avg_us\":{},\"ls_p9999_us\":{},",
+            "\"notifications\":{},\"completed\":{},\"reactor_util\":{},\"events\":{}}}"
+        ),
+        format_f64(r.tc_iops),
+        format_f64(r.tc_mb_s),
+        format_f64(r.tc_avg_us),
+        format_f64(r.tc_p9999_us),
+        format_f64(r.ls_iops),
+        format_f64(r.ls_avg_us),
+        format_f64(r.ls_p9999_us),
+        r.notifications,
+        r.completed,
+        format_f64(r.reactor_util),
+        r.events,
+    )
+}
+
+/// Render the `BENCH_<name>.json` document.
+pub fn report_json(spec: &SweepSpec, points: &[(Point, RunResult)]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!(
+        "  \"name\": \"{}\",\n  \"schema\": \"nvme-opf.sweep.v1\",\n",
+        json::escape(&spec.name)
+    ));
+    out.push_str(&format!(
+        "  \"warmup_s\": {},\n  \"measure_s\": {},\n",
+        format_f64(spec.warmup_s),
+        format_f64(spec.measure_s)
+    ));
+    out.push_str("  \"points\": [\n");
+    for (i, (p, r)) in points.iter().enumerate() {
+        out.push_str(&format!(
+            concat!(
+                "    {{\"runtime\":\"{}\",\"speed_gbps\":{},\"mix\":\"{}\",",
+                "\"read_fraction\":{},\"ls\":{},\"tc\":{},\"seed\":{},\n",
+                "     \"result\":{},\n",
+                "     \"snapshot\":{}}}{}\n"
+            ),
+            p.runtime_name(),
+            p.speed_gbps,
+            p.mix_name(),
+            format_f64(p.read_fraction),
+            p.ls,
+            p.tc,
+            p.seed,
+            result_json(r),
+            r.metrics.to_json(),
+            if i + 1 < points.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Render the flat CSV companion (scalar columns only; the full metric
+/// snapshots live in the JSON report).
+pub fn report_csv(points: &[(Point, RunResult)]) -> String {
+    let mut out = String::from(
+        "runtime,speed_gbps,mix,read_fraction,ls,tc,seed,\
+         tc_iops,tc_mb_s,tc_avg_us,tc_p9999_us,\
+         ls_iops,ls_avg_us,ls_p9999_us,\
+         notifications,completed,reactor_util,events\n",
+    );
+    for (p, r) in points {
+        out.push_str(&format!(
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
+            p.runtime_name(),
+            p.speed_gbps,
+            p.mix_name(),
+            format_f64(p.read_fraction),
+            p.ls,
+            p.tc,
+            p.seed,
+            format_f64(r.tc_iops),
+            format_f64(r.tc_mb_s),
+            format_f64(r.tc_avg_us),
+            format_f64(r.tc_p9999_us),
+            format_f64(r.ls_iops),
+            format_f64(r.ls_avg_us),
+            format_f64(r.ls_p9999_us),
+            r.notifications,
+            r.completed,
+            format_f64(r.reactor_util),
+            r.events,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TINY: &str = r#"{
+        "name": "tiny",
+        "runtimes": ["opf"],
+        "speeds": [100],
+        "mixes": ["read"],
+        "ratios": [[0, 1]],
+        "seeds": [7],
+        "warmup_s": 0.01,
+        "measure_s": 0.03,
+        "threads": 1
+    }"#;
+
+    #[test]
+    fn spec_parses_with_defaults() {
+        let spec = SweepSpec::from_json(r#"{"name": "d"}"#).unwrap();
+        assert_eq!(spec.runtimes.len(), 2);
+        assert_eq!(spec.speeds, vec![Gbps::G100]);
+        assert_eq!(spec.ratios, vec![(1, 1)]);
+        assert_eq!(spec.seeds, vec![42]);
+        assert!(spec.threads.is_none());
+        // 2 runtimes × 1 speed × 1 mix × 1 ratio × 1 seed.
+        assert_eq!(spec.expand().len(), 2);
+    }
+
+    #[test]
+    fn spec_rejects_bad_input() {
+        assert!(SweepSpec::from_json("{}").is_err(), "name required");
+        assert!(SweepSpec::from_json(r#"{"name": "a/b"}"#).is_err());
+        assert!(SweepSpec::from_json(r#"{"name":"x","speeds":[40]}"#).is_err());
+        assert!(SweepSpec::from_json(r#"{"name":"x","runtimes":[]}"#).is_err());
+        assert!(SweepSpec::from_json(r#"{"name":"x","ratios":[[0,0]]}"#).is_err());
+        assert!(SweepSpec::from_json(r#"{"name":"x","measure_s":0}"#).is_err());
+        assert!(SweepSpec::from_json(r#"{"name":"x","threads":0}"#).is_err());
+    }
+
+    #[test]
+    fn expansion_order_is_canonical() {
+        let spec = SweepSpec::from_json(
+            r#"{"name":"x","runtimes":["spdk","opf"],"speeds":[10,100],"seeds":[1,2]}"#,
+        )
+        .unwrap();
+        let points: Vec<Point> = spec.expand().into_iter().map(|(p, _)| p).collect();
+        assert_eq!(points.len(), 8);
+        // runtime is the outermost axis, seed the innermost.
+        assert_eq!(points[0].runtime, RuntimeKind::Spdk);
+        assert_eq!((points[0].speed_gbps, points[0].seed), (10, 1));
+        assert_eq!((points[1].speed_gbps, points[1].seed), (10, 2));
+        assert_eq!((points[2].speed_gbps, points[2].seed), (100, 1));
+        assert_eq!(points[4].runtime, RuntimeKind::Opf);
+    }
+
+    #[test]
+    fn report_is_bit_identical_across_runs() {
+        let spec = SweepSpec::from_json(TINY).unwrap();
+        let a = run_spec(&spec);
+        let b = run_spec(&spec);
+        let ja = report_json(&spec, &a);
+        let jb = report_json(&spec, &b);
+        assert_eq!(ja, jb, "same spec + seeds must serialize identically");
+        assert_eq!(report_csv(&a), report_csv(&b));
+        // And the report parses back as valid JSON.
+        let doc = json::parse(&ja).unwrap();
+        assert_eq!(doc.get("name").unwrap().as_str(), Some("tiny"));
+        let pts = doc.get("points").unwrap().as_arr().unwrap();
+        assert_eq!(pts.len(), 1);
+        let snap = pts[0].get("snapshot").unwrap();
+        assert!(snap.get("metrics").unwrap().get("tc.iops").is_some());
+        assert!(
+            pts[0]
+                .get("result")
+                .unwrap()
+                .get("tc_iops")
+                .unwrap()
+                .as_f64()
+                .unwrap()
+                > 0.0
+        );
+    }
+
+    #[test]
+    fn parallel_fanout_matches_serial() {
+        let mut spec = SweepSpec::from_json(
+            r#"{"name":"par","runtimes":["opf"],"ratios":[[0,1]],
+                "seeds":[1,2,3,4],"warmup_s":0.01,"measure_s":0.02}"#,
+        )
+        .unwrap();
+        spec.threads = Some(1);
+        let serial = run_spec(&spec);
+        spec.threads = Some(4);
+        let parallel = run_spec(&spec);
+        assert_eq!(report_json(&spec, &serial), report_json(&spec, &parallel));
+    }
+}

@@ -1,9 +1,7 @@
 //! Workload mixes: the paper's read, write, and 50:50 mixed workloads.
 
-use serde::{Deserialize, Serialize};
-
 /// A read/write mix for 4K sequential I/O.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct Mix {
     /// Fraction of reads in `[0, 1]`.
     pub read_fraction: f64,

@@ -45,9 +45,9 @@ pub fn render_table(t: &Table) -> String {
             }
             let cell = &cells[i];
             // Right-align numeric-looking cells, left-align the rest.
-            let numeric = cell
-                .chars()
-                .all(|c| c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | '%' | 'x' | 'K' | 'M'));
+            let numeric = cell.chars().all(|c| {
+                c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | '%' | 'x' | 'K' | 'M')
+            });
             if numeric && !cell.is_empty() {
                 line.push_str(&format!("{cell:>w$}", w = widths[i]));
             } else {

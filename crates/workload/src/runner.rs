@@ -10,7 +10,7 @@ use nvmf::initiator::TargetRx;
 use nvmf::qpair::IoCallback;
 use nvmf::{CpuCosts, PduRx, SpdkInitiator, SpdkTarget};
 use opf::{OpfInitiator, OpfInitiatorConfig, OpfTarget, OpfTargetConfig, QueueMode, ReqClass};
-use simkit::{shared, Kernel, Pcg32, Shared, SimTime, Tracer};
+use simkit::{shared, Kernel, Metrics, MetricsSource, Pcg32, Shared, SimTime, Tracer};
 use std::cell::{Cell, RefCell};
 use std::rc::Rc;
 
@@ -41,6 +41,10 @@ pub struct RunResult {
     pub reactor_util: f64,
     /// Simulation events executed (cost accounting).
     pub events: u64,
+    /// Unified whole-cluster snapshot: the scalar fields above plus every
+    /// component's [`MetricsSource`] counters, prefixed by component
+    /// (`pair0.tgt.*`, `pair0.dev.*`, `ini3.*`, …).
+    pub metrics: Metrics,
 }
 
 enum AnyInitiator {
@@ -76,6 +80,21 @@ impl AnyInitiator {
             }
         }
     }
+
+    /// A second handle to the same initiator (both variants are `Rc`s).
+    fn clone_handle(&self) -> AnyInitiator {
+        match self {
+            AnyInitiator::Spdk(i) => AnyInitiator::Spdk(i.clone()),
+            AnyInitiator::Opf(i) => AnyInitiator::Opf(i.clone()),
+        }
+    }
+
+    fn metrics(&self, now: SimTime) -> Metrics {
+        match self {
+            AnyInitiator::Spdk(i) => i.borrow().metrics(now),
+            AnyInitiator::Opf(i) => i.borrow().metrics(now),
+        }
+    }
 }
 
 enum AnyTarget {
@@ -95,6 +114,13 @@ impl AnyTarget {
         match self {
             AnyTarget::Spdk(t) => t.borrow().reactor_utilization(now),
             AnyTarget::Opf(t) => t.borrow().reactor_utilization(now),
+        }
+    }
+
+    fn metrics(&self, now: SimTime) -> Metrics {
+        match self {
+            AnyTarget::Spdk(t) => t.borrow().metrics(now),
+            AnyTarget::Opf(t) => t.borrow().metrics(now),
         }
     }
 }
@@ -163,7 +189,6 @@ fn issue(d: Rc<RefCell<Driver>>, k: &mut Kernel) {
     debug_assert!(ok.is_some(), "closed loop must respect queue depth");
 }
 
-
 /// A tenant's initiator handle in a [`Pair`]: runtime-agnostic submit.
 pub struct TenantHandle {
     inner: AnyInitiator,
@@ -217,6 +242,17 @@ impl Pair {
     /// Completion notifications the target has sent so far.
     pub fn notifications(&self) -> u64 {
         self.target.resps_tx()
+    }
+
+    /// Unified snapshot of the pair: the target's counters under `tgt.`
+    /// and each tenant initiator's under `ini<N>.`.
+    pub fn metrics(&self, now: SimTime) -> Metrics {
+        let mut m = Metrics::at(now);
+        m.merge("tgt.", &self.target.metrics(now));
+        for (i, h) in self.initiators.iter().enumerate() {
+            m.merge(&format!("ini{i}."), &h.inner.metrics(now));
+        }
+        m
     }
 }
 
@@ -381,6 +417,10 @@ pub fn run(sc: &Scenario) -> RunResult {
 
     let mut targets = Vec::new();
     let mut drivers = Vec::new();
+    // Component handles retained for the end-of-run metrics snapshot.
+    let mut devices = Vec::new();
+    let mut endpoints: Vec<(String, Shared<fabric::Endpoint>)> = Vec::new();
+    let mut ini_handles: Vec<(u64, AnyInitiator)> = Vec::new();
 
     for pair in 0..sc.pairs {
         let tep = net.add_endpoint(format!("tgt{pair}"));
@@ -390,6 +430,8 @@ pub fn run(sc: &Scenario) -> RunResult {
             sc.seed ^ (pair as u64).wrapping_mul(0x9E37_79B9),
         ));
         device.borrow_mut().set_store_data(false);
+        devices.push(device.clone());
+        endpoints.push((format!("pair{pair}.tgt_ep."), tep.clone()));
 
         let (target, target_rx): (AnyTarget, TargetRx) = match sc.runtime {
             RuntimeKind::Spdk => {
@@ -439,6 +481,9 @@ pub fn run(sc: &Scenario) -> RunResult {
         } else {
             Some(net.add_endpoint(format!("ini-node{pair}")))
         };
+        if let Some(ep) = &shared_iep {
+            endpoints.push((format!("pair{pair}.ini_node_ep."), ep.clone()));
+        }
         let per_node = sc.ls_per_node + sc.tc_per_node;
         for slot in 0..per_node {
             let iep = match &shared_iep {
@@ -502,6 +547,10 @@ pub fn run(sc: &Scenario) -> RunResult {
             };
 
             let global_idx = (pair * per_node + slot) as u64;
+            if sc.separate_nodes {
+                endpoints.push((format!("ini{global_idx}.ep."), iep.clone()));
+            }
+            ini_handles.push((global_idx, ini.clone_handle()));
             let (hist, count) = match class {
                 ReqClass::LatencySensitive => (ls_hist.clone(), ls_count.clone()),
                 ReqClass::ThroughputCritical => (tc_hist.clone(), tc_count.clone()),
@@ -581,9 +630,42 @@ pub fn run(sc: &Scenario) -> RunResult {
 
     let tc_hist = tc_hist.borrow();
     let ls_hist = ls_hist.borrow();
+
+    // Unified snapshot: workload-level figures plus every component's
+    // MetricsSource counters under a stable prefix.
+    let now = k.now();
+    let mut metrics = Metrics::at(now);
+    metrics.set("tc.iops", tc_done as f64 / measure_secs);
+    metrics.set("tc.p50_us", tc_hist.percentile(0.50) as f64 / 1e3);
+    metrics.set("tc.p99_us", tc_hist.percentile(0.99) as f64 / 1e3);
+    metrics.set("tc.p9999_us", tc_hist.percentile(0.9999) as f64 / 1e3);
+    metrics.set("tc.avg_us", tc_hist.mean() / 1e3);
+    metrics.set("ls.iops", ls_done as f64 / measure_secs);
+    metrics.set("ls.p50_us", ls_hist.percentile(0.50) as f64 / 1e3);
+    metrics.set("ls.p99_us", ls_hist.percentile(0.99) as f64 / 1e3);
+    metrics.set("ls.p9999_us", ls_hist.percentile(0.9999) as f64 / 1e3);
+    metrics.set("ls.avg_us", ls_hist.mean() / 1e3);
+    metrics.set("notifications", notifications as f64);
+    metrics.set("completed", (tc_done + ls_done) as f64);
+    metrics.set("reactor_util", util);
+    metrics.set("events", k.events_executed() as f64);
+    for (pair, target) in targets.iter().enumerate() {
+        metrics.merge(&format!("pair{pair}.tgt."), &target.metrics(now));
+    }
+    for (pair, device) in devices.iter().enumerate() {
+        metrics.merge(&format!("pair{pair}.dev."), &device.borrow().metrics(now));
+    }
+    for (prefix, ep) in &endpoints {
+        metrics.merge(prefix, &ep.borrow().metrics(now));
+    }
+    for (idx, ini) in &ini_handles {
+        metrics.merge(&format!("ini{idx}."), &ini.metrics(now));
+    }
+
     RunResult {
         tc_iops: tc_done as f64 / measure_secs,
-        tc_mb_s: tc_done as f64 * (BLOCK_SIZE * sc.io_blocks.max(1) as usize) as f64 / 1e6
+        tc_mb_s: tc_done as f64 * (BLOCK_SIZE * sc.io_blocks.max(1) as usize) as f64
+            / 1e6
             / measure_secs,
         tc_avg_us: tc_hist.mean() / 1e3,
         tc_p9999_us: tc_hist.percentile(0.9999) as f64 / 1e3,
@@ -594,6 +676,7 @@ pub fn run(sc: &Scenario) -> RunResult {
         completed: tc_done + ls_done,
         reactor_util: util,
         events: k.events_executed(),
+        metrics,
     }
 }
 

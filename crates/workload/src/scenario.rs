@@ -3,10 +3,9 @@
 
 use crate::mix::Mix;
 use fabric::Gbps;
-use serde::{Deserialize, Serialize};
 
 /// NVMe-oF transport binding.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Transport {
     /// NVMe/TCP (the paper's transport).
     Tcp,
@@ -15,7 +14,7 @@ pub enum Transport {
 }
 
 /// Logical-block access pattern.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Pattern {
     /// Sequential within the initiator's region (the paper's workloads).
     Sequential,
@@ -24,7 +23,7 @@ pub enum Pattern {
 }
 
 /// Which runtime serves the scenario.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum RuntimeKind {
     /// The SPDK-style baseline (FIFO, one notification per request).
     Spdk,
@@ -44,7 +43,7 @@ impl RuntimeKind {
 }
 
 /// Window selection for NVMe-oPF initiators.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub enum WindowSpec {
     /// Fixed size.
     Static(u32),
@@ -56,7 +55,7 @@ pub enum WindowSpec {
 
 /// Serializable mirror of [`fabric::Gbps`] (kept separate so `fabric`
 /// stays serde-free).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Speed {
     /// 10 Gbps.
     G10,
@@ -92,7 +91,7 @@ impl From<Gbps> for Speed {
 /// pairs; each initiator-node runs `ls_per_node` latency-sensitive and
 /// `tc_per_node` throughput-critical initiator processes, all connected
 /// to the paired target-node's single NVMe-oF target/SSD.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Scenario {
     /// Runtime under test.
     pub runtime: RuntimeKind,

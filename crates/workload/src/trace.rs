@@ -253,7 +253,11 @@ pub fn replay(log: &TraceLog, cfg: &ReplayConfig) -> ReplayResult {
         } else {
             ReqClass::ThroughputCritical
         };
-        let opcode = if ev.write { Opcode::Write } else { Opcode::Read };
+        let opcode = if ev.write {
+            Opcode::Write
+        } else {
+            Opcode::Read
+        };
         let data = if ev.write {
             Some(payload.clone())
         } else {
@@ -387,9 +391,8 @@ pub fn replay(log: &TraceLog, cfg: &ReplayConfig) -> ReplayResult {
         });
     }
 
-    let horizon = SimTime::from_nanos(
-        log.events.last().map(|e| e.at_ns).unwrap_or(0) + 5_000_000_000,
-    );
+    let horizon =
+        SimTime::from_nanos(log.events.last().map(|e| e.at_ns).unwrap_or(0) + 5_000_000_000);
     k.set_horizon(horizon);
     k.run_to_completion();
 
@@ -449,7 +452,10 @@ mod tests {
         assert!(TraceLog::from_text("1,2,3").is_err());
         assert!(TraceLog::from_text("x,0,TC,R,0,1").is_err());
         assert!(TraceLog::from_text("5,0,XX,R,0,1").is_err());
-        assert!(TraceLog::from_text("# only comments\n\n").unwrap().events.is_empty());
+        assert!(TraceLog::from_text("# only comments\n\n")
+            .unwrap()
+            .events
+            .is_empty());
     }
 
     #[test]

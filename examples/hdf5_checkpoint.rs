@@ -158,13 +158,7 @@ fn main() {
     }
 
     let done = Rc::new(RefCell::new(Vec::new()));
-    checkpoint(
-        rank,
-        &mut k,
-        steps,
-        Rc::new(datasets.clone()),
-        done.clone(),
-    );
+    checkpoint(rank, &mut k, steps, Rc::new(datasets.clone()), done.clone());
     k.run_to_completion();
 
     for (ts, at) in done.borrow().iter() {
@@ -175,7 +169,7 @@ fn main() {
     // Verify the checkpoint straight off the SSD (no fabric).
     let mut dev = device.borrow_mut();
     let file = H5File::open(NamespaceStore::new(dev.namespace_mut())).expect("file opens");
-    for ts in 0..TIMESTEPS {
+    for (ts, data) in datasets.iter().enumerate() {
         let name = file
             .list("/")
             .unwrap()
@@ -184,7 +178,7 @@ fn main() {
             .find(|n| n.contains(&format!("step{ts}")))
             .expect("dataset listed");
         let bytes = file.read_dataset(&format!("/{name}")).unwrap();
-        assert_eq!(bytes, datasets[ts], "step {ts} bytes identical");
+        assert_eq!(&bytes, data, "step {ts} bytes identical");
     }
     println!(
         "verified: {TIMESTEPS} datasets x {PARTICLES} particles intact on the device \

@@ -29,13 +29,7 @@ fn measure(width: usize) -> (f64, u64) {
         77,
     ));
     let done = Rc::new(RefCell::new(0u64));
-    fn pump(
-        v: Rc<StripedVolume>,
-        k: &mut Kernel,
-        done: Rc<RefCell<u64>>,
-        lba: u64,
-        end: SimTime,
-    ) {
+    fn pump(v: Rc<StripedVolume>, k: &mut Kernel, done: Rc<RefCell<u64>>, lba: u64, end: SimTime) {
         if k.now() >= end {
             return;
         }

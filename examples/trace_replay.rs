@@ -8,20 +8,12 @@
 
 use nvme_opf::simkit::SimDuration;
 use nvme_opf::workload::report::fmt_us;
-use nvme_opf::workload::{
-    render_table, replay, Mix, ReplayConfig, RuntimeKind, Table, TraceLog,
-};
+use nvme_opf::workload::{render_table, replay, Mix, ReplayConfig, RuntimeKind, Table, TraceLog};
 
 fn main() {
     // 1. Synthesize a 4-tenant Poisson read trace and round-trip it
     //    through the text format (what you'd do with a real trace file).
-    let log = TraceLog::poisson(
-        220_000.0,
-        SimDuration::from_millis(60),
-        4,
-        Mix::READ,
-        2024,
-    );
+    let log = TraceLog::poisson(220_000.0, SimDuration::from_millis(60), 4, Mix::READ, 2024);
     let text = log.to_text();
     println!(
         "synthesized {} arrivals ({} bytes as text); first lines:",

@@ -1,6 +1,7 @@
 //! Cross-crate integration tests: the full stack from application file
 //! format down to simulated flash, over the fabric, under both runtimes.
 
+use bytes::Bytes;
 use nvme_opf::fabric::{FabricConfig, Gbps, Network};
 use nvme_opf::h5::format::Dtype;
 use nvme_opf::h5::vol::{run_extent, BlockSource, RankInitiator};
@@ -12,7 +13,6 @@ use nvme_opf::opf::{
     OpfInitiator, OpfInitiatorConfig, OpfTarget, OpfTargetConfig, ReqClass, WindowPolicy,
 };
 use nvme_opf::simkit::{shared, Kernel, Shared, Tracer};
-use bytes::Bytes;
 use std::cell::RefCell;
 use std::rc::Rc;
 
@@ -142,9 +142,13 @@ fn h5_file_written_over_fabric_is_readable_from_device() {
     let store = NamespaceStore::new(dev.namespace_mut());
     let file = H5File::open(store).expect("file written over fabric opens");
     let read_back = file.read_dataset("/particles").expect("dataset readable");
-    assert_eq!(read_back, particles, "data integrity through the full stack");
     assert_eq!(
-        file.get_attr("/particles", "units").expect("attribute readable"),
+        read_back, particles,
+        "data integrity through the full stack"
+    );
+    assert_eq!(
+        file.get_attr("/particles", "units")
+            .expect("attribute readable"),
         b"sqrt-index",
         "attributes survive the fabric round trip"
     );
@@ -161,10 +165,13 @@ fn tc_reads_over_fabric_return_written_bytes() {
         let block: Vec<u8> = (0..BLOCK_SIZE)
             .map(|i| ((lba as usize * 7 + i * 13) % 251) as u8)
             .collect();
-        device.borrow_mut().namespace_mut().write(lba, &block).unwrap();
+        device
+            .borrow_mut()
+            .namespace_mut()
+            .write(lba, &block)
+            .unwrap();
     }
-    let got: Rc<RefCell<Vec<Option<Vec<u8>>>>> =
-        Rc::new(RefCell::new(vec![None; blocks as usize]));
+    let got: Rc<RefCell<Vec<Option<Vec<u8>>>>> = Rc::new(RefCell::new(vec![None; blocks as usize]));
     for lba in 0..blocks {
         let g = got.clone();
         OpfInitiator::submit(

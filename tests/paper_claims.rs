@@ -107,6 +107,19 @@ fn fig6c_notification_reduction() {
         o_per_req < 0.06,
         "oPF at W=32: ~1/32 notifications per request, got {o_per_req:.3}"
     );
+    // The same story told by the unified snapshot: the target's
+    // completions-per-response ratio is ~1 for SPDK and approaches the
+    // coalescing window for NVMe-oPF.
+    let s_ratio = s.metrics.get("pair0.tgt.coalesce_ratio").unwrap();
+    let o_ratio = o.metrics.get("pair0.tgt.coalesce_ratio").unwrap();
+    assert!(
+        (s_ratio - 1.0).abs() < 0.05,
+        "SPDK target coalesce_ratio ~1: {s_ratio:.3}"
+    );
+    assert!(
+        o_ratio > 16.0,
+        "oPF target coalesce_ratio should approach W=32: {o_ratio:.3}"
+    );
 }
 
 /// Observation 4 shape: scale-out throughput grows with node pairs for
@@ -140,4 +153,75 @@ fn whole_stack_determinism() {
     assert_eq!(a.notifications, b.notifications);
     assert_eq!(a.events, b.events);
     assert_eq!(a.ls_p9999_us, b.ls_p9999_us);
+    // The unified snapshot covers every layer's counters — if any
+    // component leaks nondeterminism (hash order, wall clock), the
+    // serialized snapshots diverge here.
+    assert_eq!(a.metrics, b.metrics);
+    assert_eq!(a.metrics.to_json(), b.metrics.to_json());
+}
+
+/// Tentpole observability check: one run's [`RunResult::metrics`]
+/// snapshot exposes every layer of the stack under stable prefixed
+/// names, and its counters agree with the scalar results.
+#[test]
+fn unified_snapshot_covers_all_layers() {
+    let r = quick(RuntimeKind::Opf, Gbps::G100, Mix::READ, 1, 2);
+    let m = &r.metrics;
+    let get = |name: &str| {
+        m.get(name)
+            .unwrap_or_else(|| panic!("snapshot missing {name:?}"))
+    };
+
+    // Workload layer: scalar results mirrored into the snapshot.
+    assert_eq!(get("completed"), r.completed as f64);
+    assert_eq!(get("tc.iops"), r.tc_iops);
+    assert_eq!(get("ls.p9999_us"), r.ls_p9999_us);
+
+    // Fabric layer: target-side link was actually used.
+    assert!(get("pair0.tgt_ep.link.uplink_util") > 0.0);
+    assert!(get("pair0.tgt_ep.bytes_tx") > 0.0);
+
+    // NVMe layer: flash units did work, reads were all reads.
+    assert!(get("pair0.dev.flash.busy_fraction") > 0.0);
+    assert!(get("pair0.dev.reads") > 0.0);
+    assert_eq!(get("pair0.dev.writes"), 0.0);
+
+    // NVMe-oPF target layer: per-tenant TC queue depths exist for each
+    // initiator (tenant 0 is LS, 1-2 are TC), plus PDU counters.
+    for t in 0..3 {
+        assert!(m
+            .get(&format!("pair0.tgt.tenant{t}.tc_queue_depth"))
+            .is_some());
+    }
+    assert!(get("pair0.tgt.pdu.cmds_rx") > 0.0);
+    assert!(get("pair0.tgt.ls_bypassed") > 0.0, "LS bypass engaged");
+    assert_eq!(get("pair0.tgt.protocol_errors"), 0.0);
+
+    // Initiator layer: TC initiators measured drain latency; the
+    // coalesce ratio seen initiator-side approaches the window.
+    let drains: f64 = (0..3)
+        .filter_map(|i| m.get(&format!("ini{i}.drain_latency_count")))
+        .sum();
+    assert!(drains > 0.0, "TC initiators should record drain latencies");
+    let ini_ratio = get("ini1.coalesce_ratio");
+    assert!(
+        ini_ratio > 16.0,
+        "initiator-side coalesce ratio should approach W=32: {ini_ratio:.2}"
+    );
+
+    // Snapshot-internal consistency: initiator counters cover the whole
+    // run (warmup + measure), so their sum must dominate the cluster's
+    // measure-window total, and the target saw the same command count.
+    let ini_completed: f64 = (0..3).map(|i| get(&format!("ini{i}.completed"))).sum();
+    assert!(
+        ini_completed >= r.completed as f64,
+        "full-run initiator completions ({ini_completed}) must cover the \
+         measure-window total ({})",
+        r.completed
+    );
+    assert!(
+        (get("pair0.tgt.completed") - ini_completed).abs() <= 3.0 * 128.0,
+        "target completions should match initiator completions within \
+         inflight depth"
+    );
 }
