@@ -1,0 +1,32 @@
+//! Workspace invariant linter CLI: `cargo run -p analysis --bin lint`.
+//!
+//! Lints the workspace checkout (or an explicit root passed as the first
+//! argument) against the rules in `analysis::lint` and exits non-zero if
+//! any violation is found. CI runs this as part of the `analysis` job.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let root = std::env::args()
+        .nth(1)
+        .map(PathBuf::from)
+        .unwrap_or_else(|| {
+            // crates/analysis → workspace root.
+            PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+                .parent()
+                .and_then(|p| p.parent())
+                .expect("analysis crate lives two levels under the workspace root")
+                .to_path_buf()
+        });
+    let findings = analysis::lint::lint_workspace(&root);
+    if findings.is_empty() {
+        println!("lint: workspace clean ({})", root.display());
+        return ExitCode::SUCCESS;
+    }
+    for f in &findings {
+        println!("{f}");
+    }
+    println!("lint: {} violation(s)", findings.len());
+    ExitCode::FAILURE
+}

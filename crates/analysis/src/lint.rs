@@ -1,0 +1,705 @@
+//! Workspace invariant linter.
+//!
+//! Text-level enforcement of repo-specific rules that `clippy` cannot
+//! express (run with `cargo run -p analysis --bin lint`):
+//!
+//! | rule | scope | invariant |
+//! |------|-------|-----------|
+//! | `relaxed-ordering` | `crates/queues/src` | every `Ordering::Relaxed` carries a `// relaxed-ok: <why>` justification — the queues' publish/consume edges are exactly what the model checker proves, so an unjustified downgrade is a red flag |
+//! | `no-panic` | `crates/core/src`, `crates/nvmf/src` | no `panic!` / `.unwrap()` / `.expect(` in non-test code: malformed wire input must become a counted protocol error, not a crash (internal invariants may waive) |
+//! | `wall-clock` | all crates except `simkit` and the bench `shims` | no `Instant` / `SystemTime`: simulations must be deterministic; real time enters only through `simkit` (e.g. its `Stopwatch`) |
+//! | `hashmap-iter` | all crates | no iteration over `HashMap`s declared in the same file: iteration order is randomized per process and leaks nondeterminism into metrics, snapshots, and reports — use `BTreeMap`, sort first, or waive with a reason |
+//! | `safety-comment` | all code incl. tests | every `unsafe` block/impl/fn is adjacent to a `// SAFETY:` (or `# Safety` doc) explaining why it is sound |
+//!
+//! Matching runs on comment- and string-literal-stripped source (so the
+//! rule table above doesn't flag itself), with a test-region heuristic:
+//! everything from the first `#[cfg(test)]` to end-of-file, plus whole
+//! files under `tests/`, `benches/`, or `examples/`, is test code and
+//! exempt from all rules except `safety-comment`.
+//!
+//! Waivers: `// lint: allow(<rule>) <reason>` on the offending line or
+//! the line above. The `relaxed-ordering` rule also accepts its
+//! dedicated `// relaxed-ok: <why>` marker, and `hashmap-iter` accepts
+//! `// hashmap-iter-ok: <why>`.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// One rule violation.
+#[derive(Clone, Debug)]
+pub struct Finding {
+    /// Rule identifier (e.g. `no-panic`).
+    pub rule: &'static str,
+    /// File, relative to the workspace root.
+    pub file: PathBuf,
+    /// 1-based line number.
+    pub line: usize,
+    /// What is wrong.
+    pub detail: String,
+    /// The offending source line, trimmed.
+    pub excerpt: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}\n    {}",
+            self.file.display(),
+            self.line,
+            self.rule,
+            self.detail,
+            self.excerpt
+        )
+    }
+}
+
+/// A source line split into its code and comment parts (string-literal
+/// contents blanked out of the code part).
+struct Line {
+    code: String,
+    comment: String,
+}
+
+/// Lexer state carried across lines.
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Code,
+    /// Inside `/* */`, with nesting depth.
+    Block(u32),
+    /// Inside a string literal; the flag is `raw` and the count is the
+    /// number of `#`s that close a raw string.
+    Str {
+        raw: bool,
+        hashes: u32,
+    },
+}
+
+/// Split source into per-line (code, comment) pairs. Comment text and
+/// string-literal contents never reach the rule matchers, so patterns
+/// mentioned in docs or error messages cannot trip them.
+fn split_source(src: &str) -> Vec<Line> {
+    let mut out = Vec::new();
+    let mut mode = Mode::Code;
+    for raw_line in src.lines() {
+        let bytes: Vec<char> = raw_line.chars().collect();
+        let mut code = String::with_capacity(bytes.len());
+        let mut comment = String::new();
+        let mut i = 0usize;
+        while i < bytes.len() {
+            let c = bytes[i];
+            let next = bytes.get(i + 1).copied();
+            match mode {
+                Mode::Block(depth) => {
+                    comment.push(c);
+                    if c == '/' && next == Some('*') {
+                        mode = Mode::Block(depth + 1);
+                        comment.push('*');
+                        i += 2;
+                        continue;
+                    }
+                    if c == '*' && next == Some('/') {
+                        comment.push('/');
+                        mode = if depth == 1 {
+                            Mode::Code
+                        } else {
+                            Mode::Block(depth - 1)
+                        };
+                        i += 2;
+                        continue;
+                    }
+                    i += 1;
+                }
+                Mode::Str { raw, hashes } => {
+                    if !raw && c == '\\' {
+                        i += 2; // skip the escaped char
+                        continue;
+                    }
+                    if c == '"' {
+                        let closing = (0..hashes as usize)
+                            .all(|k| bytes.get(i + 1 + k).copied() == Some('#'));
+                        if !raw || closing {
+                            code.push('"');
+                            i += 1 + hashes as usize;
+                            mode = Mode::Code;
+                            continue;
+                        }
+                    }
+                    code.push(' '); // blank out literal contents
+                    i += 1;
+                }
+                Mode::Code => {
+                    if c == '/' && next == Some('/') {
+                        comment.push_str(&raw_line[byte_offset(raw_line, i)..]);
+                        break;
+                    }
+                    if c == '/' && next == Some('*') {
+                        mode = Mode::Block(1);
+                        comment.push_str("/*");
+                        i += 2;
+                        continue;
+                    }
+                    if c == '"' {
+                        // Possibly the body of r"…" / br#"…"# whose prefix
+                        // we already consumed as code below.
+                        code.push('"');
+                        let (raw, hashes) = raw_prefix(&bytes, i);
+                        mode = Mode::Str { raw, hashes };
+                        i += 1;
+                        continue;
+                    }
+                    if c == 'r' || c == 'b' {
+                        // Raw/byte string prefix: emit it and let the '"'
+                        // branch take over at the quote.
+                        if let Some(skip) = string_prefix_len(&bytes, i) {
+                            for k in 0..skip {
+                                code.push(bytes[i + k]);
+                            }
+                            i += skip;
+                            continue;
+                        }
+                    }
+                    if c == '\'' {
+                        // Char literal vs lifetime. A char literal closes
+                        // within a few chars; a lifetime never closes.
+                        if let Some(len) = char_literal_len(&bytes, i) {
+                            code.push('\'');
+                            for _ in 1..len - 1 {
+                                code.push(' ');
+                            }
+                            code.push('\'');
+                            i += len;
+                            continue;
+                        }
+                        code.push('\'');
+                        i += 1;
+                        continue;
+                    }
+                    code.push(c);
+                    i += 1;
+                }
+            }
+        }
+        // A line comment ends at the newline.
+        if let Mode::Str { raw: false, .. } = mode {
+            // Plain string literals do not span lines unless escaped; be
+            // permissive and reset (an escaped newline keeps the literal
+            // open, which at worst blanks one extra line of code).
+        }
+        out.push(Line { code, comment });
+    }
+    out
+}
+
+/// Byte offset of char index `i` within `line`.
+fn byte_offset(line: &str, i: usize) -> usize {
+    line.char_indices()
+        .nth(i)
+        .map(|(b, _)| b)
+        .unwrap_or(line.len())
+}
+
+/// If `bytes[i..]` starts a raw/byte string prefix (`r`, `b`, `br`, plus
+/// `#`s) followed by `"`, return the prefix length (excluding the quote).
+fn string_prefix_len(bytes: &[char], i: usize) -> Option<usize> {
+    // Only treat as a prefix when not inside an identifier.
+    if i > 0 {
+        let prev = bytes[i - 1];
+        if prev.is_alphanumeric() || prev == '_' {
+            return None;
+        }
+    }
+    let mut j = i;
+    if bytes.get(j) == Some(&'b') {
+        j += 1;
+    }
+    if bytes.get(j) == Some(&'r') {
+        j += 1;
+    }
+    if j == i {
+        return None;
+    }
+    while bytes.get(j) == Some(&'#') {
+        j += 1;
+    }
+    if bytes.get(j) == Some(&'"') {
+        Some(j - i)
+    } else {
+        None
+    }
+}
+
+/// Number of `#`s for the raw string whose opening quote is at `i`
+/// (looks backwards at the just-emitted prefix).
+fn raw_prefix(bytes: &[char], i: usize) -> (bool, u32) {
+    let mut hashes = 0u32;
+    let mut j = i;
+    while j > 0 && bytes[j - 1] == '#' {
+        hashes += 1;
+        j -= 1;
+    }
+    let raw = j > 0 && bytes[j - 1] == 'r';
+    (raw, hashes)
+}
+
+/// Length of a char literal starting at the `'` at position `i`, or
+/// `None` for a lifetime.
+fn char_literal_len(bytes: &[char], i: usize) -> Option<usize> {
+    match bytes.get(i + 1)? {
+        '\\' => {
+            // Escaped: find the closing quote within a small window
+            // (handles \n, \', \u{...} up to 10 chars).
+            (i + 3..(i + 14).min(bytes.len()))
+                .find(|&j| bytes[j] == '\'')
+                .map(|j| j - i + 1)
+        }
+        _ => {
+            if bytes.get(i + 2) == Some(&'\'') {
+                Some(3)
+            } else {
+                None // `'a` lifetime or `'static`
+            }
+        }
+    }
+}
+
+/// True if a comment waives `rule`: on the flagged line itself, or
+/// anywhere in the contiguous block of comment-only lines directly above
+/// it (so a waiver justification may wrap across lines).
+fn waived(lines: &[Line], idx: usize, rule: &str, extra_marker: Option<&str>) -> bool {
+    let hit = |c: &str| {
+        let allow = format!("lint: allow({rule})");
+        c.contains(&allow) || extra_marker.is_some_and(|m| c.contains(m))
+    };
+    if hit(&lines[idx].comment) {
+        return true;
+    }
+    let mut i = idx;
+    while i > 0 && lines[i - 1].code.trim().is_empty() && !lines[i - 1].comment.is_empty() {
+        i -= 1;
+        if hit(&lines[i].comment) {
+            return true;
+        }
+    }
+    false
+}
+
+/// Find `needle` in `hay` requiring non-identifier chars (or the string
+/// boundary) on both sides of the match.
+fn find_token(hay: &str, needle: &str) -> bool {
+    let ident = |c: char| c.is_alphanumeric() || c == '_';
+    let mut from = 0;
+    while let Some(pos) = hay[from..].find(needle) {
+        let at = from + pos;
+        let ok_before = at == 0 || hay[..at].chars().next_back().is_some_and(|c| !ident(c));
+        let ok_after = hay[at + needle.len()..]
+            .chars()
+            .next()
+            .is_none_or(|c| !ident(c));
+        if ok_before && ok_after {
+            return true;
+        }
+        from = at + needle.len();
+    }
+    false
+}
+
+/// Identifiers declared as `HashMap` in this file: struct fields or
+/// locals (`name: HashMap<…>`, `let [mut] name = HashMap::…`).
+fn hashmap_idents(lines: &[Line]) -> Vec<String> {
+    let mut idents = Vec::new();
+    for line in lines {
+        let code = &line.code;
+        let mut from = 0;
+        while let Some(pos) = code[from..].find("HashMap") {
+            let at = from + pos;
+            from = at + "HashMap".len();
+            let before = code[..at].trim_end();
+            if let Some(before) = before.strip_suffix(':') {
+                // `name: HashMap<…>` — field or typed binding.
+                let name: String = before
+                    .chars()
+                    .rev()
+                    .take_while(|c| c.is_alphanumeric() || *c == '_')
+                    .collect::<String>()
+                    .chars()
+                    .rev()
+                    .collect();
+                if !name.is_empty() && !name.chars().next().unwrap().is_numeric() {
+                    idents.push(name);
+                }
+            } else if let Some(before) = before.strip_suffix('=') {
+                // `let [mut] name = HashMap::…`.
+                let before = before.trim_end();
+                let name: String = before
+                    .chars()
+                    .rev()
+                    .take_while(|c| c.is_alphanumeric() || *c == '_')
+                    .collect::<String>()
+                    .chars()
+                    .rev()
+                    .collect();
+                if !name.is_empty() && name != "mut" && !name.chars().next().unwrap().is_numeric() {
+                    idents.push(name);
+                }
+            }
+        }
+    }
+    idents.sort();
+    idents.dedup();
+    idents
+}
+
+/// Does `code` iterate over `ident` (method call or `for … in` form)?
+fn iterates(code: &str, ident: &str) -> bool {
+    const ITER_METHODS: &[&str] = &[
+        ".iter()",
+        ".iter_mut()",
+        ".keys()",
+        ".values()",
+        ".values_mut()",
+        ".drain()",
+        ".into_iter()",
+        ".into_keys()",
+        ".into_values()",
+        ".retain(",
+    ];
+    for m in ITER_METHODS {
+        let pat = format!("{ident}{m}");
+        if find_token(code, &pat) {
+            return true;
+        }
+    }
+    // `for (k, v) in &map` / `in &mut map` / `in map` (move).
+    for prefix in ["in &mut ", "in &", "in "] {
+        for qual in ["self.", ""] {
+            let pat = format!("{prefix}{qual}{ident}");
+            if let Some(pos) = code.find(&pat) {
+                let after = code[pos + pat.len()..].chars().next();
+                if after.is_none_or(|c| !c.is_alphanumeric() && c != '_' && c != '(') {
+                    return true;
+                }
+            }
+        }
+    }
+    false
+}
+
+/// Lint one file's source. `rel` is the path relative to the workspace
+/// root (used for rule scoping); findings carry it verbatim.
+pub fn lint_source(rel: &Path, src: &str) -> Vec<Finding> {
+    let lines = split_source(src);
+    let raw_lines: Vec<&str> = src.lines().collect();
+    let rel_str = rel.to_string_lossy().replace('\\', "/");
+    let mut findings = Vec::new();
+
+    let in_test_file = rel_str.contains("/tests/")
+        || rel_str.contains("/benches/")
+        || rel_str.contains("/examples/");
+    // Heuristic: the `#[cfg(test)] mod tests` block is by convention the
+    // last item in a file, so treat everything after the attribute as
+    // test code.
+    let test_from = lines
+        .iter()
+        .position(|l| l.code.contains("cfg(test"))
+        .unwrap_or(lines.len());
+    let is_test = |idx: usize| in_test_file || idx >= test_from;
+
+    let mut push = |rule: &'static str, idx: usize, detail: String| {
+        findings.push(Finding {
+            rule,
+            file: rel.to_path_buf(),
+            line: idx + 1,
+            detail,
+            excerpt: raw_lines.get(idx).unwrap_or(&"").trim().to_string(),
+        });
+    };
+
+    let scope_queues = rel_str.contains("crates/queues/src");
+    let scope_no_panic = rel_str.contains("crates/core/src") || rel_str.contains("crates/nvmf/src");
+    // The bench shims (vendored criterion replacement) exist to measure
+    // wall time; simkit is the sanctioned wall-clock boundary.
+    let scope_wall_clock =
+        !rel_str.contains("crates/simkit/") && !rel_str.contains("crates/shims/");
+
+    for (idx, line) in lines.iter().enumerate() {
+        let code = &line.code;
+
+        // relaxed-ordering
+        if scope_queues
+            && !is_test(idx)
+            && code.contains("Ordering::Relaxed")
+            && !waived(&lines, idx, "relaxed-ordering", Some("relaxed-ok:"))
+        {
+            push(
+                "relaxed-ordering",
+                idx,
+                "Ordering::Relaxed on a queue path without a `// relaxed-ok:` justification"
+                    .to_string(),
+            );
+        }
+
+        // no-panic
+        if scope_no_panic && !is_test(idx) && !waived(&lines, idx, "no-panic", None) {
+            for (pat, what) in [
+                ("panic!(", "panic!"),
+                (".unwrap()", ".unwrap()"),
+                (".expect(", ".expect()"),
+            ] {
+                if code.contains(pat) {
+                    push(
+                        "no-panic",
+                        idx,
+                        format!(
+                            "{what} in protocol code — malformed input must be a counted \
+                             protocol error, not a crash (waive for internal invariants)"
+                        ),
+                    );
+                }
+            }
+        }
+
+        // wall-clock
+        if scope_wall_clock && !is_test(idx) && !waived(&lines, idx, "wall-clock", None) {
+            for pat in [
+                "std::time::Instant",
+                "std::time::SystemTime",
+                "Instant::now",
+                "SystemTime::now",
+            ] {
+                if code.contains(pat) {
+                    push(
+                        "wall-clock",
+                        idx,
+                        format!("{pat}: wall-clock time outside simkit breaks determinism"),
+                    );
+                    break;
+                }
+            }
+        }
+
+        // safety-comment — applies to test code too.
+        if find_token(code, "unsafe") && !code.contains("unsafe_code") {
+            // Look upwards through comments/attributes/empty lines (and a
+            // few code lines, for multi-line statements) for SAFETY.
+            let mut ok = line.comment.contains("SAFETY") || line.comment.contains("# Safety");
+            let mut j = idx;
+            let mut budget = 20usize;
+            while !ok && j > 0 && budget > 0 {
+                j -= 1;
+                budget -= 1;
+                let l = &lines[j];
+                if l.comment.contains("SAFETY") || l.comment.contains("# Safety") {
+                    ok = true;
+                    break;
+                }
+                let code_trim = l.code.trim();
+                // Stop at the previous statement boundary; keep scanning
+                // through comments, attributes, and continuation lines.
+                if !code_trim.is_empty()
+                    && !code_trim.starts_with('#')
+                    && (code_trim.ends_with(';') || code_trim.ends_with('}'))
+                {
+                    break;
+                }
+            }
+            if !ok {
+                push(
+                    "safety-comment",
+                    idx,
+                    "`unsafe` without an adjacent `// SAFETY:` (or `# Safety` doc) comment"
+                        .to_string(),
+                );
+            }
+        }
+    }
+
+    // hashmap-iter: needs the declared-ident pass first.
+    let idents = hashmap_idents(&lines);
+    if !idents.is_empty() {
+        for (idx, line) in lines.iter().enumerate() {
+            if is_test(idx) || waived(&lines, idx, "hashmap-iter", Some("hashmap-iter-ok:")) {
+                continue;
+            }
+            for ident in &idents {
+                if iterates(&line.code, ident) {
+                    findings.push(Finding {
+                        rule: "hashmap-iter",
+                        file: rel.to_path_buf(),
+                        line: idx + 1,
+                        detail: format!(
+                            "iteration over HashMap `{ident}`: order is nondeterministic — \
+                             use BTreeMap, sort, or waive with a reason"
+                        ),
+                        excerpt: raw_lines.get(idx).unwrap_or(&"").trim().to_string(),
+                    });
+                    break;
+                }
+            }
+        }
+    }
+
+    findings.sort_by_key(|f| f.line);
+    findings
+}
+
+/// Recursively collect `.rs` files under `dir`, skipping build output and
+/// VCS metadata.
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    let mut entries: Vec<_> = entries.flatten().map(|e| e.path()).collect();
+    entries.sort();
+    for path in entries {
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if path.is_dir() {
+            if name == "target" || name.starts_with('.') {
+                continue;
+            }
+            collect_rs(&path, out);
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// Lint every `.rs` file under `root` (the workspace checkout). Findings
+/// are sorted by path and line; empty means the workspace is clean.
+pub fn lint_workspace(root: &Path) -> Vec<Finding> {
+    let mut files = Vec::new();
+    collect_rs(root, &mut files);
+    let mut findings = Vec::new();
+    for path in files {
+        let Ok(src) = std::fs::read_to_string(&path) else {
+            continue;
+        };
+        let rel = path.strip_prefix(root).unwrap_or(&path);
+        findings.extend(lint_source(rel, &src));
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lint(rel: &str, src: &str) -> Vec<Finding> {
+        lint_source(Path::new(rel), src)
+    }
+
+    #[test]
+    fn strips_comments_and_strings() {
+        let lines = split_source(
+            "let x = \"panic!(\"; // panic!(\nlet y = 1; /* .unwrap() */ let z = 2;\n",
+        );
+        assert!(!lines[0].code.contains("panic!("));
+        assert!(lines[0].comment.contains("panic!("));
+        assert!(!lines[1].code.contains(".unwrap()"));
+        assert!(lines[1].code.contains("let z"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let lines = split_source("fn f<'a>(x: &'a str) -> &'a str { x }");
+        assert!(lines[0].code.contains("&'a str"));
+    }
+
+    #[test]
+    fn relaxed_needs_justification() {
+        let src = "use std::sync::atomic::Ordering;\nfn f(a: &AtomicUsize) { a.load(Ordering::Relaxed); }\n";
+        let f = lint("crates/queues/src/x.rs", src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "relaxed-ordering");
+        assert_eq!(f[0].line, 2);
+
+        let ok = "fn f(a: &AtomicUsize) {\n    // relaxed-ok: producer-owned index\n    a.load(Ordering::Relaxed);\n}\n";
+        assert!(lint("crates/queues/src/x.rs", ok).is_empty());
+        // Out of scope: other crates may use Relaxed freely.
+        assert!(lint("crates/core/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn no_panic_rule_and_waiver() {
+        let src = "fn f(o: Option<u8>) -> u8 { o.unwrap() }\n";
+        let f = lint("crates/core/src/x.rs", src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "no-panic");
+
+        let waived =
+            "// lint: allow(no-panic) internal invariant: set two lines up\nfn f(o: Option<u8>) -> u8 { o.unwrap() }\n";
+        assert!(lint("crates/nvmf/src/x.rs", waived).is_empty());
+        // unwrap_or_else must not match.
+        assert!(lint(
+            "crates/core/src/x.rs",
+            "fn f(o: Option<u8>) -> u8 { o.unwrap_or_else(|| 0) }\n"
+        )
+        .is_empty());
+        // Out of scope crate.
+        assert!(lint("crates/workload/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn test_region_is_exempt() {
+        let src = "fn f() {}\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { None::<u8>.unwrap(); }\n}\n";
+        assert!(lint("crates/core/src/x.rs", src).is_empty());
+        let in_tests_dir = "fn t() { std::time::Instant::now(); }\n";
+        assert!(lint("crates/core/tests/x.rs", in_tests_dir).is_empty());
+    }
+
+    #[test]
+    fn wall_clock_outside_simkit() {
+        let src = "fn f() { let _t = std::time::Instant::now(); }\n";
+        let f = lint("crates/experiments/src/bin/x.rs", src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "wall-clock");
+        assert!(lint("crates/simkit/src/time.rs", src).is_empty());
+    }
+
+    #[test]
+    fn hashmap_iteration_flagged() {
+        let src = "use std::collections::HashMap;\nstruct S { conns: HashMap<u16, u8> }\nimpl S {\n    fn metrics(&self) -> Vec<u16> { self.conns.keys().copied().collect() }\n}\n";
+        let f = lint("crates/core/src/x.rs", src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "hashmap-iter");
+        assert_eq!(f[0].line, 4);
+
+        // for-loop form on a local.
+        let src2 =
+            "fn f() {\n    let m = HashMap::new();\n    for (k, v) in &m { let _ = (k, v); }\n}\n";
+        let f2 = lint("crates/core/src/x.rs", src2);
+        assert_eq!(f2.len(), 1, "{f2:?}");
+
+        // Lookup (no iteration) is fine.
+        let src3 = "struct S { conns: HashMap<u16, u8> }\nimpl S {\n    fn get(&self, k: u16) -> Option<&u8> { self.conns.get(&k) }\n}\n";
+        assert!(lint("crates/core/src/x.rs", src3).is_empty());
+
+        // Waived.
+        let src4 = "struct S { conns: HashMap<u16, u8> }\nimpl S {\n    fn all(&self) -> Vec<u16> {\n        // hashmap-iter-ok: sorted below\n        let mut v: Vec<u16> = self.conns.keys().copied().collect();\n        v.sort_unstable(); v\n    }\n}\n";
+        assert!(
+            lint("crates/core/src/x.rs", src4).is_empty(),
+            "{:?}",
+            lint("crates/core/src/x.rs", src4)
+        );
+    }
+
+    #[test]
+    fn unsafe_needs_safety_comment() {
+        let src = "fn f(p: *const u8) -> u8 { unsafe { *p } }\n";
+        let f = lint("crates/queues/src/x.rs", src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "safety-comment");
+
+        let ok = "fn f(p: *const u8) -> u8 {\n    // SAFETY: caller guarantees validity\n    unsafe { *p }\n}\n";
+        assert!(lint("crates/queues/src/x.rs", ok).is_empty());
+
+        // Applies inside test code too.
+        let in_test =
+            "#[cfg(test)]\nmod tests {\n    fn t(p: *const u8) -> u8 { unsafe { *p } }\n}\n";
+        assert_eq!(lint("crates/queues/src/x.rs", in_test).len(), 1);
+
+        // `unsafe impl` with the comment directly above.
+        let imp = "// SAFETY: T is Send\nunsafe impl<T: Send> Send for X<T> {}\n";
+        assert!(lint("crates/queues/src/x.rs", imp).is_empty());
+    }
+}

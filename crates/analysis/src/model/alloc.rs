@@ -1,0 +1,40 @@
+//! Allocation tracking: leaked-node detection for intrusive structures.
+//!
+//! The MPSC queue hands raw `Box` pointers around; nothing in the type
+//! system proves every node is freed. Under the model, the queue source
+//! registers each node allocation and release (through `queues::sync`'s
+//! `track_alloc`/`track_free`, no-ops in real builds); at the end of
+//! every explored execution the checker fails if any address is still
+//! registered — covering the stub node and unconsumed tail on every
+//! interleaving, not just the ones a unit test happens to produce.
+
+use super::exec::{current, lock};
+use super::ModelError;
+
+/// Record a tracked allocation (no-op outside `model::check`).
+pub fn track_alloc(addr: usize) {
+    if let Some((exec, tid)) = current() {
+        let mut s = lock(&exec.state);
+        if !s.tracked.insert(addr) {
+            drop(s);
+            exec.report(ModelError::AllocMisuse {
+                thread: tid,
+                detail: format!("address {addr:#x} allocated twice without a free"),
+            });
+        }
+    }
+}
+
+/// Record a tracked release (no-op outside `model::check`).
+pub fn track_free(addr: usize) {
+    if let Some((exec, tid)) = current() {
+        let mut s = lock(&exec.state);
+        if !s.tracked.remove(&addr) {
+            drop(s);
+            exec.report(ModelError::AllocMisuse {
+                thread: tid,
+                detail: format!("address {addr:#x} freed but never tracked (double free?)"),
+            });
+        }
+    }
+}

@@ -1,0 +1,76 @@
+//! Vector clocks: the happens-before lattice the checker runs on.
+//!
+//! Every model thread `t` owns component `t` of its clock and ticks it at
+//! each synchronization operation. An event at `(t, n)` happens-before a
+//! thread whose clock has component `t >= n`. Release stores publish the
+//! storing thread's clock on the atomic; acquire loads join it back —
+//! exactly the C11 release/acquire edge, minus everything `Relaxed`.
+
+/// A vector clock. Component `t` counts thread `t`'s synchronization
+/// operations; missing components are zero.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct VClock(Vec<u32>);
+
+impl VClock {
+    /// The zero clock (happens-before everything).
+    pub fn new() -> Self {
+        VClock(Vec::new())
+    }
+
+    /// Component for thread `tid`.
+    pub fn get(&self, tid: usize) -> u32 {
+        self.0.get(tid).copied().unwrap_or(0)
+    }
+
+    /// Advance this thread's own component by one.
+    pub fn tick(&mut self, tid: usize) {
+        if self.0.len() <= tid {
+            self.0.resize(tid + 1, 0);
+        }
+        self.0[tid] += 1;
+    }
+
+    /// Pointwise maximum: afterwards `self` happens-after both inputs.
+    pub fn join(&mut self, other: &VClock) {
+        if self.0.len() < other.0.len() {
+            self.0.resize(other.0.len(), 0);
+        }
+        for (s, o) in self.0.iter_mut().zip(other.0.iter()) {
+            *s = (*s).max(*o);
+        }
+    }
+
+    /// True when the event `(tid, epoch)` happens-before this clock —
+    /// i.e. this clock has already synchronized with that point of
+    /// thread `tid`'s history.
+    pub fn contains(&self, tid: usize, epoch: u32) -> bool {
+        self.get(tid) >= epoch
+    }
+
+    /// Reset to the zero clock (a `Relaxed` store breaking a release
+    /// sequence).
+    pub fn clear(&mut self) {
+        self.0.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tick_join_contains() {
+        let mut a = VClock::new();
+        a.tick(0);
+        a.tick(0);
+        let mut b = VClock::new();
+        b.tick(1);
+        assert!(!b.contains(0, 2));
+        b.join(&a);
+        assert!(b.contains(0, 2));
+        assert!(b.contains(1, 1));
+        assert!(!a.contains(1, 1));
+        b.clear();
+        assert!(!b.contains(0, 1));
+    }
+}

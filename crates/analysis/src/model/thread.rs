@@ -1,0 +1,81 @@
+//! Model threads: real OS threads driven by the cooperative scheduler.
+//!
+//! `spawn`/`join` mirror `std::thread` but register with the active
+//! execution: spawn and join are happens-before edges (clock
+//! inheritance / final-clock join), and both are scheduling points so
+//! the explorer interleaves the child against the parent.
+
+use super::exec::{current, lock, set_current, Execution};
+use std::any::Any;
+use std::sync::{Arc, Mutex};
+
+/// Handle to a model thread. Dropping without joining detaches (as with
+/// `std::thread`); the execution still waits for the thread to finish.
+pub struct JoinHandle<T> {
+    tid: usize,
+    exec: Arc<Execution>,
+    real: std::thread::JoinHandle<()>,
+    result: Arc<Mutex<Option<std::thread::Result<T>>>>,
+}
+
+/// Extract a readable message from a caught panic payload.
+pub(crate) fn panic_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// Spawn a model thread. Must be called from inside `model::check`.
+pub fn spawn<T, F>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    let (exec, parent) = current().expect("model::thread::spawn outside model::check");
+    let tid = exec.register_thread(parent);
+    let child_exec = exec.clone();
+    let result = Arc::new(Mutex::new(None));
+    let slot = result.clone();
+    let real = std::thread::spawn(move || {
+        set_current(Some((child_exec.clone(), tid)));
+        child_exec.wait_first_schedule(tid);
+        let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f));
+        if let Err(payload) = &out {
+            child_exec.report(super::ModelError::Panic {
+                thread: tid,
+                message: panic_message(payload.as_ref()),
+            });
+        }
+        *lock(&slot) = Some(out);
+        child_exec.finish_thread(tid);
+        set_current(None);
+    });
+    // Scheduling point: the explorer decides whether parent or child
+    // runs next.
+    exec.yield_point(parent);
+    JoinHandle {
+        tid,
+        exec,
+        real,
+        result,
+    }
+}
+
+impl<T> JoinHandle<T> {
+    /// Wait for the thread and propagate its return value. A panic in
+    /// the child has already been reported on the execution; it is also
+    /// returned here, as with `std::thread::JoinHandle::join`.
+    pub fn join(self) -> std::thread::Result<T> {
+        let (exec, me) = current().expect("model join outside model::check");
+        debug_assert!(Arc::ptr_eq(&exec, &self.exec), "join across executions");
+        exec.join_thread(me, self.tid);
+        let _ = self.real.join();
+        lock(&self.result)
+            .take()
+            .expect("model thread finished without storing a result")
+    }
+}

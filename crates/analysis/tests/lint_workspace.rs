@@ -1,0 +1,24 @@
+//! The workspace must lint clean: this is the same check CI runs via
+//! `cargo run -p analysis --bin lint`, wired into `cargo test` so a
+//! violation fails the ordinary test suite too.
+
+use std::path::PathBuf;
+
+#[test]
+fn workspace_has_no_lint_violations() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(|p| p.parent())
+        .expect("analysis crate lives two levels under the workspace root")
+        .to_path_buf();
+    let findings = analysis::lint::lint_workspace(&root);
+    assert!(
+        findings.is_empty(),
+        "workspace lint violations:\n{}",
+        findings
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

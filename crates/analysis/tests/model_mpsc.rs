@@ -1,0 +1,109 @@
+//! Exhaustive model checks of the real `queues::mpsc` Vyukov queue
+//! (built against the shadow types via `--features model`).
+//!
+//! Every execution also doubles as a node-leak proof: the queue sources
+//! register each node allocation/free with the model's allocation
+//! tracker, and the checker fails any interleaving that ends with a
+//! live node — covering the stub and unconsumed tail on *all* paths,
+//! not just the ones a unit test happens to hit.
+
+use analysis::model::{self, thread, ModelError};
+use queues::mpsc::{channel, channel_weak, MpscQueue};
+use std::sync::atomic::Ordering;
+
+#[test]
+fn two_producers_swing_tail_without_loss() {
+    let report = model::check(|| {
+        let (tx, mut rx) = channel::<u32>();
+        let tx2 = tx.clone();
+        // Two producers race the tail swap; the window between a swap and
+        // the link store is the scheme's classic hazard.
+        let a = thread::spawn(move || {
+            tx.send(1);
+            tx.send(2);
+        });
+        let b = thread::spawn(move || {
+            tx2.send(10);
+        });
+        a.join().unwrap();
+        b.join().unwrap();
+        let mut got = Vec::new();
+        while let Some(v) = rx.recv() {
+            got.push(v);
+        }
+        // No loss, no duplicates, per-producer FIFO.
+        assert_eq!(got.len(), 3);
+        let pos = |x: u32| got.iter().position(|&v| v == x).unwrap();
+        assert!(pos(1) < pos(2), "producer A's order preserved in {got:?}");
+        assert!(got.contains(&10));
+    });
+    assert!(
+        report.executions > 10,
+        "got {} executions",
+        report.executions
+    );
+}
+
+#[test]
+fn concurrent_push_pop_through_channel() {
+    model::check(|| {
+        let (tx, mut rx) = channel::<u32>();
+        let producer = thread::spawn(move || {
+            tx.send(5);
+            tx.send(6);
+        });
+        let mut got = Vec::new();
+        // Bounded probe racing the pushes: exercises pops that observe a
+        // swapped-but-not-yet-linked tail (the "momentarily broken" state).
+        for _ in 0..2 {
+            if let Some(v) = rx.recv() {
+                got.push(v);
+            }
+        }
+        producer.join().unwrap();
+        while let Some(v) = rx.recv() {
+            got.push(v);
+        }
+        assert_eq!(got, vec![5, 6]);
+    });
+}
+
+#[test]
+fn unconsumed_tail_and_stub_are_freed() {
+    // Drop with values still queued, on every interleaving of the
+    // producers: the allocation tracker fails the execution if any node
+    // (stub included) is still live when the episode ends.
+    model::check(|| {
+        let q = std::sync::Arc::new(MpscQueue::<u32>::new());
+        let q2 = q.clone();
+        let producer = thread::spawn(move || {
+            q2.push(1);
+            q2.push(2);
+        });
+        producer.join().unwrap();
+        let mut q = std::sync::Arc::try_unwrap(q).ok().unwrap();
+        assert_eq!(q.pop(), Some(1));
+        // Drop `q` with one value unconsumed.
+    });
+}
+
+#[test]
+fn relaxed_link_is_caught() {
+    // Negative control: the same queue code with the producer's link
+    // store downgraded to Relaxed must race — the consumer can reach the
+    // node without a happens-before edge back to its initialization.
+    let failure = model::try_check(|| {
+        let (tx, mut rx) = channel_weak::<u32>(Ordering::Relaxed);
+        let producer = thread::spawn(move || {
+            tx.send(7);
+        });
+        let _ = rx.recv();
+        producer.join().unwrap();
+        while rx.recv().is_some() {}
+    })
+    .expect_err("relaxed link store must be reported as a race");
+    assert!(
+        matches!(failure.error, ModelError::DataRace { .. }),
+        "expected a data race, got: {failure}"
+    );
+}

@@ -222,6 +222,7 @@ impl OpfInitiator {
                     // Alg 1: queue[tail] <- req.cid.
                     i.cid_queue
                         .push(cid)
+                        // lint: allow(no-panic) internal invariant: sized for QD + window
                         .expect("CID queue sized for QD + window");
                     i.sent_in_window += 1;
                     let draining = i.sent_in_window >= i.window;

@@ -14,7 +14,7 @@ use nvme::{NvmeDevice, Opcode, Sqe, Status};
 use nvmf::{CpuCosts, Pdu, PduRx, Priority};
 use queues::CidQueue;
 use simkit::{Kernel, Metrics, MetricsSource, Resource, Shared, SimDuration, SimTime, Tracer};
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 
 /// Target-side counters. `resps_tx` is the Figure 6(c) notification
 /// count; in NVMe-oPF it is roughly `drains_rx + ls_rx` instead of the
@@ -143,7 +143,9 @@ pub struct OpfTarget {
     net: Network,
     ep: Shared<Endpoint>,
     device: Shared<NvmeDevice>,
-    conns: HashMap<u8, Conn>,
+    /// Connected initiators. BTreeMap: metrics enumerate tenants in
+    /// iteration order, which must be deterministic.
+    conns: BTreeMap<u8, Conn>,
     /// Writes whose H2C data has not arrived yet.
     pending_writes: HashMap<(u8, u16), (Sqe, Priority)>,
     /// Per-initiator TC queues (the §IV-A lock-free design), or one
@@ -191,7 +193,7 @@ impl OpfTarget {
             net,
             ep,
             device,
-            conns: HashMap::new(),
+            conns: BTreeMap::new(),
             pending_writes: HashMap::new(),
             tc: HashMap::new(),
             batches: Vec::new(),
@@ -374,13 +376,26 @@ impl OpfTarget {
                             true
                         } else {
                             let key = t.queue_key(from);
-                            let state = t.tc.get_mut(&key).expect("TC state exists");
-                            let staged = state
-                                .staged
-                                .get_mut(&(from, cccid))
-                                .expect("H2C data for unknown TC write");
-                            staged.data = Some(data.to_vec());
-                            staged.needs_data = false;
+                            match t
+                                .tc
+                                .get_mut(&key)
+                                .and_then(|state| state.staged.get_mut(&(from, cccid)))
+                            {
+                                Some(staged) => {
+                                    staged.data = Some(data.to_vec());
+                                    staged.needs_data = false;
+                                }
+                                // H2C data naming no staged TC write: a
+                                // misbehaving tenant must not abort the
+                                // fabric — count it and drop the payload.
+                                None => {
+                                    let side = ProtocolSide::Target(t.id);
+                                    t.note_protocol_error(
+                                        k.now(),
+                                        ProtocolError::UnknownCid { side, cid: cccid },
+                                    );
+                                }
+                            }
                             false
                         }
                     };
@@ -412,6 +427,8 @@ impl OpfTarget {
                     state
                         .order
                         .push(encode_key(from, sqe.cid))
+                        // lint: allow(no-panic) internal invariant: the CID
+                        // queue is sized for QD + window at construction.
                         .expect("target TC queue sized for QD + window");
                     let needs_data = sqe.opcode == Opcode::Write && data.is_none();
                     state.staged.insert(
@@ -512,6 +529,8 @@ impl OpfTarget {
             let mut groups: Vec<(u8, Vec<StagedCmd>)> = Vec::new();
             for qkey in keys {
                 let (owner, cid) = decode_key(qkey);
+                // lint: allow(no-panic) internal invariant: `order` and
+                // `staged` are updated together in `classify`.
                 let staged = state.staged.remove(&(owner, cid)).expect("staged command");
                 debug_assert_eq!(staged.owner, owner);
                 match groups.iter_mut().find(|(o, _)| *o == owner) {
@@ -531,6 +550,8 @@ impl OpfTarget {
                 } else {
                     // Shared-queue ablation: acknowledge the tenant's last
                     // flushed command.
+                    // lint: allow(no-panic) internal invariant: groups are
+                    // created non-empty just above.
                     cmds.last().expect("non-empty group").sqe.cid
                 };
                 let batch = t.new_batch(owner, ack_cid, cmds.len(), false);
@@ -682,6 +703,8 @@ impl OpfTarget {
             if result.data.is_some() {
                 cost += t.costs.send_data;
             }
+            // lint: allow(no-panic) internal invariant: batch slots are
+            // freed only after their last completion (below).
             let b = t.batches[batch].as_mut().expect("live batch");
             b.remaining -= 1;
             if !result.cqe.status.is_ok() && b.worst == Status::Success {
@@ -727,10 +750,15 @@ impl OpfTarget {
                 let Some(&front) = fifo.front() else {
                     return;
                 };
+                // lint: allow(no-panic) internal invariant: the FIFO only
+                // holds live batch slots.
                 if !t.batches[front].as_ref().expect("live batch").done {
                     return;
                 }
+                // lint: allow(no-panic) internal invariant: checked Some
+                // a few lines up, nothing removed it since.
                 t.batch_fifo.get_mut(&owner).expect("fifo").pop_front();
+                // lint: allow(no-panic) internal invariant: as above.
                 let b = t.batches[front].take().expect("live batch");
                 t.free_batches.push(front);
                 let cost = t.costs.build_resp + t.small_send_cost(k);
@@ -762,6 +790,8 @@ impl OpfTarget {
     }
 
     fn send_to(&mut self, k: &mut Kernel, to: u8, pdu: Pdu) {
+        // lint: allow(no-panic) internal invariant: we only send to
+        // initiators registered via `connect`.
         let conn = self.conns.get(&to).expect("send to unknown initiator");
         let rx = conn.rx.clone();
         let bytes = pdu.wire_len();
@@ -810,11 +840,9 @@ impl MetricsSource for OpfTarget {
             0.0
         };
         m.set("coalesce_ratio", ratio);
-        // Per-tenant TC staging-queue depth at snapshot time. Connected
-        // tenants are enumerated in sorted order for determinism.
-        let mut tenants: Vec<u8> = self.conns.keys().copied().collect();
-        tenants.sort_unstable();
-        for t in tenants {
+        // Per-tenant TC staging-queue depth at snapshot time. `conns` is
+        // a BTreeMap precisely so this enumeration is deterministic.
+        for t in self.conns.keys().copied() {
             m.set(
                 format!("tenant{t}.tc_queue_depth"),
                 self.tc_queue_depth(t) as f64,

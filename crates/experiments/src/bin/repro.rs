@@ -45,7 +45,7 @@ fn main() {
         Durations::full()
     };
 
-    let start = std::time::Instant::now();
+    let start = simkit::Stopwatch::start();
     for artifact in &artifacts {
         match artifact.as_str() {
             "table1" => table1::print(),
@@ -84,5 +84,5 @@ fn main() {
             _ => usage(),
         }
     }
-    eprintln!("[repro finished in {:.1}s]", start.elapsed().as_secs_f64());
+    eprintln!("[repro finished in {:.1}s]", start.elapsed_secs());
 }

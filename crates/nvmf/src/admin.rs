@@ -8,7 +8,7 @@
 //! expiry, and discovery log pages. `tests/` exercise the full
 //! connect → identify → keep-alive → disconnect lifecycle.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use simkit::{SimDuration, SimTime};
 
@@ -184,10 +184,12 @@ struct Controller {
 #[derive(Debug)]
 pub struct AdminServer {
     /// Exposed subsystems (NQN → namespace count).
-    subsystems: HashMap<String, u32>,
+    subsystems: BTreeMap<String, u32>,
     /// Discovery entries advertised to hosts.
     discovery: Vec<DiscoveryEntry>,
-    controllers: HashMap<u16, Controller>,
+    /// BTreeMap so `expire` returns dead controllers in a deterministic
+    /// (ascending-ID) order.
+    controllers: BTreeMap<u16, Controller>,
     next_cntlid: u16,
     max_controllers: usize,
     /// Keep-alive timeout; controllers expire past it.
@@ -199,9 +201,9 @@ impl AdminServer {
     /// Create a server with the given keep-alive timeout.
     pub fn new(kato: SimDuration, serial: impl Into<String>) -> Self {
         AdminServer {
-            subsystems: HashMap::new(),
+            subsystems: BTreeMap::new(),
             discovery: Vec::new(),
-            controllers: HashMap::new(),
+            controllers: BTreeMap::new(),
             next_cntlid: 1,
             max_controllers: 256,
             kato,
@@ -224,7 +226,8 @@ impl AdminServer {
         self.controllers.len()
     }
 
-    /// Expire controllers whose keep-alive lapsed; returns expired IDs.
+    /// Expire controllers whose keep-alive lapsed; returns expired IDs
+    /// in ascending order.
     pub fn expire(&mut self, now: SimTime) -> Vec<u16> {
         let kato = self.kato;
         let dead: Vec<u16> = self
@@ -292,7 +295,8 @@ impl AdminServer {
                 }
             }
             AdminCmd::IdentifyController => {
-                let Some(c) = cntlid.and_then(|id| self.controllers.get(&id)) else {
+                let found = cntlid.and_then(|id| self.controllers.get(&id).map(|c| (id, c)));
+                let Some((id, c)) = found else {
                     return AdminResp::Error(AdminError::NotConnected);
                 };
                 let nn = self.subsystems.get(&c.subnqn).copied().unwrap_or(0);
@@ -302,7 +306,7 @@ impl AdminServer {
                     mn: "NVMe-oPF simulated controller".into(),
                     fr: "0.1".into(),
                     mdts: 5, // 128K
-                    cntlid: cntlid.unwrap(),
+                    cntlid: id,
                     nn,
                     subnqn: c.subnqn.clone(),
                 }))

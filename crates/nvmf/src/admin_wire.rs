@@ -197,6 +197,7 @@ impl AdminClient {
             },
             Box::new(move |k, resp| {
                 let AdminResp::Connected { .. } = resp else {
+                    // lint: allow(no-panic) setup-time bring-up; failing fast is intended
                     panic!("admin connect failed: {resp:?}");
                 };
                 let this3 = this2.clone();
@@ -211,6 +212,7 @@ impl AdminClient {
                     },
                     Box::new(move |k, resp| {
                         let AdminResp::Connected { .. } = resp else {
+                            // lint: allow(no-panic) setup-time bring-up; failing fast is intended
                             panic!("io-queue connect failed: {resp:?}");
                         };
                         AdminClient::send(
@@ -219,6 +221,7 @@ impl AdminClient {
                             AdminCmd::IdentifyController,
                             Box::new(move |k, resp| {
                                 let AdminResp::Identify(ident) = resp else {
+                                    // lint: allow(no-panic) setup-time bring-up; failing fast is intended
                                     panic!("identify failed: {resp:?}");
                                 };
                                 cb(k, *ident);

@@ -41,6 +41,10 @@ pub struct InitiatorStats {
     pub bytes_read: u64,
     /// Payload bytes written.
     pub bytes_written: u64,
+    /// Protocol violations detected (misdirected PDUs, R2Ts or
+    /// completions naming no in-flight command). The offending PDU is
+    /// dropped; the sim keeps running.
+    pub protocol_errors: u64,
 }
 
 /// How an initiator hands PDUs to its target (closure capturing the
@@ -200,20 +204,43 @@ impl SpdkInitiator {
             }
             Pdu::R2T { cccid, r2tl } => Self::on_r2t(this, k, cccid, r2tl),
             Pdu::CapsuleResp { cqe, .. } => Self::on_resp(this, k, cqe),
-            other => panic!("initiator received unexpected PDU {:?}", other.kind()),
+            // Command capsules and H2C data never travel controller → host:
+            // count the violation and drop the PDU rather than abort.
+            _ => {
+                let mut i = this.borrow_mut();
+                i.stats.protocol_errors += 1;
+                i.tracer
+                    .emit(k.now(), "ini.protocol_error", u32::from(i.id), 0);
+            }
         }
     }
 
     fn on_r2t(this: &Shared<SpdkInitiator>, k: &mut Kernel, cccid: u16, r2tl: u32) {
-        let (finish, data) = {
+        let staged = {
             let mut i = this.borrow_mut();
             i.stats.r2ts_rx += 1;
-            let cost = i.costs.ini_on_r2t + i.costs.ini_send_data;
-            let finish = i.cpu.reserve(k.now(), cost).finish;
-            let ctx = i.qpair.get_mut(cccid).expect("R2T for unknown command");
-            let data = ctx.payload.take().expect("R2T but no payload");
-            debug_assert_eq!(data.len(), r2tl as usize);
-            (finish, data)
+            // An R2T naming no in-flight write (unknown CID, or a command
+            // with no payload to send): count + drop.
+            match i.qpair.get_mut(cccid).and_then(|ctx| ctx.payload.take()) {
+                Some(data) => {
+                    debug_assert_eq!(data.len(), r2tl as usize);
+                    let cost = i.costs.ini_on_r2t + i.costs.ini_send_data;
+                    Some((i.cpu.reserve(k.now(), cost).finish, data))
+                }
+                None => {
+                    i.stats.protocol_errors += 1;
+                    i.tracer.emit(
+                        k.now(),
+                        "ini.protocol_error",
+                        u32::from(i.id),
+                        u64::from(cccid),
+                    );
+                    None
+                }
+            }
+        };
+        let Some((finish, data)) = staged else {
+            return;
         };
         let this2 = this.clone();
         k.schedule_at(finish, move |k| {
@@ -249,9 +276,16 @@ impl SpdkInitiator {
     pub fn complete(this: &Shared<SpdkInitiator>, k: &mut Kernel, cid: u16, status: Status) {
         let (ctx, latency) = {
             let mut i = this.borrow_mut();
-            let ctx = match i.qpair.finish(cid) {
-                Some(c) => c,
-                None => panic!("completion for unknown CID {cid}"),
+            let Some(ctx) = i.qpair.finish(cid) else {
+                // Completion naming no in-flight command: count + drop.
+                i.stats.protocol_errors += 1;
+                i.tracer.emit(
+                    k.now(),
+                    "ini.protocol_error",
+                    u32::from(i.id),
+                    u64::from(cid),
+                );
+                return;
             };
             i.stats.completed += 1;
             if !status.is_ok() {
@@ -283,6 +317,7 @@ impl MetricsSource for SpdkInitiator {
         m.set("pdu.r2ts_rx", self.stats.r2ts_rx as f64);
         m.set("bytes_read", self.stats.bytes_read as f64);
         m.set("bytes_written", self.stats.bytes_written as f64);
+        m.set("protocol_errors", self.stats.protocol_errors as f64);
         m
     }
 }

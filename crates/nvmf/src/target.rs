@@ -13,7 +13,7 @@ use bytes::Bytes;
 use fabric::{Endpoint, Network};
 use nvme::{NvmeDevice, Opcode, Sqe};
 use simkit::{Kernel, Metrics, MetricsSource, Resource, Shared, SimDuration, SimTime, Tracer};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// Target-side counters. `resps_tx` is the completion-notification count
 /// Figure 6(c) compares between SPDK and NVMe-oPF.
@@ -33,6 +33,10 @@ pub struct TargetStats {
     pub completed: u64,
     /// Small sends that paid the backpressure penalty.
     pub backpressured_sends: u64,
+    /// Protocol violations detected (misdirected PDUs, H2C data with no
+    /// matching write). The offending PDU is dropped; the sim keeps
+    /// running.
+    pub protocol_errors: u64,
 }
 
 struct Conn {
@@ -49,9 +53,13 @@ pub struct SpdkTarget {
     net: Network,
     ep: Shared<Endpoint>,
     device: Shared<NvmeDevice>,
-    conns: HashMap<u8, Conn>,
+    /// Connected initiators. BTreeMap so any future enumeration (e.g.
+    /// per-tenant metrics, as in `OpfTarget`) is deterministic by
+    /// construction.
+    conns: BTreeMap<u8, Conn>,
     /// Write commands waiting for their H2C data, keyed by
-    /// (initiator, CID).
+    /// (initiator, CID). Lookup-only — never iterated — so HashMap
+    /// order-nondeterminism cannot leak into any output.
     pending_writes: HashMap<(u8, u16), (Sqe, Priority)>,
     tracer: Tracer,
     /// Counters.
@@ -75,7 +83,7 @@ impl SpdkTarget {
             net,
             ep,
             device,
-            conns: HashMap::new(),
+            conns: BTreeMap::new(),
             pending_writes: HashMap::new(),
             tracer,
             stats: TargetStats::default(),
@@ -110,7 +118,13 @@ impl SpdkTarget {
         match pdu {
             Pdu::CapsuleCmd { sqe, priority, .. } => Self::on_cmd(this, k, from, sqe, priority),
             Pdu::H2CData { cccid, data } => Self::on_h2c_data(this, k, from, cccid, data),
-            other => panic!("target received unexpected PDU {:?}", other.kind()),
+            // Responses, R2Ts and C2H data never travel host → controller:
+            // count the violation and drop the PDU rather than abort.
+            _ => {
+                let mut t = this.borrow_mut();
+                t.stats.protocol_errors += 1;
+                t.tracer.emit(k.now(), "tgt.protocol_error", t.id, 0);
+            }
         }
     }
 
@@ -157,15 +171,26 @@ impl SpdkTarget {
     }
 
     fn on_h2c_data(this: &Shared<SpdkTarget>, k: &mut Kernel, from: u8, cccid: u16, data: Bytes) {
-        let (finish, sqe, priority) = {
+        let staged = {
             let mut t = this.borrow_mut();
             t.stats.data_rx += 1;
-            let (sqe, priority) = t
-                .pending_writes
-                .remove(&(from, cccid))
-                .expect("H2C data for unknown write");
-            let cost = t.costs.handle_data + t.costs.submit_dev;
-            (t.reactor.reserve(k.now(), cost).finish, sqe, priority)
+            match t.pending_writes.remove(&(from, cccid)) {
+                Some((sqe, priority)) => {
+                    let cost = t.costs.handle_data + t.costs.submit_dev;
+                    Some((t.reactor.reserve(k.now(), cost).finish, sqe, priority))
+                }
+                // H2C data naming no pending write: count + drop, don't
+                // let one misbehaving tenant abort the fabric.
+                None => {
+                    t.stats.protocol_errors += 1;
+                    t.tracer
+                        .emit(k.now(), "tgt.protocol_error", t.id, u64::from(cccid));
+                    None
+                }
+            }
+        };
+        let Some((finish, sqe, priority)) = staged else {
+            return;
         };
         let this2 = this.clone();
         k.schedule_at(finish, move |k| {
@@ -245,6 +270,8 @@ impl SpdkTarget {
 
     /// Transmit a PDU to initiator `from` over the fabric.
     pub(crate) fn send_to(&mut self, k: &mut Kernel, to: u8, pdu: Pdu) {
+        // lint: allow(no-panic) internal invariant: we only send to
+        // initiators registered via `connect`.
         let conn = self.conns.get(&to).expect("send to unknown initiator");
         let rx = conn.rx.clone();
         let bytes = pdu.wire_len();
@@ -271,6 +298,7 @@ impl MetricsSource for SpdkTarget {
             0.0
         };
         m.set("coalesce_ratio", ratio);
+        m.set("protocol_errors", self.stats.protocol_errors as f64);
         m
     }
 }

@@ -18,13 +18,20 @@
 //!   only by the *shared-queue ablation*, which demonstrates the problem
 //!   (early drains, cross-tenant interference) that per-initiator queues
 //!   avoid.
+//!
+//! All cross-thread primitives go through [`sync`], a facade over
+//! `std::sync::atomic` that swaps in the `analysis` crate's shadow
+//! types under `--features model` — the same queue sources are then
+//! exhaustively model-checked for data races, ordering violations, and
+//! leaked nodes (`cargo test -p analysis`).
 
 pub mod cid;
 pub mod mpsc;
 pub mod spsc;
+pub mod sync;
 
 pub use cid::{CidQueue, CompleteResult};
-pub use mpsc::MpscQueue;
+pub use mpsc::{channel as mpsc_channel, MpscQueue, MpscReceiver, MpscSender};
 pub use spsc::{spsc_channel, Consumer, Producer};
 
 /// Pads a value to a cache line to prevent false sharing between the

@@ -10,11 +10,17 @@
 //! Indices increase monotonically and are mapped into the buffer with a
 //! mask; `tail - head` is the occupancy. With `usize` indices a wraparound
 //! would need ~10^19 operations, far beyond any simulation.
+//!
+//! Built against [`crate::sync`], so the identical source is exhaustively
+//! model-checked by `analysis` (`cargo test -p analysis`); the
+//! `spsc_channel_weak` constructor exists only under the `model` feature
+//! and deliberately weakens the publish ordering so the checker's
+//! negative tests prove a missing `Release` is caught.
 
+use crate::sync::{AtomicUsize, UnsafeCell};
 use crate::CachePadded;
-use std::cell::UnsafeCell;
 use std::mem::MaybeUninit;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
 struct Ring<T> {
@@ -24,12 +30,19 @@ struct Ring<T> {
     head: CachePadded<AtomicUsize>,
     /// Producer position (next slot to write). Owned by the producer.
     tail: CachePadded<AtomicUsize>,
+    /// Ordering for index publication (model builds only; production is
+    /// hard-wired to `Release`). Lets negative model tests inject a
+    /// deliberately-broken `Relaxed` publish.
+    #[cfg(feature = "model")]
+    publish_ord: Ordering,
 }
 
 // SAFETY: the ring transfers `T` values across threads; slots are only
 // accessed by the side that owns the index range, ordered by the
 // Acquire/Release pairs on head/tail.
 unsafe impl<T: Send> Send for Ring<T> {}
+// SAFETY: as above — producer and consumer touch disjoint slot ranges,
+// synchronized through the index atomics.
 unsafe impl<T: Send> Sync for Ring<T> {}
 
 impl<T> Ring<T> {
@@ -44,6 +57,21 @@ impl<T> Ring<T> {
             mask: cap - 1,
             head: CachePadded(AtomicUsize::new(0)),
             tail: CachePadded(AtomicUsize::new(0)),
+            #[cfg(feature = "model")]
+            publish_ord: Ordering::Release,
+        }
+    }
+
+    /// Ordering used when a side publishes its index to the other side.
+    #[inline]
+    fn publish_ord(&self) -> Ordering {
+        #[cfg(feature = "model")]
+        {
+            self.publish_ord
+        }
+        #[cfg(not(feature = "model"))]
+        {
+            Ordering::Release
         }
     }
 
@@ -54,13 +82,16 @@ impl<T> Ring<T> {
 
 impl<T> Drop for Ring<T> {
     fn drop(&mut self) {
-        // Drop any values still in the ring. We have exclusive access here.
+        // Drop any values still in the ring. We have exclusive access
+        // here: `&mut self` means no concurrent side to synchronize with.
+        // relaxed-ok: exclusive access per the above.
         let head = self.head.load(Ordering::Relaxed);
-        let tail = self.tail.load(Ordering::Relaxed);
+        let tail = self.tail.load(Ordering::Relaxed); // relaxed-ok: as above
         for i in head..tail {
-            let slot = self.buf[i & self.mask].get();
-            // SAFETY: slots in [head, tail) were written and never read.
-            unsafe { (*slot).assume_init_drop() };
+            self.buf[i & self.mask].with_mut(|slot| {
+                // SAFETY: slots in [head, tail) were written and never read.
+                unsafe { (*slot).assume_init_drop() }
+            });
         }
     }
 }
@@ -96,10 +127,32 @@ pub fn spsc_channel<T>(cap: usize) -> (Producer<T>, Consumer<T>) {
     )
 }
 
+/// Like [`spsc_channel`], but index publication uses `publish_ord`
+/// instead of `Release`. Exists only for the model checker's negative
+/// tests: passing `Ordering::Relaxed` must make `analysis` report a data
+/// race on the slot transfer.
+#[cfg(feature = "model")]
+pub fn spsc_channel_weak<T>(cap: usize, publish_ord: Ordering) -> (Producer<T>, Consumer<T>) {
+    let mut ring = Ring::with_capacity(cap);
+    ring.publish_ord = publish_ord;
+    let ring = Arc::new(ring);
+    (
+        Producer {
+            ring: ring.clone(),
+            cached_head: 0,
+        },
+        Consumer {
+            ring,
+            cached_tail: 0,
+        },
+    )
+}
+
 impl<T> Producer<T> {
     /// Push a value; returns it back if the ring is full.
     pub fn push(&mut self, value: T) -> Result<(), T> {
         let ring = &*self.ring;
+        // relaxed-ok: `tail` is producer-owned; only this thread stores it.
         let tail = ring.tail.load(Ordering::Relaxed);
         if tail - self.cached_head == ring.capacity() {
             self.cached_head = ring.head.load(Ordering::Acquire);
@@ -107,17 +160,19 @@ impl<T> Producer<T> {
                 return Err(value);
             }
         }
-        let slot = ring.buf[tail & ring.mask].get();
-        // SAFETY: the slot at `tail` is outside [head, tail) so the
-        // consumer will not touch it until we publish the new tail.
-        unsafe { (*slot).write(value) };
-        ring.tail.store(tail + 1, Ordering::Release);
+        ring.buf[tail & ring.mask].with_mut(|slot| {
+            // SAFETY: the slot at `tail` is outside [head, tail) so the
+            // consumer will not touch it until we publish the new tail.
+            unsafe { (*slot).write(value) }
+        });
+        ring.tail.store(tail + 1, ring.publish_ord());
         Ok(())
     }
 
     /// Number of items currently queued (may be stale by the time it
     /// returns; exact when no concurrent consumer activity).
     pub fn len(&self) -> usize {
+        // relaxed-ok: producer-owned index.
         let tail = self.ring.tail.load(Ordering::Relaxed);
         let head = self.ring.head.load(Ordering::Acquire);
         tail - head
@@ -138,6 +193,7 @@ impl<T> Consumer<T> {
     /// Pop the oldest value, or `None` when empty.
     pub fn pop(&mut self) -> Option<T> {
         let ring = &*self.ring;
+        // relaxed-ok: `head` is consumer-owned; only this thread stores it.
         let head = ring.head.load(Ordering::Relaxed);
         if head == self.cached_tail {
             self.cached_tail = ring.tail.load(Ordering::Acquire);
@@ -145,17 +201,19 @@ impl<T> Consumer<T> {
                 return None;
             }
         }
-        let slot = ring.buf[head & ring.mask].get();
-        // SAFETY: slot at `head` was published by the producer's Release
-        // store that we observed with Acquire.
-        let value = unsafe { (*slot).assume_init_read() };
-        ring.head.store(head + 1, Ordering::Release);
+        let value = ring.buf[head & ring.mask].with(|slot| {
+            // SAFETY: slot at `head` was published by the producer's
+            // Release store that we observed with Acquire.
+            unsafe { (*slot).assume_init_read() }
+        });
+        ring.head.store(head + 1, ring.publish_ord());
         Some(value)
     }
 
     /// Peek at the oldest value without consuming it.
     pub fn peek(&mut self) -> Option<&T> {
         let ring = &*self.ring;
+        // relaxed-ok: consumer-owned index.
         let head = ring.head.load(Ordering::Relaxed);
         if head == self.cached_tail {
             self.cached_tail = ring.tail.load(Ordering::Acquire);
@@ -163,14 +221,17 @@ impl<T> Consumer<T> {
                 return None;
             }
         }
-        let slot = ring.buf[head & ring.mask].get();
-        // SAFETY: as in `pop`, but we don't consume; `&mut self` prevents
-        // a simultaneous pop from invalidating the reference.
-        Some(unsafe { (*slot).assume_init_ref() })
+        let value = ring.buf[head & ring.mask].with(|slot| {
+            // SAFETY: as in `pop`, but we don't consume; `&mut self`
+            // prevents a simultaneous pop from invalidating the reference.
+            unsafe { (*slot).assume_init_ref() }
+        });
+        Some(value)
     }
 
     /// Number of items currently queued.
     pub fn len(&self) -> usize {
+        // relaxed-ok: consumer-owned index.
         let head = self.ring.head.load(Ordering::Relaxed);
         let tail = self.ring.tail.load(Ordering::Acquire);
         tail - head

@@ -36,7 +36,7 @@ pub use kernel::{EventFn, Kernel};
 pub use metrics::{Metrics, MetricsSource};
 pub use resource::Resource;
 pub use rng::Pcg32;
-pub use time::{SimDuration, SimTime};
+pub use time::{SimDuration, SimTime, Stopwatch};
 pub use trace::{CountingSink, RecordingSink, TraceEvent, TraceSink, Tracer};
 
 use std::cell::RefCell;

@@ -163,6 +163,29 @@ impl SimDuration {
     }
 }
 
+/// Wall-clock stopwatch for harness-side progress reporting.
+///
+/// Simulation code must never read the host clock — results would stop
+/// being reproducible, and the workspace linter's `wall-clock` rule
+/// rejects `std::time::Instant`/`SystemTime` outside this crate. The one
+/// legitimate use is a harness timing its own run (e.g. `repro` printing
+/// how long regeneration took); routing that through `Stopwatch` keeps
+/// `std::time` out of every other crate.
+#[derive(Debug)]
+pub struct Stopwatch(std::time::Instant);
+
+impl Stopwatch {
+    /// Start timing now.
+    pub fn start() -> Self {
+        Stopwatch(std::time::Instant::now())
+    }
+
+    /// Wall-clock seconds elapsed since `start`.
+    pub fn elapsed_secs(&self) -> f64 {
+        self.0.elapsed().as_secs_f64()
+    }
+}
+
 impl Add<SimDuration> for SimTime {
     type Output = SimTime;
     #[inline]

@@ -121,7 +121,7 @@ impl StripedVolume {
 mod tests {
     use super::*;
     use std::cell::RefCell;
-    use std::collections::HashMap;
+    use std::collections::BTreeMap;
     use std::rc::Rc;
 
     #[test]
@@ -137,7 +137,7 @@ mod tests {
             8,
             7,
         );
-        let mut seen: HashMap<(usize, u64), u64> = HashMap::new();
+        let mut seen: BTreeMap<(usize, u64), u64> = BTreeMap::new();
         let mut per_target = [0u64; 4];
         for lba in 0..4096 {
             let p = v.place(lba);
