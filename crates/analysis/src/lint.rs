@@ -10,6 +10,7 @@
 //! | `wall-clock` | all crates except `simkit` and the bench `shims` | no `Instant` / `SystemTime`: simulations must be deterministic; real time enters only through `simkit` (e.g. its `Stopwatch`) |
 //! | `hashmap-iter` | all crates | no iteration over `HashMap`s declared in the same file: iteration order is randomized per process and leaks nondeterminism into metrics, snapshots, and reports — use `BTreeMap`, sort first, or waive with a reason |
 //! | `safety-comment` | all code incl. tests | every `unsafe` block/impl/fn is adjacent to a `// SAFETY:` (or `# Safety` doc) explaining why it is sound |
+//! | `foreign-rand` | all crates except `simkit` and the `shims` | no `rand`-crate APIs (`thread_rng`, `StdRng`, …) or ad-hoc LCG multiplier constants: every random draw must flow from `simkit::rng` (seeded, forkable) or simulations stop being bit-reproducible |
 //!
 //! Matching runs on comment- and string-literal-stripped source (so the
 //! rule table above doesn't flag itself), with a test-region heuristic:
@@ -421,6 +422,9 @@ pub fn lint_source(rel: &Path, src: &str) -> Vec<Finding> {
     // wall time; simkit is the sanctioned wall-clock boundary.
     let scope_wall_clock =
         !rel_str.contains("crates/simkit/") && !rel_str.contains("crates/shims/");
+    // simkit::rng is the sanctioned RNG home; the shims may carry PRNG
+    // constants of their own (the proptest shim seeds deterministically).
+    let scope_foreign_rand = scope_wall_clock;
 
     for (idx, line) in lines.iter().enumerate() {
         let code = &line.code;
@@ -475,6 +479,42 @@ pub fn lint_source(rel: &Path, src: &str) -> Vec<Finding> {
                     );
                     break;
                 }
+            }
+        }
+
+        // foreign-rand
+        if scope_foreign_rand && !is_test(idx) && !waived(&lines, idx, "foreign-rand", None) {
+            // `rand::` path use, with a non-identifier char before it so
+            // `operand::` and friends don't trip.
+            let crate_use = {
+                let ident = |c: char| c.is_alphanumeric() || c == '_';
+                let mut found = false;
+                let mut from = 0;
+                while let Some(pos) = code[from..].find("rand::") {
+                    let at = from + pos;
+                    if at == 0 || code[..at].chars().next_back().is_some_and(|c| !ident(c)) {
+                        found = true;
+                        break;
+                    }
+                    from = at + "rand::".len();
+                }
+                found
+            };
+            let entropy_api = ["thread_rng", "from_entropy", "StdRng", "SmallRng", "OsRng"]
+                .iter()
+                .any(|t| find_token(code, t));
+            // Ad-hoc LCG constants (PCG's multiplier, the POSIX rand()
+            // multiplier), matched with digit-group underscores removed.
+            let digits: String = code.chars().filter(|&c| c != '_').collect();
+            let lcg = digits.contains("6364136223846793005") || digits.contains("1103515245");
+            if crate_use || entropy_api || lcg {
+                push(
+                    "foreign-rand",
+                    idx,
+                    "randomness outside simkit::rng — use Kernel::rng() / Pcg32::fork so \
+                     runs stay seeded and bit-reproducible"
+                        .to_string(),
+                );
             }
         }
 
@@ -681,6 +721,40 @@ mod tests {
             "{:?}",
             lint("crates/core/src/x.rs", src4)
         );
+    }
+
+    #[test]
+    fn foreign_rand_flagged() {
+        let src = "fn f() -> u32 { rand::thread_rng().gen() }\n";
+        let f = lint("crates/workload/src/x.rs", src);
+        assert!(
+            f.iter().any(|x| x.rule == "foreign-rand"),
+            "rand:: path use must be flagged: {f:?}"
+        );
+
+        // Ad-hoc LCG with digit-group underscores.
+        let lcg =
+            "fn f(s: u64) -> u64 { s.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1) }\n";
+        assert_eq!(lint("crates/workload/src/x.rs", lcg).len(), 1);
+        let posix = "fn f(s: u32) -> u32 { s.wrapping_mul(1103515245).wrapping_add(12345) }\n";
+        assert_eq!(lint("crates/nvme/src/x.rs", posix).len(), 1);
+
+        // Sanctioned homes: simkit's own PCG and the deterministic
+        // proptest shim.
+        assert!(lint("crates/simkit/src/rng.rs", lcg).is_empty());
+        assert!(lint("crates/shims/proptest/src/lib.rs", lcg).is_empty());
+
+        // Test code is exempt; waivers work; comments/strings don't trip;
+        // identifiers merely ending in "rand" don't trip.
+        assert!(lint("crates/workload/tests/x.rs", src).is_empty());
+        let waived = "// lint: allow(foreign-rand) vendored reference constant\nfn f(s: u32) -> u32 { s.wrapping_mul(1103515245) }\n";
+        assert!(lint("crates/workload/src/x.rs", waived).is_empty());
+        assert!(lint(
+            "crates/workload/src/x.rs",
+            "// rand::thread_rng is banned here\nfn f() { let _ = \"StdRng\"; }\n"
+        )
+        .is_empty());
+        assert!(lint("crates/workload/src/x.rs", "fn f() { operand::eval(); }\n").is_empty());
     }
 
     #[test]

@@ -65,6 +65,16 @@ pub struct OpfInitiatorConfig {
     /// Capacity of the CID queue (sized ≥ queue depth + window so a full
     /// pipeline can never overflow it — the §IV-A lock-up guard).
     pub cid_queue_capacity: usize,
+    /// Bounded retransmission for commands that expect a direct response
+    /// (LS commands and draining TC flags). `None` disables recovery: a
+    /// lost capsule hangs its CID forever, as the lossless-fabric design
+    /// assumes.
+    pub retry: Option<nvmf::RetryPolicy>,
+    /// Retransmit an outstanding draining flag when no coalesced
+    /// response has arrived after this long. Without it a drain lost on
+    /// the wire strands every CID queued behind it (the window
+    /// generation bump masks the loss from the drain-timeout path).
+    pub redrain_timeout: Option<SimDuration>,
 }
 
 impl Default for OpfInitiatorConfig {
@@ -74,6 +84,8 @@ impl Default for OpfInitiatorConfig {
             drain_timeout: Some(SimDuration::from_micros(500)),
             coalesced_complete_each: SimDuration::from_nanos(150),
             cid_queue_capacity: 512,
+            retry: None,
+            redrain_timeout: None,
         }
     }
 }
@@ -114,6 +126,9 @@ mod tests {
         assert_eq!(i.window.initial(), 32);
         assert!(i.drain_timeout.is_some());
         assert!(i.cid_queue_capacity >= 128 + 32);
+        // Recovery is strictly opt-in: defaults stay lossless-fabric.
+        assert!(i.retry.is_none());
+        assert!(i.redrain_timeout.is_none());
         let t = OpfTargetConfig::default();
         assert_eq!(t.queue_mode, QueueMode::PerInitiator);
         assert!(t.ls_bypass);

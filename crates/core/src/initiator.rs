@@ -50,6 +50,44 @@ pub struct OpfInitiatorStats {
     pub drain_latency_sum_ns: u64,
     /// Number of drain round trips measured.
     pub drain_latency_count: u64,
+    /// Commands retransmitted after a response timeout (recovery mode).
+    pub retries: u64,
+    /// Commands failed locally after exhausting the retry budget.
+    pub retry_exhausted: u64,
+    /// Draining flags retransmitted after the redrain timeout.
+    pub redrains: u64,
+    /// Stale or duplicate responses suppressed (recovery mode).
+    pub dup_resps_suppressed: u64,
+}
+
+/// Per-CID retransmission bookkeeping (mirrors the `nvmf` initiator).
+#[derive(Clone, Default)]
+struct RetrySlot {
+    /// Bumped on every (re)allocation and completion of the CID, so an
+    /// expiry timer armed for an earlier command finds a mismatch and
+    /// dies instead of retransmitting the CID's new occupant.
+    epoch: u64,
+    /// Retransmissions attempted for the current command.
+    attempts: u32,
+    /// Write payload copy: the live payload is consumed by the first
+    /// R2T exchange, so a retransmitted write serves re-grants from here.
+    payload: Option<Bytes>,
+}
+
+/// What the drain-timeout path found when the current window is empty.
+enum StaleDrain {
+    /// No outstanding drain (or redrain disabled): nothing to do.
+    None,
+    /// Outstanding drains exist but the oldest is not overdue yet.
+    Wait,
+    /// The oldest outstanding drain is overdue: retransmit it.
+    Resend {
+        cid: u16,
+        opcode: Opcode,
+        slba: u64,
+        blocks: u16,
+        priority: Priority,
+    },
 }
 
 /// The NVMe-oPF initiator.
@@ -88,9 +126,13 @@ pub struct OpfInitiator {
     window_generation: u64,
     /// A timeout event is pending (avoid stacking one per request).
     timer_armed: bool,
-    /// Send times of outstanding draining flags, FIFO: drains complete
-    /// in issue order, so the front matches the next coalesced response.
-    drain_sent_at: VecDeque<SimTime>,
+    /// Send times and CIDs of outstanding draining flags, FIFO: drains
+    /// complete in issue order, so the front matches the next coalesced
+    /// response. The CID lets the recovery path match responses to
+    /// specific drains and retransmit a lost one.
+    drain_sent_at: VecDeque<(SimTime, u16)>,
+    /// Retransmission slots, one per CID (empty when retry is disabled).
+    slots: Vec<RetrySlot>,
     tracer: Tracer,
     /// Counters.
     pub stats: OpfInitiatorStats,
@@ -118,9 +160,21 @@ impl OpfInitiator {
             WindowPolicy::Static(_) => None,
         };
         let cap = cfg.cid_queue_capacity.max(qd + window as usize);
+        let slots = if cfg.retry.is_some() {
+            vec![RetrySlot::default(); qd]
+        } else {
+            Vec::new()
+        };
+        let mut qpair = QPair::new(qd);
+        if cfg.retry.is_some() || cfg.redrain_timeout.is_some() {
+            // FIFO CID reuse widens the window before a freed CID names a
+            // new command — a stale duplicate response must not be
+            // misattributed to the CID's next occupant.
+            qpair.set_fifo_recycle(true);
+        }
         OpfInitiator {
             id,
-            qpair: QPair::new(qd),
+            qpair,
             cpu: Resource::new("opf_initiator_cpu"),
             net,
             ep,
@@ -136,10 +190,16 @@ impl OpfInitiator {
             window_generation: 0,
             timer_armed: false,
             drain_sent_at: VecDeque::new(),
+            slots,
             tracer,
             stats: OpfInitiatorStats::default(),
             last_protocol_error: None,
         }
+    }
+
+    /// True when any fault-recovery mechanism is configured.
+    fn recovery(&self) -> bool {
+        self.cfg.retry.is_some() || self.cfg.redrain_timeout.is_some()
     }
 
     /// Most recent protocol violation, if any.
@@ -198,8 +258,13 @@ impl OpfInitiator {
         payload: Option<Bytes>,
         cb: IoCallback,
     ) -> Option<u16> {
-        let (cid, priority, finish, id) = {
+        let (cid, priority, finish, epoch) = {
             let mut i = this.borrow_mut();
+            let payload_copy = if i.cfg.retry.is_some() {
+                payload.clone()
+            } else {
+                None
+            };
             let ctx = ReqCtx {
                 opcode,
                 slba,
@@ -211,6 +276,15 @@ impl OpfInitiator {
                 cb,
             };
             let cid = i.qpair.begin(ctx)?;
+            let epoch = if i.cfg.retry.is_some() {
+                let slot = &mut i.slots[cid as usize];
+                slot.epoch += 1;
+                slot.attempts = 0;
+                slot.payload = payload_copy;
+                slot.epoch
+            } else {
+                0
+            };
             i.stats.submitted += 1;
             let priority = match class {
                 ReqClass::LatencySensitive => {
@@ -230,7 +304,7 @@ impl OpfInitiator {
                         i.sent_in_window = 0;
                         i.window_generation += 1;
                         i.stats.drains_sent += 1;
-                        i.drain_sent_at.push_back(k.now());
+                        i.drain_sent_at.push_back((k.now(), cid));
                         i.tracer
                             .emit(k.now(), "opf.drain_tx", u32::from(i.id), u64::from(cid));
                     }
@@ -242,13 +316,42 @@ impl OpfInitiator {
             }
             let c = i.costs.ini_submit;
             let finish = i.cpu.reserve(k.now(), c).finish;
-            (cid, priority, finish, i.id)
+            (cid, priority, finish, epoch)
         };
-        if priority.is_tc() && !priority.is_draining() {
+        let redrain = this.borrow().cfg.redrain_timeout.is_some();
+        // A draining submit historically never armed the timer (its own
+        // response resolves the window) — but with redrain enabled the
+        // timer doubles as the drain-loss watchdog, so it must run.
+        if priority.is_tc() && (!priority.is_draining() || redrain) {
             Self::arm_drain_timer(this, k);
         }
+        Self::send_cmd_at(this, k, finish, opcode, cid, slba, blocks, priority);
+        // Only commands that receive a direct response get an expiry
+        // timer: LS commands and draining flags. Non-draining TC commands
+        // complete through a later drain, so an individual timeout would
+        // misfire on every healthy coalesced window.
+        if this.borrow().cfg.retry.is_some() && (priority.is_ls() || priority.is_draining()) {
+            Self::arm_expiry(this, k, cid, epoch);
+        }
+        Some(cid)
+    }
+
+    /// Schedule a command capsule onto the wire at `at` (the CPU work was
+    /// already reserved by the caller). Shared by first transmission,
+    /// retry, and redrain.
+    #[allow(clippy::too_many_arguments)]
+    fn send_cmd_at(
+        this: &Shared<OpfInitiator>,
+        k: &mut Kernel,
+        at: SimTime,
+        opcode: Opcode,
+        cid: u16,
+        slba: u64,
+        blocks: u16,
+        priority: Priority,
+    ) {
         let this2 = this.clone();
-        k.schedule_at(finish, move |k| {
+        k.schedule_at(at, move |k| {
             let i = this2.borrow();
             let sqe = match opcode {
                 Opcode::Read => Sqe::read(cid, 1, slba, blocks),
@@ -264,7 +367,7 @@ impl OpfInitiator {
             let pdu = Pdu::CapsuleCmd {
                 sqe,
                 priority,
-                initiator: id,
+                initiator: i.id,
             };
             let rx = i.target_rx.clone();
             let from = i.id;
@@ -273,16 +376,116 @@ impl OpfInitiator {
                     rx(k, from, pdu)
                 });
         });
-        Some(cid)
+    }
+
+    /// Arm the per-command expiry timer for `cid` at the backoff implied
+    /// by its attempt count. The captured epoch invalidates the timer if
+    /// the command completes (or the CID is reused) first.
+    fn arm_expiry(this: &Shared<OpfInitiator>, k: &mut Kernel, cid: u16, epoch: u64) {
+        let backoff = {
+            let i = this.borrow();
+            let Some(policy) = i.cfg.retry else {
+                return;
+            };
+            policy.timeout * (1u64 << i.slots[cid as usize].attempts.min(16))
+        };
+        let this2 = this.clone();
+        k.schedule_in(backoff, move |k| {
+            Self::on_expiry(&this2, k, cid, epoch);
+        });
+    }
+
+    /// A command's expiry timer fired: retransmit it, or fail it locally
+    /// once the budget is spent. Stale timers (epoch mismatch, CID no
+    /// longer outstanding) die silently.
+    fn on_expiry(this: &Shared<OpfInitiator>, k: &mut Kernel, cid: u16, epoch: u64) {
+        enum Act {
+            Exhausted,
+            Resend(SimTime, Opcode, u64, u16, Priority),
+        }
+        let act = {
+            let mut i = this.borrow_mut();
+            let Some(policy) = i.cfg.retry else {
+                return;
+            };
+            if i.slots[cid as usize].epoch != epoch {
+                return;
+            }
+            let Some((opcode, slba, blocks, priority)) = i
+                .qpair
+                .get_mut(cid)
+                .map(|c| (c.opcode, c.slba, c.blocks, c.priority))
+            else {
+                return;
+            };
+            if i.slots[cid as usize].attempts >= policy.max_retries {
+                i.stats.retry_exhausted += 1;
+                i.tracer.emit(
+                    k.now(),
+                    "opf.retry_exhausted",
+                    u32::from(i.id),
+                    u64::from(cid),
+                );
+                Act::Exhausted
+            } else {
+                i.slots[cid as usize].attempts += 1;
+                i.stats.retries += 1;
+                i.tracer
+                    .emit(k.now(), "opf.retry", u32::from(i.id), u64::from(cid));
+                let c = i.costs.ini_submit;
+                let finish = i.cpu.reserve(k.now(), c).finish;
+                Act::Resend(finish, opcode, slba, blocks, priority)
+            }
+        };
+        match act {
+            Act::Exhausted => Self::fail_locally(this, k, cid),
+            Act::Resend(finish, opcode, slba, blocks, priority) => {
+                Self::send_cmd_at(this, k, finish, opcode, cid, slba, blocks, priority);
+                Self::arm_expiry(this, k, cid, epoch);
+            }
+        }
+    }
+
+    /// Complete `cid` (and, for a TC drain, everything queued behind it)
+    /// with an internal error after the retry budget is exhausted.
+    fn fail_locally(this: &Shared<OpfInitiator>, k: &mut Kernel, cid: u16) {
+        let cids = {
+            let mut i = this.borrow_mut();
+            let tc = i
+                .qpair
+                .get_mut(cid)
+                .map(|c| c.priority.is_tc())
+                .unwrap_or(false);
+            if tc {
+                // A failed drain strands its whole window: fail the queued
+                // prefix too, exactly as Algorithm 2 would complete it.
+                let cids = match i.cid_queue.complete_through(cid) {
+                    CompleteResult::Completed(v) => v,
+                    CompleteResult::Missing(mut v) => {
+                        v.push(cid);
+                        v
+                    }
+                };
+                i.drain_sent_at.retain(|&(_, c)| !cids.contains(&c));
+                cids
+            } else {
+                vec![cid]
+            }
+        };
+        for c in cids {
+            Self::complete(this, k, c, Status::InternalError);
+        }
     }
 
     /// Arm (or keep armed) the drain-timeout timer: if the current
     /// window is still partial when it fires, force a flush so coalesced
-    /// completions are not held hostage by a paused TC stream.
+    /// completions are not held hostage by a paused TC stream. With
+    /// `redrain_timeout` set, the same timer also watches outstanding
+    /// drains whose response never arrived and retransmits them.
     fn arm_drain_timer(this: &Shared<OpfInitiator>, k: &mut Kernel) {
         let (timeout, generation) = {
             let mut i = this.borrow_mut();
-            let Some(t) = i.cfg.drain_timeout else {
+            let Some(t) = i.cfg.drain_timeout.or(i.cfg.redrain_timeout) else {
                 return;
             };
             if i.timer_armed {
@@ -293,28 +496,125 @@ impl OpfInitiator {
         };
         let this2 = this.clone();
         k.schedule_in(timeout, move |k| {
-            let stale = {
+            enum Act {
+                Done,
+                Rearm,
+                Flush,
+                Redrain {
+                    finish: SimTime,
+                    cid: u16,
+                    opcode: Opcode,
+                    slba: u64,
+                    blocks: u16,
+                    priority: Priority,
+                },
+            }
+            let act = {
                 let mut i = this2.borrow_mut();
                 i.timer_armed = false;
                 if i.sent_in_window == 0 {
-                    // Nothing pending: the next partial window re-arms.
-                    return;
+                    // No partial window. This used to return outright,
+                    // assuming the outstanding drain (if any) was merely in
+                    // flight — but a drain *lost* on the wire also lands
+                    // here, and the generation bump it made when it was
+                    // sent masks the loss forever. Distinguish the two by
+                    // age: an overdue drain is presumed lost and resent.
+                    match i.stale_drain(k.now()) {
+                        StaleDrain::None => Act::Done,
+                        StaleDrain::Wait => Act::Rearm,
+                        StaleDrain::Resend {
+                            cid,
+                            opcode,
+                            slba,
+                            blocks,
+                            priority,
+                        } => {
+                            i.stats.redrains += 1;
+                            i.tracer
+                                .emit(k.now(), "opf.redrain", u32::from(i.id), u64::from(cid));
+                            let c = i.costs.ini_submit;
+                            let finish = i.cpu.reserve(k.now(), c).finish;
+                            Act::Redrain {
+                                finish,
+                                cid,
+                                opcode,
+                                slba,
+                                blocks,
+                                priority,
+                            }
+                        }
+                    }
+                } else if i.window_generation != generation {
+                    // A drain went out since we were armed; the pending
+                    // requests belong to a *newer* window that deserves
+                    // its own full timeout.
+                    Act::Rearm
+                } else {
+                    Act::Flush
                 }
-                // A drain went out since we were armed; the pending
-                // requests belong to a *newer* window that deserves its
-                // own full timeout.
-                i.window_generation != generation
             };
-            if stale {
-                OpfInitiator::arm_drain_timer(&this2, k);
-                return;
-            }
-            if OpfInitiator::flush(&this2, k, Box::new(|_, _| {})).is_none() {
-                // Queue depth exhausted: retry shortly (completions from
-                // earlier drains will free a slot).
-                OpfInitiator::arm_drain_timer(&this2, k);
+            match act {
+                Act::Done => {}
+                Act::Rearm => OpfInitiator::arm_drain_timer(&this2, k),
+                Act::Flush => {
+                    if OpfInitiator::flush(&this2, k, Box::new(|_, _| {})).is_none() {
+                        // Queue depth exhausted: retry shortly (completions
+                        // from earlier drains will free a slot).
+                        OpfInitiator::arm_drain_timer(&this2, k);
+                    }
+                }
+                Act::Redrain {
+                    finish,
+                    cid,
+                    opcode,
+                    slba,
+                    blocks,
+                    priority,
+                } => {
+                    OpfInitiator::send_cmd_at(
+                        &this2, k, finish, opcode, cid, slba, blocks, priority,
+                    );
+                    OpfInitiator::arm_drain_timer(&this2, k);
+                }
             }
         });
+    }
+
+    /// Inspect the oldest outstanding drain: is it overdue for a
+    /// retransmission? Entries whose CID already completed are pruned on
+    /// the way (defensive; `on_resp` normally removes them).
+    fn stale_drain(&mut self, now: SimTime) -> StaleDrain {
+        let Some(rt) = self.cfg.redrain_timeout else {
+            return StaleDrain::None;
+        };
+        loop {
+            let Some(&(sent, cid)) = self.drain_sent_at.front() else {
+                return StaleDrain::None;
+            };
+            let Some((opcode, slba, blocks, priority)) = self
+                .qpair
+                .get_mut(cid)
+                .map(|c| (c.opcode, c.slba, c.blocks, c.priority))
+            else {
+                self.drain_sent_at.pop_front();
+                continue;
+            };
+            if now.since(sent) < rt {
+                return StaleDrain::Wait;
+            }
+            // Refresh the send time so the next timeout measures from
+            // this retransmission, not the original loss.
+            if let Some(front) = self.drain_sent_at.front_mut() {
+                front.0 = now;
+            }
+            return StaleDrain::Resend {
+                cid,
+                opcode,
+                slba,
+                blocks,
+                priority,
+            };
+        }
     }
 
     /// Force a drain of any partially filled window by issuing a flush
@@ -406,7 +706,7 @@ impl OpfInitiator {
             let mut i = this.borrow_mut();
             i.stats.r2ts_rx += 1;
             let id = i.id;
-            let taken = match i.qpair.get_mut(cccid) {
+            let mut taken = match i.qpair.get_mut(cccid) {
                 None => Err(ProtocolError::UnknownCid {
                     side: ProtocolSide::Initiator(id),
                     cid: cccid,
@@ -416,6 +716,14 @@ impl OpfInitiator {
                     cid: cccid,
                 }),
             };
+            // Retransmitted write: the live payload was consumed by the
+            // first (lost) exchange — serve the re-grant from the retry
+            // copy instead of flagging a protocol violation.
+            if taken.is_err() && i.cfg.retry.is_some() && i.qpair.get_mut(cccid).is_some() {
+                if let Some(copy) = i.slots[cccid as usize].payload.clone() {
+                    taken = Ok(copy);
+                }
+            }
             let data = match taken {
                 Ok(d) => d,
                 Err(e) => {
@@ -450,6 +758,29 @@ impl OpfInitiator {
             let mut i = this.borrow_mut();
             i.stats.resps_rx += 1;
             if priority.is_tc() {
+                let recovery = i.recovery();
+                if recovery {
+                    // Retransmission can produce duplicate and reordered
+                    // coalesced responses; completing through a stale one
+                    // would mark a CID's *new* occupant complete. A
+                    // response is genuine only while its drain CID is
+                    // still outstanding.
+                    let outstanding = i.qpair.get_mut(cqe.cid).is_some();
+                    let pos = i.drain_sent_at.iter().position(|&(_, c)| c == cqe.cid);
+                    if !outstanding {
+                        if let Some(idx) = pos {
+                            i.drain_sent_at.remove(idx);
+                        }
+                        i.stats.dup_resps_suppressed += 1;
+                        return;
+                    }
+                    if let Some(idx) = pos {
+                        if let Some((sent, _)) = i.drain_sent_at.remove(idx) {
+                            i.stats.drain_latency_sum_ns += k.now().since(sent).as_nanos();
+                            i.stats.drain_latency_count += 1;
+                        }
+                    }
+                }
                 let result = i.cid_queue.complete_through(cqe.cid);
                 let cids = match result {
                     CompleteResult::Completed(v) => v,
@@ -471,10 +802,15 @@ impl OpfInitiator {
                     }
                 };
                 i.stats.coalesced_completions += cids.len() as u64;
-                // Drain round trip complete: draining flag out → coalesced
-                // response in. Forged responses (nothing outstanding) are
-                // simply not measured.
-                if let Some(sent) = i.drain_sent_at.pop_front() {
+                if recovery {
+                    // A single response can complete *earlier* drains whose
+                    // own responses were lost; their entries must not
+                    // linger or the redrain watchdog would resend them.
+                    i.drain_sent_at.retain(|&(_, c)| !cids.contains(&c));
+                } else if let Some((sent, _)) = i.drain_sent_at.pop_front() {
+                    // Drain round trip complete: draining flag out →
+                    // coalesced response in. Forged responses (nothing
+                    // outstanding) are simply not measured.
                     i.stats.drain_latency_sum_ns += k.now().since(sent).as_nanos();
                     i.stats.drain_latency_count += 1;
                 }
@@ -521,6 +857,12 @@ impl OpfInitiator {
         let (ctx, latency) = {
             let mut i = this.borrow_mut();
             let Some(ctx) = i.qpair.finish(cid) else {
+                if i.recovery() {
+                    // Duplicate completion raced a retransmission: already
+                    // retired, nothing to do.
+                    i.stats.dup_resps_suppressed += 1;
+                    return;
+                }
                 // Completion for a CID with no inflight command (duplicate
                 // or forged response): record and drop it.
                 let id = i.id;
@@ -533,6 +875,13 @@ impl OpfInitiator {
                 );
                 return;
             };
+            if i.cfg.retry.is_some() {
+                // Invalidate any in-flight expiry timer and drop the
+                // payload copy now that the command is done.
+                let slot = &mut i.slots[cid as usize];
+                slot.epoch += 1;
+                slot.payload = None;
+            }
             i.stats.completed += 1;
             if !status.is_ok() {
                 i.stats.errors += 1;
@@ -587,6 +936,17 @@ impl MetricsSource for OpfInitiator {
         m.set("drain_latency_avg_us", drain_avg_us);
         m.set("drain_latency_count", self.stats.drain_latency_count as f64);
         m.set("protocol_errors", self.stats.protocol_errors as f64);
+        // Recovery counters only exist when recovery is configured, so
+        // fault-free snapshots stay bit-identical to the historical ones.
+        if self.recovery() {
+            m.set("retries", self.stats.retries as f64);
+            m.set("retry_exhausted", self.stats.retry_exhausted as f64);
+            m.set("redrains", self.stats.redrains as f64);
+            m.set(
+                "dup_resps_suppressed",
+                self.stats.dup_resps_suppressed as f64,
+            );
+        }
         m
     }
 }

@@ -52,6 +52,11 @@ pub struct OpfTargetStats {
     /// Protocol violations detected (malformed/misdirected PDUs). The
     /// offending PDU is dropped; the sim keeps running.
     pub protocol_errors: u64,
+    /// Duplicate command capsules dropped (recovery mode): retransmits
+    /// of commands still live at the target.
+    pub dup_cmds_dropped: u64,
+    /// R2Ts re-granted to retransmitted writes (recovery mode).
+    pub r2t_regrants: u64,
 }
 
 /// A TC command staged in a tenant's queue, waiting for a drain.
@@ -163,6 +168,13 @@ pub struct OpfTarget {
     ready: VecDeque<ReadyCmd>,
     /// TC commands currently at the device.
     tc_inflight: usize,
+    /// Recovery mode: suppress duplicate commands from retransmitting
+    /// initiators instead of re-queueing them.
+    recovery: bool,
+    /// Commands accepted and not yet completed, keyed by (initiator,
+    /// CID). Membership-only — never iterated, so its hash order can
+    /// never leak into event order.
+    live: std::collections::HashSet<(u8, u16)>,
     tracer: Tracer,
     /// Counters.
     pub stats: OpfTargetStats,
@@ -202,10 +214,18 @@ impl OpfTarget {
             awaiting_data: HashMap::new(),
             ready: VecDeque::new(),
             tc_inflight: 0,
+            recovery: false,
+            live: std::collections::HashSet::new(),
             tracer,
             stats: OpfTargetStats::default(),
             last_protocol_error: None,
         }
+    }
+
+    /// Enable duplicate-command suppression (set by recovery-enabled
+    /// deployments whose initiators may retransmit).
+    pub fn set_recovery(&mut self, on: bool) {
+        self.recovery = on;
     }
 
     /// Most recent protocol violation, if any.
@@ -306,6 +326,11 @@ impl OpfTarget {
             // ordering covers them (see StagedCmd::needs_data).
             let finish = {
                 let mut t = this.borrow_mut();
+                if t.recovery && t.live.contains(&(from, sqe.cid)) {
+                    // Retransmitted write: the R2T below re-grants the
+                    // transfer; classify will drop the duplicate command.
+                    t.stats.r2t_regrants += 1;
+                }
                 let cost = t.costs.parse_cmd + t.costs.build_r2t + t.small_send_cost(k);
                 let grant = t.reactor.reserve(k.now(), cost);
                 if !tc {
@@ -388,12 +413,19 @@ impl OpfTarget {
                                 // H2C data naming no staged TC write: a
                                 // misbehaving tenant must not abort the
                                 // fabric — count it and drop the payload.
+                                // Under recovery this is the expected echo
+                                // of a retransmitted write, not a
+                                // violation.
                                 None => {
-                                    let side = ProtocolSide::Target(t.id);
-                                    t.note_protocol_error(
-                                        k.now(),
-                                        ProtocolError::UnknownCid { side, cid: cccid },
-                                    );
+                                    if t.recovery {
+                                        t.stats.dup_cmds_dropped += 1;
+                                    } else {
+                                        let side = ProtocolSide::Target(t.id);
+                                        t.note_protocol_error(
+                                            k.now(),
+                                            ProtocolError::UnknownCid { side, cid: cccid },
+                                        );
+                                    }
                                 }
                             }
                             false
@@ -422,6 +454,13 @@ impl OpfTarget {
             Priority::ThroughputCritical { draining } => {
                 let flush = {
                     let mut t = this.borrow_mut();
+                    if t.recovery && !t.live.insert((from, sqe.cid)) {
+                        // Retransmit of a command still staged, batched or
+                        // at the device: exactly-once execution demands we
+                        // drop it here.
+                        t.stats.dup_cmds_dropped += 1;
+                        return;
+                    }
                     let key = t.queue_key(from);
                     let state = t.tc.entry(key).or_insert_with(TcState::new);
                     state
@@ -454,6 +493,10 @@ impl OpfTarget {
                 // Bypass: execute immediately, outside the TC meter.
                 {
                     let mut t = this.borrow_mut();
+                    if t.recovery && !t.live.insert((from, sqe.cid)) {
+                        t.stats.dup_cmds_dropped += 1;
+                        return;
+                    }
                     t.stats.ls_bypassed += 1;
                     let cost = t.costs.submit_dev;
                     t.reactor.reserve(k.now(), cost);
@@ -463,6 +506,13 @@ impl OpfTarget {
             _ => {
                 // LS with bypass disabled (ablation) or untagged traffic:
                 // ride the metered path as a degenerate one-command batch.
+                {
+                    let mut t = this.borrow_mut();
+                    if t.recovery && !t.live.insert((from, sqe.cid)) {
+                        t.stats.dup_cmds_dropped += 1;
+                        return;
+                    }
+                }
                 let is_ls = priority.is_ls();
                 let batch = this.borrow_mut().new_batch(from, sqe.cid, 1, is_ls);
                 {
@@ -649,6 +699,11 @@ impl OpfTarget {
             let finish = {
                 let mut t = this2.borrow_mut();
                 t.stats.completed += 1;
+                if t.recovery {
+                    // As with TC completions: later retransmits re-execute
+                    // so a lost LS response can be regenerated.
+                    t.live.remove(&(from, sqe.cid));
+                }
                 let mut cost = t.costs.build_resp + t.small_send_cost(k);
                 if result.data.is_some() {
                     cost += t.costs.send_data;
@@ -699,6 +754,12 @@ impl OpfTarget {
             let mut t = this.borrow_mut();
             t.stats.completed += 1;
             t.tc_inflight -= 1;
+            if t.recovery {
+                // From here on a retransmit of this command re-executes
+                // (idempotently) rather than being suppressed — necessary,
+                // since its response may still be lost on the way back.
+                t.live.remove(&(from, sqe.cid));
+            }
             let mut cost = SimDuration::ZERO;
             if result.data.is_some() {
                 cost += t.costs.send_data;
@@ -849,6 +910,12 @@ impl MetricsSource for OpfTarget {
             );
         }
         m.set("protocol_errors", self.stats.protocol_errors as f64);
+        // Recovery counters only exist when recovery is enabled, so
+        // fault-free snapshots stay bit-identical to the historical ones.
+        if self.recovery {
+            m.set("dup_cmds_dropped", self.stats.dup_cmds_dropped as f64);
+            m.set("r2t_regrants", self.stats.r2t_regrants as f64);
+        }
         m
     }
 }

@@ -6,14 +6,14 @@
 //! ```
 
 use experiments::{
-    ablate, breakdown, fig6, fig7, fig8, fig9, iosize, observe, openloop, table1, transport,
+    ablate, breakdown, chaos, fig6, fig7, fig8, fig9, iosize, observe, openloop, table1, transport,
     Durations,
 };
 
 fn usage() -> ! {
     eprintln!(
         "usage: repro [--quick] [--threads N] <artifact>...\n\
-         artifacts: table1 fig6a fig6b fig6c fig7 fig8 fig9 ablate iosize openloop transport breakdown observe all"
+         artifacts: table1 fig6a fig6b fig6c fig7 fig8 fig9 ablate iosize openloop transport breakdown observe chaos all"
     );
     std::process::exit(2);
 }
@@ -66,6 +66,7 @@ fn main() {
             "transport" => transport::all(d, threads),
             "breakdown" => breakdown::all(d, threads),
             "observe" => observe::all(d, threads),
+            "chaos" => chaos::all(d, threads),
             "all" => {
                 table1::print();
                 fig6::fig6a(d, threads);

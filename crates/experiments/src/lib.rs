@@ -15,12 +15,14 @@
 //! | [`transport`] | extension: TCP vs RDMA transport comparison        |
 //! | [`breakdown`] | extension: target-side latency phase breakdown     |
 //! | [`observe`] | extension: unified metrics snapshot, SPDK vs oPF     |
+//! | [`chaos`]  | extension: fault injection — loss × window degradation |
 //!
 //! The `repro` binary drives them; results print as aligned tables and
 //! are written as CSV under `results/`.
 
 pub mod ablate;
 pub mod breakdown;
+pub mod chaos;
 pub mod fig6;
 pub mod fig7;
 pub mod fig8;

@@ -3,12 +3,18 @@
 use crate::config::FabricConfig;
 use crate::endpoint::{Endpoint, EndpointId};
 use simkit::{shared, Kernel, Shared, SimTime};
+use std::rc::Rc;
+
+/// A time-varying wire-time multiplier: `f(now)` returns the factor by
+/// which serialization is inflated at `now` (1.0 = nominal bandwidth).
+pub type BandwidthModel = Rc<dyn Fn(SimTime) -> f64>;
 
 /// A star-topology fabric. Cheap to clone (shared interior).
 #[derive(Clone)]
 pub struct Network {
     config: FabricConfig,
     endpoints: Shared<Vec<Shared<Endpoint>>>,
+    bw_model: Shared<Option<BandwidthModel>>,
 }
 
 impl Network {
@@ -17,7 +23,15 @@ impl Network {
         Network {
             config,
             endpoints: shared(Vec::new()),
+            bw_model: shared(None),
         }
+    }
+
+    /// Install a bandwidth-degradation model. Serialization time is
+    /// multiplied by `f(now)` whenever that factor exceeds 1.0; absent a
+    /// model (or at factor 1.0) the wire time is untouched, bit for bit.
+    pub fn set_bandwidth_model(&self, f: BandwidthModel) {
+        *self.bw_model.borrow_mut() = Some(f);
     }
 
     /// The fabric configuration.
@@ -66,8 +80,14 @@ impl Network {
     ) -> SimTime {
         let cfg = &self.config;
         let frames = cfg.frames_for(bytes) as u64;
-        let ser = cfg.serialization(bytes);
+        let mut ser = cfg.serialization(bytes);
         let now = k.now();
+        if let Some(f) = self.bw_model.borrow().as_ref() {
+            let factor = f(now);
+            if factor > 1.0 {
+                ser = simkit::SimDuration::from_secs_f64(ser.as_secs_f64() * factor);
+            }
+        }
 
         let tx_done = {
             let mut s = src.borrow_mut();
@@ -149,6 +169,38 @@ mod tests {
             + cfg.propagation
             + cfg.rx_cost(4096);
         assert_eq!(at, expect);
+    }
+
+    #[test]
+    fn bandwidth_model_inflates_serialization_inside_window() {
+        let (mut k, net, a, b) = setup(Gbps::G100);
+        let cfg = net.config().clone();
+        let nominal = net.send(&mut k, &a, &b, 4096, |_| {});
+        // Degrade to half bandwidth from 1ms onward.
+        net.set_bandwidth_model(Rc::new(|now: SimTime| {
+            if now >= SimTime::from_millis(1) {
+                2.0
+            } else {
+                1.0
+            }
+        }));
+        k.run_to_completion();
+        // Outside the window (factor 1.0) the path is bit-identical.
+        let before = net.send(&mut k, &a, &b, 4096, |_| {});
+        assert_eq!(before.since(k.now()), nominal.since(SimTime::ZERO));
+        // Inside the window both serialization stages double.
+        let mut k2 = Kernel::new(1);
+        k2.schedule_at(SimTime::from_millis(2), |_| {});
+        k2.run_to_completion();
+        let slowed = net.send(&mut k2, &a, &b, 4096, |_| {});
+        let ser = cfg.serialization(4096);
+        let expect = k2.now()
+            + cfg.tx_cost(4096)
+            + simkit::SimDuration::from_secs_f64(ser.as_secs_f64() * 2.0)
+            + simkit::SimDuration::from_secs_f64(ser.as_secs_f64() * 2.0)
+            + cfg.propagation
+            + cfg.rx_cost(4096);
+        assert_eq!(slowed, expect);
     }
 
     #[test]

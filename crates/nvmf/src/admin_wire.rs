@@ -102,6 +102,18 @@ impl AdminService {
     }
 }
 
+/// Keep-alive loop counters (read directly by runners — the admin plane
+/// is control traffic, not a data-path metrics source).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct KeepAliveStats {
+    /// Keep-alive heartbeats sent.
+    pub heartbeats: u64,
+    /// Ticks skipped because the link was down.
+    pub heartbeat_misses: u64,
+    /// Reconnects performed after the controller expired.
+    pub reconnects: u64,
+}
+
 /// Host-side admin client: one per (host node, target).
 pub struct AdminClient {
     /// Host NQN this client identifies as.
@@ -114,6 +126,8 @@ pub struct AdminClient {
     service_ep: Shared<Endpoint>,
     cpu: Resource,
     costs: CpuCosts,
+    /// Keep-alive loop counters.
+    pub ka_stats: KeepAliveStats,
 }
 
 impl AdminClient {
@@ -135,6 +149,7 @@ impl AdminClient {
             service_ep,
             cpu: Resource::new("admin_client_cpu"),
             costs,
+            ka_stats: KeepAliveStats::default(),
         }
     }
 
@@ -240,6 +255,84 @@ impl AdminClient {
             AdminClient::send(&this2, k, AdminCmd::KeepAlive, Box::new(|_, _| {}));
             AdminClient::start_keepalive(&this2, k, every);
         });
+    }
+
+    /// Keep-alive loop that survives faults: ticks are skipped (and
+    /// counted) while `link_up` reports the path down, and a heartbeat
+    /// answered with `NotConnected` — the controller expired during an
+    /// outage — triggers a transparent reconnect of the admin and I/O
+    /// queues to `subnqn`.
+    pub fn start_keepalive_with_reconnect(
+        this: &Shared<AdminClient>,
+        k: &mut Kernel,
+        every: SimDuration,
+        subnqn: String,
+        link_up: Option<Rc<dyn Fn(simkit::SimTime) -> bool>>,
+    ) {
+        let this2 = this.clone();
+        k.schedule_in(every, move |k| {
+            let down = link_up.as_ref().is_some_and(|f| !f(k.now()));
+            if down {
+                // Heartbeating into a dead link only inflates the loss
+                // counters; note the miss and wait for the link.
+                this2.borrow_mut().ka_stats.heartbeat_misses += 1;
+            } else {
+                this2.borrow_mut().ka_stats.heartbeats += 1;
+                let this3 = this2.clone();
+                let subnqn2 = subnqn.clone();
+                AdminClient::send(
+                    &this2,
+                    k,
+                    AdminCmd::KeepAlive,
+                    Box::new(move |k, resp| {
+                        if let AdminResp::Error(_) = resp {
+                            AdminClient::reconnect(&this3, k, subnqn2);
+                        }
+                    }),
+                );
+            }
+            AdminClient::start_keepalive_with_reconnect(&this2, k, every, subnqn, link_up);
+        });
+    }
+
+    /// Re-establish the admin and I/O queues after the controller
+    /// expired. Unlike `bring_up` this must not panic: a reconnect can
+    /// race another outage, in which case the next heartbeat retries.
+    fn reconnect(this: &Shared<AdminClient>, k: &mut Kernel, subnqn: String) {
+        {
+            let mut c = this.borrow_mut();
+            c.ka_stats.reconnects += 1;
+            // The old controller is gone; connect from scratch.
+            c.cntlid = None;
+        }
+        let hostnqn = this.borrow().hostnqn.clone();
+        let this2 = this.clone();
+        Self::send(
+            this,
+            k,
+            AdminCmd::Connect {
+                hostnqn: hostnqn.clone(),
+                subnqn: subnqn.clone(),
+                qid: 0,
+                sqsize: 32,
+            },
+            Box::new(move |k, resp| {
+                let AdminResp::Connected { .. } = resp else {
+                    return;
+                };
+                AdminClient::send(
+                    &this2,
+                    k,
+                    AdminCmd::Connect {
+                        hostnqn,
+                        subnqn,
+                        qid: 1,
+                        sqsize: 128,
+                    },
+                    Box::new(|_, _| {}),
+                );
+            }),
+        );
     }
 }
 
@@ -365,6 +458,35 @@ mod tests {
             service.borrow().server.host_of(a.borrow().cntlid.unwrap()),
             Some("nqn.host.a")
         );
+    }
+
+    #[test]
+    fn keepalive_reconnects_after_outage() {
+        let (mut k, service, a, _b) = rig();
+        AdminClient::bring_up(&a, &mut k, SUBNQN.into(), Box::new(|_, _| {}));
+        k.run_to_completion();
+        assert_eq!(service.borrow().server.controller_count(), 1);
+        let first_cntlid = a.borrow().cntlid;
+        // Link dark from 5ms to 18ms — longer than the 10ms KATO, so the
+        // controller expires while the client cannot heartbeat.
+        let link_up: Rc<dyn Fn(SimTime) -> bool> = Rc::new(|now: SimTime| {
+            !(SimTime::from_millis(5)..SimTime::from_millis(18)).contains(&now)
+        });
+        AdminClient::start_keepalive_with_reconnect(
+            &a,
+            &mut k,
+            SimDuration::from_millis(4),
+            SUBNQN.into(),
+            Some(link_up),
+        );
+        k.set_horizon(SimTime::from_millis(40));
+        k.run_to_completion();
+        let c = a.borrow();
+        assert!(c.ka_stats.heartbeat_misses >= 2, "{:?}", c.ka_stats);
+        assert_eq!(c.ka_stats.reconnects, 1, "{:?}", c.ka_stats);
+        assert!(c.cntlid.is_some(), "reconnect must re-establish qid 0");
+        assert_ne!(c.cntlid, first_cntlid, "a fresh controller is allocated");
+        assert_eq!(service.borrow().server.controller_count(), 1);
     }
 
     #[test]

@@ -3,7 +3,7 @@
 
 use crate::costs::CpuCosts;
 use crate::pdu::{Pdu, Priority};
-use crate::qpair::{IoCallback, QPair, ReqCtx};
+use crate::qpair::{IoCallback, QPair, ReqCtx, RetryPolicy};
 use bytes::Bytes;
 use fabric::{Endpoint, Network};
 use nvme::{Opcode, Sqe, Status};
@@ -45,6 +45,28 @@ pub struct InitiatorStats {
     /// completions naming no in-flight command). The offending PDU is
     /// dropped; the sim keeps running.
     pub protocol_errors: u64,
+    /// Commands retransmitted after an expiry timeout (retry enabled).
+    pub retries: u64,
+    /// Commands failed locally after exhausting the retry budget.
+    pub retry_exhausted: u64,
+    /// Stale/duplicate completions dropped by the retry layer instead of
+    /// being counted as protocol errors.
+    pub dup_resps_suppressed: u64,
+}
+
+/// Per-CID retransmission state (allocated only when retry is enabled).
+#[derive(Clone, Debug, Default)]
+struct RetrySlot {
+    /// Incarnation counter: bumped on every (re)allocation and on
+    /// completion, so expiry timers armed for an earlier life of this
+    /// CID recognize themselves as stale.
+    epoch: u64,
+    /// Retransmissions performed for the current incarnation.
+    attempts: u32,
+    /// Copy of the write payload, kept because the live `ReqCtx` payload
+    /// is consumed by the first R2T — a retransmitted write needs it
+    /// again for the re-granted R2T.
+    payload: Option<Bytes>,
 }
 
 /// How an initiator hands PDUs to its target (closure capturing the
@@ -63,6 +85,8 @@ pub struct SpdkInitiator {
     target_rx: TargetRx,
     costs: CpuCosts,
     tracer: Tracer,
+    retry: Option<RetryPolicy>,
+    slots: Vec<RetrySlot>,
     /// Counters.
     pub stats: InitiatorStats,
 }
@@ -90,8 +114,20 @@ impl SpdkInitiator {
             target_rx,
             costs,
             tracer,
+            retry: None,
+            slots: Vec::new(),
             stats: InitiatorStats::default(),
         }
+    }
+
+    /// Enable bounded retransmission with exponential backoff. Also
+    /// switches the queue pair to FIFO CID recycling, so a freshly freed
+    /// CID is not immediately renamed while stale duplicates of its old
+    /// response may still be in flight.
+    pub fn set_retry(&mut self, policy: RetryPolicy) {
+        self.retry = Some(policy);
+        self.slots = vec![RetrySlot::default(); self.qpair.depth()];
+        self.qpair.set_fifo_recycle(true);
     }
 
     /// Queue pair depth.
@@ -129,7 +165,7 @@ impl SpdkInitiator {
         priority: Priority,
         cb: IoCallback,
     ) -> Option<u16> {
-        let (cid, finish, id) = {
+        let (cid, finish, id, epoch) = {
             let mut i = this.borrow_mut();
             debug_assert!(
                 opcode != Opcode::Write
@@ -137,6 +173,11 @@ impl SpdkInitiator {
                         == Some(blocks as usize * nvme::BLOCK_SIZE),
                 "write payload must cover the request"
             );
+            let payload_copy = if i.retry.is_some() {
+                payload.clone()
+            } else {
+                None
+            };
             let ctx = ReqCtx {
                 opcode,
                 slba,
@@ -149,28 +190,26 @@ impl SpdkInitiator {
             };
             let cid = i.qpair.begin(ctx)?;
             i.stats.submitted += 1;
+            let epoch = if i.retry.is_some() {
+                let slot = &mut i.slots[cid as usize];
+                slot.epoch += 1;
+                slot.attempts = 0;
+                slot.payload = payload_copy;
+                Some(slot.epoch)
+            } else {
+                None
+            };
             let c = i.costs.ini_submit;
             let finish = i.cpu.reserve(k.now(), c).finish;
             i.tracer
                 .emit(k.now(), "ini.submit", u32::from(i.id), u64::from(cid));
-            (cid, finish, i.id)
+            (cid, finish, i.id, epoch)
         };
         let this2 = this.clone();
         k.schedule_at(finish, move |k| {
             let i = this2.borrow();
-            let sqe = match opcode {
-                Opcode::Read => Sqe::read(cid, 1, slba, blocks),
-                Opcode::Write => Sqe::write(cid, 1, slba, blocks),
-                Opcode::Flush => Sqe {
-                    opcode,
-                    cid,
-                    nsid: 1,
-                    slba: 0,
-                    nlb: 0,
-                },
-            };
             let pdu = Pdu::CapsuleCmd {
-                sqe,
+                sqe: Self::build_sqe(opcode, cid, slba, blocks),
                 priority,
                 initiator: id,
             };
@@ -181,7 +220,93 @@ impl SpdkInitiator {
                     rx(k, from, pdu)
                 });
         });
+        if let Some(epoch) = epoch {
+            Self::arm_expiry(this, k, cid, epoch);
+        }
         Some(cid)
+    }
+
+    fn build_sqe(opcode: Opcode, cid: u16, slba: u64, blocks: u16) -> Sqe {
+        match opcode {
+            Opcode::Read => Sqe::read(cid, 1, slba, blocks),
+            Opcode::Write => Sqe::write(cid, 1, slba, blocks),
+            Opcode::Flush => Sqe {
+                opcode,
+                cid,
+                nsid: 1,
+                slba: 0,
+                nlb: 0,
+            },
+        }
+    }
+
+    /// Schedule the expiry timer for the current attempt of `cid`'s
+    /// incarnation `epoch`; the delay doubles with each attempt already
+    /// made (exponential backoff).
+    fn arm_expiry(this: &Shared<SpdkInitiator>, k: &mut Kernel, cid: u16, epoch: u64) {
+        let backoff = {
+            let i = this.borrow();
+            let Some(policy) = i.retry else { return };
+            policy.timeout * (1u64 << i.slots[cid as usize].attempts.min(16))
+        };
+        let this2 = this.clone();
+        k.schedule_in(backoff, move |k| {
+            Self::on_expiry(&this2, k, cid, epoch);
+        });
+    }
+
+    /// An expiry timer fired: if the command is still outstanding and the
+    /// timer is not stale, retransmit it (or give up with a local error
+    /// once the budget is spent).
+    fn on_expiry(this: &Shared<SpdkInitiator>, k: &mut Kernel, cid: u16, epoch: u64) {
+        enum Act {
+            Exhausted,
+            Resend(SimTime, Opcode, u64, u16, Priority, u8),
+        }
+        let act = {
+            let mut i = this.borrow_mut();
+            let Some(policy) = i.retry else { return };
+            if i.slots[cid as usize].epoch != epoch {
+                return; // completed (or CID reincarnated): stale timer
+            }
+            let Some(ctx) = i.qpair.get_mut(cid) else {
+                return;
+            };
+            let (opcode, slba, blocks, priority) = (ctx.opcode, ctx.slba, ctx.blocks, ctx.priority);
+            if i.slots[cid as usize].attempts >= policy.max_retries {
+                i.stats.retry_exhausted += 1;
+                Act::Exhausted
+            } else {
+                i.slots[cid as usize].attempts += 1;
+                i.stats.retries += 1;
+                i.tracer
+                    .emit(k.now(), "ini.retry", u32::from(i.id), u64::from(cid));
+                let c = i.costs.ini_submit;
+                let finish = i.cpu.reserve(k.now(), c).finish;
+                Act::Resend(finish, opcode, slba, blocks, priority, i.id)
+            }
+        };
+        match act {
+            Act::Exhausted => Self::complete(this, k, cid, Status::InternalError),
+            Act::Resend(finish, opcode, slba, blocks, priority, id) => {
+                let this2 = this.clone();
+                k.schedule_at(finish, move |k| {
+                    let i = this2.borrow();
+                    let pdu = Pdu::CapsuleCmd {
+                        sqe: Self::build_sqe(opcode, cid, slba, blocks),
+                        priority,
+                        initiator: id,
+                    };
+                    let rx = i.target_rx.clone();
+                    let from = i.id;
+                    i.net
+                        .send(k, &i.ep, &i.target_ep, pdu.wire_len(), move |k| {
+                            rx(k, from, pdu)
+                        });
+                });
+                Self::arm_expiry(this, k, cid, epoch);
+            }
+        }
     }
 
     /// Deliver a PDU arriving from the target.
@@ -220,8 +345,15 @@ impl SpdkInitiator {
             let mut i = this.borrow_mut();
             i.stats.r2ts_rx += 1;
             // An R2T naming no in-flight write (unknown CID, or a command
-            // with no payload to send): count + drop.
-            match i.qpair.get_mut(cccid).and_then(|ctx| ctx.payload.take()) {
+            // with no payload to send): count + drop. Under retry, the
+            // live payload may have been consumed by an earlier R2T of
+            // the same command (duplicate grant, or a grant re-issued for
+            // a retransmitted capsule) — fall back to the slot's copy.
+            let mut data = i.qpair.get_mut(cccid).and_then(|ctx| ctx.payload.take());
+            if data.is_none() && i.retry.is_some() && i.qpair.get_mut(cccid).is_some() {
+                data = i.slots[cccid as usize].payload.clone();
+            }
+            match data {
                 Some(data) => {
                     debug_assert_eq!(data.len(), r2tl as usize);
                     let cost = i.costs.ini_on_r2t + i.costs.ini_send_data;
@@ -277,6 +409,14 @@ impl SpdkInitiator {
         let (ctx, latency) = {
             let mut i = this.borrow_mut();
             let Some(ctx) = i.qpair.finish(cid) else {
+                if i.retry.is_some() {
+                    // Under retransmission, a completion for a finished
+                    // command is an expected duplicate (the original
+                    // response and a retry's response both arrived):
+                    // suppress it silently.
+                    i.stats.dup_resps_suppressed += 1;
+                    return;
+                }
                 // Completion naming no in-flight command: count + drop.
                 i.stats.protocol_errors += 1;
                 i.tracer.emit(
@@ -287,6 +427,13 @@ impl SpdkInitiator {
                 );
                 return;
             };
+            if i.retry.is_some() {
+                // Invalidate any armed expiry timer and drop the stashed
+                // payload copy.
+                let slot = &mut i.slots[cid as usize];
+                slot.epoch += 1;
+                slot.payload = None;
+            }
             i.stats.completed += 1;
             if !status.is_ok() {
                 i.stats.errors += 1;
@@ -318,6 +465,16 @@ impl MetricsSource for SpdkInitiator {
         m.set("bytes_read", self.stats.bytes_read as f64);
         m.set("bytes_written", self.stats.bytes_written as f64);
         m.set("protocol_errors", self.stats.protocol_errors as f64);
+        // Recovery counters only exist when retry is configured, so
+        // fault-free snapshots stay byte-identical to historical output.
+        if self.retry.is_some() {
+            m.set("retries", self.stats.retries as f64);
+            m.set("retry_exhausted", self.stats.retry_exhausted as f64);
+            m.set(
+                "dup_resps_suppressed",
+                self.stats.dup_resps_suppressed as f64,
+            );
+        }
         m
     }
 }
@@ -531,6 +688,181 @@ mod tests {
         // QD16 on a ~266K-IOPS device with ~100us service: expect
         // meaningful throughput, at least 100K IOPS.
         assert!(iops > 100_000.0, "closed loop too slow: {iops:.0} IOPS");
+    }
+
+    /// Rig with retry enabled and an interposer that drops the first
+    /// `cmd_drops` command capsules and first `data_drops` H2C data PDUs
+    /// on the initiator→target path.
+    fn lossy_rig(
+        cmd_drops: u32,
+        data_drops: u32,
+        qd: usize,
+    ) -> (Kernel, Shared<SpdkInitiator>, Shared<SpdkTarget>) {
+        let k = Kernel::new(42);
+        let net = Network::new(FabricConfig::preset(Gbps::G100));
+        let iep = net.add_endpoint("ini0");
+        let tep = net.add_endpoint("tgt0");
+        let device = shared(NvmeDevice::new(FlashProfile::cc_ssd(), 1 << 24, 9));
+        let target = shared(SpdkTarget::new(
+            0,
+            net.clone(),
+            tep.clone(),
+            device,
+            CpuCosts::cl(),
+            Tracer::disabled(),
+        ));
+        target.borrow_mut().set_recovery(true);
+        let t2 = target.clone();
+        let cmds_left = Rc::new(RefCell::new(cmd_drops));
+        let data_left = Rc::new(RefCell::new(data_drops));
+        let target_rx: TargetRx = Rc::new(move |k, from, pdu| {
+            let lost = match pdu {
+                Pdu::CapsuleCmd { .. } if *cmds_left.borrow() > 0 => {
+                    *cmds_left.borrow_mut() -= 1;
+                    true
+                }
+                Pdu::H2CData { .. } if *data_left.borrow() > 0 => {
+                    *data_left.borrow_mut() -= 1;
+                    true
+                }
+                _ => false,
+            };
+            if !lost {
+                SpdkTarget::on_pdu(&t2, k, from, pdu);
+            }
+        });
+        let initiator = shared(SpdkInitiator::new(
+            0,
+            qd,
+            net.clone(),
+            iep.clone(),
+            tep,
+            target_rx,
+            CpuCosts::cl(),
+            Tracer::disabled(),
+        ));
+        initiator.borrow_mut().set_retry(RetryPolicy {
+            timeout: SimDuration::from_micros(200),
+            max_retries: 4,
+        });
+        let i2 = initiator.clone();
+        let ini_rx: crate::PduRx = Rc::new(move |k, pdu| {
+            SpdkInitiator::on_pdu(&i2, k, pdu);
+        });
+        target.borrow_mut().connect(0, iep, ini_rx);
+        (k, initiator, target)
+    }
+
+    #[test]
+    fn retry_recovers_a_dropped_command() {
+        let (mut k, ini, _tgt) = lossy_rig(1, 0, 4);
+        let out = Rc::new(RefCell::new(None));
+        let o = out.clone();
+        SpdkInitiator::submit(
+            &ini,
+            &mut k,
+            Opcode::Read,
+            3,
+            1,
+            None,
+            Priority::None,
+            Box::new(move |_, r| *o.borrow_mut() = Some(r)),
+        )
+        .unwrap();
+        k.run_to_completion();
+        let out = out.borrow_mut().take().expect("request completes");
+        assert!(out.status.is_ok(), "{:?}", out.status);
+        let i = ini.borrow();
+        assert_eq!(i.stats.retries, 1);
+        assert_eq!(i.stats.completed, 1);
+        assert_eq!(i.stats.retry_exhausted, 0);
+        assert_eq!(i.stats.protocol_errors, 0);
+    }
+
+    #[test]
+    fn retry_budget_exhaustion_fails_locally() {
+        let (mut k, ini, _tgt) = lossy_rig(u32::MAX, 0, 4);
+        let out = Rc::new(RefCell::new(None));
+        let o = out.clone();
+        SpdkInitiator::submit(
+            &ini,
+            &mut k,
+            Opcode::Read,
+            3,
+            1,
+            None,
+            Priority::None,
+            Box::new(move |_, r| *o.borrow_mut() = Some(r)),
+        )
+        .unwrap();
+        k.run_to_completion();
+        let out = out.borrow_mut().take().expect("request must not strand");
+        assert_eq!(out.status, Status::InternalError);
+        let i = ini.borrow();
+        assert_eq!(i.stats.retries, 4, "full budget spent");
+        assert_eq!(i.stats.retry_exhausted, 1);
+        assert!(i.qpair.has_capacity(), "exhausted CID is released");
+    }
+
+    #[test]
+    fn retry_recovers_a_dropped_write_payload() {
+        // First H2CData is lost after the R2T consumed the live payload:
+        // the retransmitted command must re-trigger an R2T and the
+        // initiator must replay the payload from its retry slot.
+        let (mut k, ini, tgt) = lossy_rig(0, 1, 4);
+        let payload: Vec<u8> = (0..BLOCK_SIZE).map(|i| (i % 17) as u8).collect();
+        let out = Rc::new(RefCell::new(None));
+        let o = out.clone();
+        SpdkInitiator::submit(
+            &ini,
+            &mut k,
+            Opcode::Write,
+            9,
+            1,
+            Some(Bytes::from(payload)),
+            Priority::None,
+            Box::new(move |_, r| *o.borrow_mut() = Some(r)),
+        )
+        .unwrap();
+        k.run_to_completion();
+        let out = out.borrow_mut().take().expect("write completes");
+        assert!(out.status.is_ok(), "{:?}", out.status);
+        let i = ini.borrow();
+        assert!(i.stats.retries >= 1);
+        assert_eq!(i.stats.completed, 1);
+        let t = tgt.borrow();
+        assert_eq!(t.stats.r2t_regrants, 1, "duplicate write cmd re-granted");
+    }
+
+    #[test]
+    fn stale_duplicate_response_is_suppressed_under_retry() {
+        let (mut k, ini, _tgt) = lossy_rig(0, 0, 4);
+        let cid = SpdkInitiator::submit(
+            &ini,
+            &mut k,
+            Opcode::Read,
+            3,
+            1,
+            None,
+            Priority::None,
+            Box::new(|_, r| assert!(r.status.is_ok())),
+        )
+        .unwrap();
+        k.run_to_completion();
+        // A late duplicate of the response arrives after completion.
+        SpdkInitiator::on_pdu(
+            &ini,
+            &mut k,
+            Pdu::CapsuleResp {
+                cqe: nvme::Cqe::success(cid, 0),
+                priority: Priority::None,
+            },
+        );
+        k.run_to_completion();
+        let i = ini.borrow();
+        assert_eq!(i.stats.dup_resps_suppressed, 1);
+        assert_eq!(i.stats.protocol_errors, 0, "dup is not a violation");
+        assert_eq!(i.stats.completed, 1, "user callback ran exactly once");
     }
 
     #[test]

@@ -32,11 +32,11 @@ pub mod qpair;
 pub mod target;
 
 pub use admin::{AdminCmd, AdminResp, AdminServer};
-pub use admin_wire::{AdminClient, AdminService};
+pub use admin_wire::{AdminClient, AdminService, KeepAliveStats};
 pub use costs::CpuCosts;
-pub use initiator::{InitiatorStats, IoOutcome, SpdkInitiator};
+pub use initiator::{InitiatorStats, IoOutcome, SpdkInitiator, TargetRx};
 pub use pdu::{Pdu, PduKind, Priority};
-pub use qpair::QPair;
+pub use qpair::{QPair, RetryPolicy};
 pub use target::{SpdkTarget, TargetStats};
 
 use simkit::Kernel;

@@ -10,6 +10,18 @@ use std::collections::HashMap;
 /// Callback invoked when a request completes.
 pub type IoCallback = Box<dyn FnOnce(&mut Kernel, IoOutcome)>;
 
+/// Bounded-retransmission policy for commands whose response never
+/// arrives: each attempt is retried after `timeout << attempt`
+/// (exponential backoff), at most `max_retries` times, after which the
+/// command completes locally with an internal error.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Expiry timeout of the first attempt.
+    pub timeout: simkit::SimDuration,
+    /// Retransmissions allowed before giving up.
+    pub max_retries: u32,
+}
+
 /// Per-request context held while a command is outstanding.
 pub struct ReqCtx {
     /// Command opcode.
@@ -36,6 +48,11 @@ pub struct QPair {
     free_cids: Vec<u16>,
     outstanding: HashMap<u16, ReqCtx>,
     depth: usize,
+    /// When set, freed CIDs are reused last (FIFO) instead of first
+    /// (LIFO), maximizing the time before a CID names a new command —
+    /// the window in which a stale duplicate response could be
+    /// misattributed under retransmission.
+    fifo_recycle: bool,
 }
 
 impl std::fmt::Debug for QPair {
@@ -57,7 +74,15 @@ impl QPair {
             free_cids,
             outstanding: HashMap::with_capacity(depth),
             depth,
+            fifo_recycle: false,
         }
+    }
+
+    /// Switch freed-CID reuse from LIFO to FIFO (see `fifo_recycle`).
+    /// Recovery-enabled initiators set this; the default preserves the
+    /// historical allocation order exactly.
+    pub fn set_fifo_recycle(&mut self, on: bool) {
+        self.fifo_recycle = on;
     }
 
     /// Queue depth.
@@ -92,7 +117,13 @@ impl QPair {
     /// Complete a request: release the CID and return its context.
     pub fn finish(&mut self, cid: u16) -> Option<ReqCtx> {
         let ctx = self.outstanding.remove(&cid)?;
-        self.free_cids.push(cid);
+        if self.fifo_recycle {
+            // `begin` pops from the back, so inserting at the front makes
+            // this CID the last one to be handed out again.
+            self.free_cids.insert(0, cid);
+        } else {
+            self.free_cids.push(cid);
+        }
         Some(ctx)
     }
 }
@@ -136,6 +167,19 @@ mod tests {
         assert!(q.has_capacity());
         let again = q.begin(ctx()).unwrap();
         assert_eq!(again, cid);
+    }
+
+    #[test]
+    fn fifo_recycle_reuses_freed_cids_last() {
+        let mut q = QPair::new(3);
+        q.set_fifo_recycle(true);
+        let a = q.begin(ctx()).unwrap();
+        let _b = q.begin(ctx()).unwrap();
+        assert!(q.finish(a).is_some());
+        // LIFO would hand `a` straight back; FIFO exhausts fresh CIDs
+        // first and reuses `a` only once nothing else is free.
+        assert_eq!(q.begin(ctx()).unwrap(), 2);
+        assert_eq!(q.begin(ctx()).unwrap(), a);
     }
 
     #[test]

@@ -37,6 +37,12 @@ pub struct TargetStats {
     /// matching write). The offending PDU is dropped; the sim keeps
     /// running.
     pub protocol_errors: u64,
+    /// Duplicate command capsules dropped (recovery mode): the command
+    /// is already executing, so re-running it would double-complete.
+    pub dup_cmds_dropped: u64,
+    /// R2Ts re-granted for retransmitted writes still waiting on their
+    /// payload (recovery mode).
+    pub r2t_regrants: u64,
 }
 
 struct Conn {
@@ -61,6 +67,13 @@ pub struct SpdkTarget {
     /// (initiator, CID). Lookup-only — never iterated — so HashMap
     /// order-nondeterminism cannot leak into any output.
     pending_writes: HashMap<(u8, u16), (Sqe, Priority)>,
+    /// Duplicate-suppression mode for lossy fabrics (see
+    /// [`SpdkTarget::set_recovery`]).
+    recovery: bool,
+    /// Commands accepted and not yet responded to, keyed by
+    /// (initiator, CID). Membership-only — never iterated — so HashSet
+    /// order-nondeterminism cannot leak into any output.
+    inflight: std::collections::HashSet<(u8, u16)>,
     tracer: Tracer,
     /// Counters.
     pub stats: TargetStats,
@@ -85,9 +98,19 @@ impl SpdkTarget {
             device,
             conns: BTreeMap::new(),
             pending_writes: HashMap::new(),
+            recovery: false,
+            inflight: std::collections::HashSet::new(),
             tracer,
             stats: TargetStats::default(),
         }
+    }
+
+    /// Enable duplicate suppression: retransmitted command capsules for a
+    /// command that is already executing are dropped (writes still
+    /// waiting on their payload get their R2T re-granted instead), so an
+    /// initiator retrying over a lossy fabric cannot double-execute.
+    pub fn set_recovery(&mut self, on: bool) {
+        self.recovery = on;
     }
 
     /// Register an initiator connection: its fabric endpoint and the
@@ -134,6 +157,24 @@ impl SpdkTarget {
             t.stats.cmds_rx += 1;
             t.tracer
                 .emit(k.now(), "tgt.cmd_rx", u32::from(from), u64::from(sqe.cid));
+            if t.recovery {
+                let key = (from, sqe.cid);
+                if t.inflight.contains(&key) {
+                    if sqe.opcode == Opcode::Write && t.pending_writes.contains_key(&key) {
+                        // Retransmitted write still waiting for its data:
+                        // the R2T (or the data itself) was lost. Fall
+                        // through and grant again.
+                        t.stats.r2t_regrants += 1;
+                    } else {
+                        // The command is already executing; running the
+                        // duplicate would double-complete it.
+                        t.stats.dup_cmds_dropped += 1;
+                        return;
+                    }
+                } else {
+                    t.inflight.insert(key);
+                }
+            }
             match sqe.opcode {
                 Opcode::Write => {
                     // Command phase of a write: parse, then grant an R2T.
@@ -180,11 +221,17 @@ impl SpdkTarget {
                     Some((t.reactor.reserve(k.now(), cost).finish, sqe, priority))
                 }
                 // H2C data naming no pending write: count + drop, don't
-                // let one misbehaving tenant abort the fabric.
+                // let one misbehaving tenant abort the fabric. Under
+                // recovery this is an expected duplicate (the first copy
+                // of the payload consumed the pending entry).
                 None => {
-                    t.stats.protocol_errors += 1;
-                    t.tracer
-                        .emit(k.now(), "tgt.protocol_error", t.id, u64::from(cccid));
+                    if t.recovery {
+                        t.stats.dup_cmds_dropped += 1;
+                    } else {
+                        t.stats.protocol_errors += 1;
+                        t.tracer
+                            .emit(k.now(), "tgt.protocol_error", t.id, u64::from(cccid));
+                    }
                     None
                 }
             }
@@ -260,6 +307,12 @@ impl SpdkTarget {
             t.stats.resps_tx += 1;
             t.tracer
                 .emit(k.now(), "tgt.resp_tx", u32::from(from), u64::from(sqe.cid));
+            if t.recovery {
+                // The command's lifetime at the target ends with its
+                // response; any later retransmission is a fresh (and
+                // idempotent) execution rather than a duplicate.
+                t.inflight.remove(&(from, sqe.cid));
+            }
             let pdu = Pdu::CapsuleResp {
                 cqe: result.cqe,
                 priority,
@@ -299,6 +352,12 @@ impl MetricsSource for SpdkTarget {
         };
         m.set("coalesce_ratio", ratio);
         m.set("protocol_errors", self.stats.protocol_errors as f64);
+        // Recovery counters only exist in recovery mode, so fault-free
+        // snapshots stay byte-identical to historical output.
+        if self.recovery {
+            m.set("dup_cmds_dropped", self.stats.dup_cmds_dropped as f64);
+            m.set("r2t_regrants", self.stats.r2t_regrants as f64);
+        }
         m
     }
 }

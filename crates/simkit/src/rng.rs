@@ -4,8 +4,9 @@
 //! SplitMix64. We implement it here rather than pulling `rand`'s `StdRng`
 //! into the hot simulation path so that (a) streams are reproducible across
 //! dependency upgrades forever and (b) per-event sampling is a handful of
-//! integer ops. The `workload` crate still uses `rand` distributions for
-//! offline data generation where stream stability does not matter.
+//! integer ops. Every other crate draws from here too — the workspace
+//! linter's `foreign-rand` rule forbids `rand`-crate APIs and ad-hoc LCGs
+//! outside this module, so all randomness stays seeded and forkable.
 
 /// SplitMix64 step; used to expand a single `u64` seed into PCG state.
 #[inline]

@@ -31,12 +31,37 @@
 //! read fraction, e.g. `0.7`). `threads` defaults to the machine's
 //! available parallelism; everything else defaults to a small smoke
 //! sweep (see [`SweepSpec::from_json`]).
+//!
+//! An optional `"faults"` block installs a [`faults::FaultProfile`] on
+//! every expanded scenario (probabilities per PDU; durations in µs;
+//! scheduled windows in seconds):
+//!
+//! ```json
+//! {
+//!   "faults": {
+//!     "drop_p": 0.01, "dup_p": 0.001, "delay_p": 0.01, "delay_max_us": 20,
+//!     "corrupt_p": 0.0, "reorder_p": 0.0, "reorder_hold_us": 5,
+//!     "retry_timeout_us": 300, "retry_max": 6, "redrain_timeout_us": 500,
+//!     "keepalive_us": 4000, "kato_us": 10000, "settle_s": 0.05,
+//!     "flaps": [{"link": 0, "at_s": 0.08, "for_s": 0.015}],
+//!     "degrade": [{"at_s": 0.1, "for_s": 0.02, "factor": 4.0}],
+//!     "stalls": [{"at_s": 0.12, "for_s": 0.002}],
+//!     "crashes": [{"tenant": 1, "at_s": 0.1, "for_s": 0.03}]
+//!   }
+//! }
+//! ```
+//!
+//! Recovery knobs default on (see `FaultProfile::default`); a zero
+//! `retry_timeout_us` / `redrain_timeout_us` disables that mechanism.
 
 pub mod json;
 
 use fabric::Gbps;
+use faults::{Crash, Degrade, FaultProfile, KeepAliveSpec, LinkFlap, Stall};
 use json::Json;
+use nvmf::RetryPolicy;
 use simkit::metrics::format_f64;
+use simkit::{SimDuration, SimTime};
 use workload::scenario::Speed;
 use workload::{Mix, RunResult, RuntimeKind, Scenario};
 
@@ -61,6 +86,9 @@ pub struct SweepSpec {
     pub measure_s: f64,
     /// Worker threads (`None` = available parallelism).
     pub threads: Option<usize>,
+    /// Fault-injection profile applied to every expanded scenario
+    /// (`None` = perfect fabric, bit-identical to pre-faults sweeps).
+    pub faults: Option<FaultProfile>,
 }
 
 /// One expanded point of the sweep (the cross-product coordinates).
@@ -173,6 +201,122 @@ fn list<T>(
     }
 }
 
+fn opt_f64(v: &Json, key: &str) -> Result<Option<f64>, String> {
+    match v.get(key) {
+        None => Ok(None),
+        Some(x) => x
+            .as_f64()
+            .map(Some)
+            .ok_or_else(|| format!("faults.{key} must be a number")),
+    }
+}
+
+fn opt_prob(v: &Json, key: &str) -> Result<Option<f64>, String> {
+    match opt_f64(v, key)? {
+        Some(p) if !(0.0..=1.0).contains(&p) => Err(format!("faults.{key} = {p} outside [0, 1]")),
+        other => Ok(other),
+    }
+}
+
+/// A duration given in microseconds.
+fn opt_us(v: &Json, key: &str) -> Result<Option<SimDuration>, String> {
+    Ok(opt_f64(v, key)?.map(|us| SimDuration::from_secs_f64(us / 1e6)))
+}
+
+/// An `{"at_s": …, "for_s": …}` scheduled window.
+fn window(v: &Json, key: &str) -> Result<(SimTime, SimDuration), String> {
+    let at = opt_f64(v, "at_s")?.ok_or_else(|| format!("faults.{key} entry needs at_s"))?;
+    let dur = opt_f64(v, "for_s")?.ok_or_else(|| format!("faults.{key} entry needs for_s"))?;
+    if at < 0.0 || dur < 0.0 {
+        return Err(format!("faults.{key} window must be non-negative"));
+    }
+    Ok((
+        SimTime::from_nanos((at * 1e9) as u64),
+        SimDuration::from_secs_f64(dur),
+    ))
+}
+
+fn parse_faults(doc: &Json) -> Result<Option<FaultProfile>, String> {
+    let Some(v) = doc.get("faults") else {
+        return Ok(None);
+    };
+    let mut p = FaultProfile::default();
+    if let Some(x) = opt_prob(v, "drop_p")? {
+        p.drop_p = x;
+    }
+    if let Some(x) = opt_prob(v, "dup_p")? {
+        p.dup_p = x;
+    }
+    if let Some(x) = opt_prob(v, "delay_p")? {
+        p.delay_p = x;
+    }
+    if let Some(d) = opt_us(v, "delay_max_us")? {
+        p.delay_max = d;
+    }
+    if let Some(x) = opt_prob(v, "corrupt_p")? {
+        p.corrupt_p = x;
+    }
+    if let Some(x) = opt_prob(v, "reorder_p")? {
+        p.reorder_p = x;
+    }
+    if let Some(d) = opt_us(v, "reorder_hold_us")? {
+        p.reorder_hold = d;
+    }
+    if let Some(d) = opt_us(v, "retry_timeout_us")? {
+        p.retry = (d > SimDuration::ZERO).then_some(RetryPolicy {
+            timeout: d,
+            max_retries: p.retry.map_or(6, |r| r.max_retries),
+        });
+    }
+    if let Some(n) = opt_f64(v, "retry_max")? {
+        if let Some(r) = &mut p.retry {
+            r.max_retries = n as u32;
+        }
+    }
+    if let Some(d) = opt_us(v, "redrain_timeout_us")? {
+        p.redrain_timeout = (d > SimDuration::ZERO).then_some(d);
+    }
+    if let Some(every) = opt_us(v, "keepalive_us")? {
+        let kato = opt_us(v, "kato_us")?.unwrap_or(every * 3);
+        p.keepalive = Some(KeepAliveSpec { every, kato });
+    }
+    if let Some(s) = opt_f64(v, "settle_s")? {
+        if !(s >= 0.0 && s.is_finite()) {
+            return Err("faults.settle_s must be finite and non-negative".to_string());
+        }
+        p.settle_s = s;
+    }
+    for e in v.get("flaps").and_then(Json::as_arr).unwrap_or(&[]) {
+        let (at, dur) = window(e, "flaps")?;
+        let link = e
+            .get("link")
+            .and_then(Json::as_u64)
+            .ok_or("faults.flaps entry needs an integer link")? as usize;
+        p.flaps.push(LinkFlap { link, at, dur });
+    }
+    for e in v.get("degrade").and_then(Json::as_arr).unwrap_or(&[]) {
+        let (at, dur) = window(e, "degrade")?;
+        let factor = opt_f64(e, "factor")?.unwrap_or(2.0);
+        if !(factor >= 1.0 && factor.is_finite()) {
+            return Err(format!("faults.degrade factor {factor} must be >= 1"));
+        }
+        p.degrades.push(Degrade { at, dur, factor });
+    }
+    for e in v.get("stalls").and_then(Json::as_arr).unwrap_or(&[]) {
+        let (at, dur) = window(e, "stalls")?;
+        p.stalls.push(Stall { at, dur });
+    }
+    for e in v.get("crashes").and_then(Json::as_arr).unwrap_or(&[]) {
+        let (at, dur) = window(e, "crashes")?;
+        let tenant = e
+            .get("tenant")
+            .and_then(Json::as_u64)
+            .ok_or("faults.crashes entry needs an integer tenant")? as usize;
+        p.crashes.push(Crash { tenant, at, dur });
+    }
+    Ok(Some(p))
+}
+
 impl SweepSpec {
     /// Parse a spec document. Only `name` is required; everything else
     /// defaults to a small two-runtime smoke sweep at 100 Gbps.
@@ -223,6 +367,7 @@ impl SweepSpec {
                         .ok_or_else(|| format!("threads {v:?} not a positive integer"))
                 })
                 .transpose()?,
+            faults: parse_faults(&doc)?,
         };
         if !(spec.warmup_s >= 0.0 && spec.warmup_s.is_finite()) {
             return Err("warmup_s must be a finite non-negative number".to_string());
@@ -247,6 +392,7 @@ impl SweepSpec {
                             sc.warmup_s = self.warmup_s;
                             sc.measure_s = self.measure_s;
                             sc.seed = seed;
+                            sc.faults = self.faults.clone();
                             let point = Point {
                                 runtime,
                                 speed_gbps: match Speed::from(speed) {
@@ -408,6 +554,68 @@ mod tests {
         assert!(SweepSpec::from_json(r#"{"name":"x","ratios":[[0,0]]}"#).is_err());
         assert!(SweepSpec::from_json(r#"{"name":"x","measure_s":0}"#).is_err());
         assert!(SweepSpec::from_json(r#"{"name":"x","threads":0}"#).is_err());
+    }
+
+    #[test]
+    fn faults_block_parses_and_propagates() {
+        let spec = SweepSpec::from_json(
+            r#"{"name":"chaos","runtimes":["opf"],
+                "faults":{"drop_p":0.01,"dup_p":0.002,
+                          "retry_timeout_us":250,"retry_max":8,
+                          "redrain_timeout_us":400,
+                          "keepalive_us":4000,"kato_us":10000,
+                          "settle_s":0.03,
+                          "flaps":[{"link":0,"at_s":0.08,"for_s":0.015}],
+                          "degrade":[{"at_s":0.1,"for_s":0.02,"factor":4.0}],
+                          "crashes":[{"tenant":1,"at_s":0.1,"for_s":0.03}]}}"#,
+        )
+        .unwrap();
+        let p = spec.faults.as_ref().unwrap();
+        assert_eq!(p.drop_p, 0.01);
+        assert_eq!(p.dup_p, 0.002);
+        let r = p.retry.unwrap();
+        assert_eq!(r.max_retries, 8);
+        assert_eq!(r.timeout, SimDuration::from_micros(250));
+        assert_eq!(p.redrain_timeout, Some(SimDuration::from_micros(400)));
+        let ka = p.keepalive.unwrap();
+        assert_eq!(ka.every, SimDuration::from_millis(4));
+        assert_eq!(ka.kato, SimDuration::from_millis(10));
+        assert_eq!(p.settle_s, 0.03);
+        assert_eq!(p.flaps.len(), 1);
+        assert_eq!(p.flaps[0].link, 0);
+        assert_eq!(p.degrades[0].factor, 4.0);
+        assert_eq!(p.crashes[0].tenant, 1);
+        // The profile rides on every expanded scenario.
+        let (_, sc) = &spec.expand()[0];
+        assert_eq!(sc.faults.as_ref().unwrap().drop_p, 0.01);
+    }
+
+    #[test]
+    fn faults_block_zero_timeouts_disable_recovery() {
+        let spec = SweepSpec::from_json(
+            r#"{"name":"x","faults":{"retry_timeout_us":0,"redrain_timeout_us":0}}"#,
+        )
+        .unwrap();
+        let p = spec.faults.as_ref().unwrap();
+        assert!(p.retry.is_none());
+        assert!(p.redrain_timeout.is_none());
+    }
+
+    #[test]
+    fn faults_block_rejects_bad_input() {
+        assert!(SweepSpec::from_json(r#"{"name":"x","faults":{"drop_p":1.5}}"#).is_err());
+        assert!(SweepSpec::from_json(r#"{"name":"x","faults":{"drop_p":"lots"}}"#).is_err());
+        assert!(
+            SweepSpec::from_json(r#"{"name":"x","faults":{"flaps":[{"at_s":0.1}]}}"#).is_err(),
+            "flap without for_s"
+        );
+        assert!(
+            SweepSpec::from_json(
+                r#"{"name":"x","faults":{"degrade":[{"at_s":0,"for_s":1,"factor":0.5}]}}"#
+            )
+            .is_err(),
+            "degrade factor below 1 would speed the link up"
+        );
     }
 
     #[test]

@@ -10,7 +10,7 @@ use nvmf::initiator::TargetRx;
 use nvmf::qpair::IoCallback;
 use nvmf::{CpuCosts, PduRx, SpdkInitiator, SpdkTarget};
 use opf::{OpfInitiator, OpfInitiatorConfig, OpfTarget, OpfTargetConfig, QueueMode, ReqClass};
-use simkit::{shared, Kernel, Metrics, MetricsSource, Pcg32, Shared, SimTime, Tracer};
+use simkit::{shared, Kernel, Metrics, MetricsSource, Pcg32, Shared, SimDuration, SimTime, Tracer};
 use std::cell::{Cell, RefCell};
 use std::rc::Rc;
 
@@ -53,7 +53,6 @@ enum AnyInitiator {
 }
 
 impl AnyInitiator {
-    #[allow(clippy::too_many_arguments)]
     #[allow(clippy::too_many_arguments)]
     fn submit(
         &self,
@@ -406,6 +405,20 @@ pub fn run(sc: &Scenario) -> RunResult {
         Transport::Rdma => costs.to_rdma(),
     };
 
+    // Fault plane, forked off the kernel RNG under a fixed tag. With
+    // `faults: None` the fork never happens, no interposing closures are
+    // installed, and the event sequence is bit-identical to a build
+    // without this feature.
+    let plane = sc.faults.as_ref().map(|p| {
+        let rng = k.rng().fork(0xFA17);
+        shared(faults::FaultPlane::new(p.clone(), rng))
+    });
+    if let Some(p) = &plane {
+        if !p.borrow().profile().degrades.is_empty() {
+            net.set_bandwidth_model(faults::bandwidth_model(p));
+        }
+    }
+
     let warm = SimTime::from_nanos((sc.warmup_s * 1e9) as u64);
     let end = SimTime::from_nanos(((sc.warmup_s + sc.measure_s) * 1e9) as u64);
 
@@ -421,6 +434,9 @@ pub fn run(sc: &Scenario) -> RunResult {
     let mut devices = Vec::new();
     let mut endpoints: Vec<(String, Shared<fabric::Endpoint>)> = Vec::new();
     let mut ini_handles: Vec<(u64, AnyInitiator)> = Vec::new();
+    // First (target, initiator) endpoint pair, kept for the optional
+    // admin keep-alive loop.
+    let mut ka_eps: Option<(Shared<fabric::Endpoint>, Shared<fabric::Endpoint>)> = None;
 
     for pair in 0..sc.pairs {
         let tep = net.add_endpoint(format!("tgt{pair}"));
@@ -473,6 +489,14 @@ pub fn run(sc: &Scenario) -> RunResult {
                 (AnyTarget::Opf(t), rx)
             }
         };
+        // Under fault injection the targets must tolerate retransmissions
+        // (duplicate-command suppression, R2T re-grants).
+        if plane.is_some() {
+            match &target {
+                AnyTarget::Spdk(t) => t.borrow_mut().set_recovery(true),
+                AnyTarget::Opf(t) => t.borrow_mut().set_recovery(true),
+            }
+        }
 
         // Initiators either share a node NIC or each get their own node
         // (Figure 7 places every initiator on an individual node).
@@ -500,6 +524,16 @@ pub fn run(sc: &Scenario) -> RunResult {
                 ReqClass::LatencySensitive => sc.ls_qd,
                 ReqClass::ThroughputCritical => sc.tc_qd,
             };
+            let global_idx = (pair * per_node + slot) as u64;
+            if sc.faults.as_ref().is_some_and(|p| p.keepalive.is_some()) && ka_eps.is_none() {
+                ka_eps = Some((tep.clone(), iep.clone()));
+            }
+            // Each initiator slot's path through the fabric is one
+            // fault-plane link (flaps/crashes address it by this index).
+            let slot_tx: TargetRx = match &plane {
+                Some(p) => faults::wrap_target_rx(p, global_idx as usize, target_rx.clone()),
+                None => target_rx.clone(),
+            };
             let ini = match sc.runtime {
                 RuntimeKind::Spdk => {
                     let i = shared(SpdkInitiator::new(
@@ -508,12 +542,19 @@ pub fn run(sc: &Scenario) -> RunResult {
                         net.clone(),
                         iep.clone(),
                         tep.clone(),
-                        target_rx.clone(),
+                        slot_tx,
                         costs.clone(),
                         Tracer::disabled(),
                     ));
+                    if let Some(policy) = sc.faults.as_ref().and_then(|p| p.retry) {
+                        i.borrow_mut().set_retry(policy);
+                    }
                     let i2 = i.clone();
                     let rx: PduRx = Rc::new(move |k, pdu| SpdkInitiator::on_pdu(&i2, k, pdu));
+                    let rx = match &plane {
+                        Some(p) => faults::wrap_pdu_rx(p, global_idx as usize, rx),
+                        None => rx,
+                    };
                     match &target {
                         AnyTarget::Spdk(t) => t.borrow_mut().connect(id, iep.clone(), rx),
                         AnyTarget::Opf(_) => unreachable!(),
@@ -523,6 +564,8 @@ pub fn run(sc: &Scenario) -> RunResult {
                 RuntimeKind::Opf => {
                     let icfg = OpfInitiatorConfig {
                         window: sc.resolve_window(),
+                        retry: sc.faults.as_ref().and_then(|p| p.retry),
+                        redrain_timeout: sc.faults.as_ref().and_then(|p| p.redrain_timeout),
                         ..OpfInitiatorConfig::default()
                     };
                     let i = shared(OpfInitiator::new(
@@ -531,13 +574,17 @@ pub fn run(sc: &Scenario) -> RunResult {
                         net.clone(),
                         iep.clone(),
                         tep.clone(),
-                        target_rx.clone(),
+                        slot_tx,
                         costs.clone(),
                         icfg,
                         Tracer::disabled(),
                     ));
                     let i2 = i.clone();
                     let rx: PduRx = Rc::new(move |k, pdu| OpfInitiator::on_pdu(&i2, k, pdu));
+                    let rx = match &plane {
+                        Some(p) => faults::wrap_pdu_rx(p, global_idx as usize, rx),
+                        None => rx,
+                    };
                     match &target {
                         AnyTarget::Opf(t) => t.borrow_mut().connect(id, iep.clone(), rx),
                         AnyTarget::Spdk(_) => unreachable!(),
@@ -546,7 +593,6 @@ pub fn run(sc: &Scenario) -> RunResult {
                 }
             };
 
-            let global_idx = (pair * per_node + slot) as u64;
             if sc.separate_nodes {
                 endpoints.push((format!("ini{global_idx}.ep."), iep.clone()));
             }
@@ -574,6 +620,38 @@ pub fn run(sc: &Scenario) -> RunResult {
             drivers.push((driver, qd, global_idx));
         }
         targets.push(target);
+    }
+
+    // Optional admin keep-alive/reconnect loop riding on the first
+    // initiator's link (fault-plane link 0): heartbeats skip while the
+    // link is flapped, the server expires the controller after KATO, and
+    // the next heartbeat's error triggers a reconnect.
+    let mut admin_client: Option<Shared<nvmf::AdminClient>> = None;
+    if let (Some(prof), Some(p)) = (sc.faults.as_ref(), &plane) {
+        if let (Some(ka), Some((tep0, iep0))) = (prof.keepalive, &ka_eps) {
+            const SUBNQN: &str = "nqn.2024-08.sim.opf:chaos";
+            let mut server = nvmf::AdminServer::new(ka.kato, "SIMCHAOS");
+            server.add_subsystem(SUBNQN, 1, "10.0.0.1", 4420);
+            let service = shared(nvmf::AdminService::new(server, net.clone(), tep0.clone()));
+            let client = shared(nvmf::AdminClient::new(
+                "nqn.2024-08.sim.opf:host0",
+                net.clone(),
+                iep0.clone(),
+                service,
+                tep0.clone(),
+                costs.clone(),
+            ));
+            nvmf::AdminClient::bring_up(&client, &mut k, SUBNQN.into(), Box::new(|_, _| {}));
+            let probe = faults::link_up_probe(p, 0);
+            nvmf::AdminClient::start_keepalive_with_reconnect(
+                &client,
+                &mut k,
+                ka.every,
+                SUBNQN.into(),
+                Some(probe),
+            );
+            admin_client = Some(client);
+        }
     }
 
     // Start each driver's closed loop, staggered by a microsecond per
@@ -611,7 +689,17 @@ pub fn run(sc: &Scenario) -> RunResult {
         });
     }
 
-    k.set_horizon(end);
+    // Under fault injection the horizon is extended by the profile's
+    // settle window so retry/re-drain timers can finish recovering the
+    // in-flight tail (measurement still stops at `end`; the drivers stop
+    // re-issuing and recording there).
+    let horizon = match &plane {
+        Some(p) if p.borrow().profile().settle_s > 0.0 => {
+            end + SimDuration::from_secs_f64(p.borrow().profile().settle_s)
+        }
+        _ => end,
+    };
+    k.set_horizon(horizon);
     k.run_to_completion();
 
     let measure_secs = sc.measure_s;
@@ -660,6 +748,47 @@ pub fn run(sc: &Scenario) -> RunResult {
     }
     for (idx, ini) in &ini_handles {
         metrics.merge(&format!("ini{idx}."), &ini.metrics(now));
+    }
+    // Fault-plane injection counters plus cluster-wide recovery
+    // aggregates. Only present when a profile is installed, so fault-free
+    // runs keep their exact pre-faults metric key set.
+    if let Some(p) = &plane {
+        metrics.merge("faults.", &p.borrow().metrics(now));
+        let (mut retries, mut exhausted, mut redrains, mut dups) = (0u64, 0u64, 0u64, 0u64);
+        let (mut offered, mut goodput) = (0u64, 0u64);
+        for (_, ini) in &ini_handles {
+            match ini {
+                AnyInitiator::Spdk(i) => {
+                    let i = i.borrow();
+                    retries += i.stats.retries;
+                    exhausted += i.stats.retry_exhausted;
+                    dups += i.stats.dup_resps_suppressed;
+                    offered += i.stats.submitted;
+                    goodput += i.stats.completed;
+                }
+                AnyInitiator::Opf(i) => {
+                    let i = i.borrow();
+                    retries += i.stats.retries;
+                    exhausted += i.stats.retry_exhausted;
+                    redrains += i.stats.redrains;
+                    dups += i.stats.dup_resps_suppressed;
+                    offered += i.stats.submitted;
+                    goodput += i.stats.completed;
+                }
+            }
+        }
+        metrics.set("faults.retries", retries as f64);
+        metrics.set("faults.retry_exhausted", exhausted as f64);
+        metrics.set("faults.redrains", redrains as f64);
+        metrics.set("faults.dup_resps_suppressed", dups as f64);
+        metrics.set("faults.offered", offered as f64);
+        metrics.set("faults.goodput", goodput as f64);
+        if let Some(c) = &admin_client {
+            let s = c.borrow().ka_stats;
+            metrics.set("admin.heartbeats", s.heartbeats as f64);
+            metrics.set("admin.heartbeat_misses", s.heartbeat_misses as f64);
+            metrics.set("admin.reconnects", s.reconnects as f64);
+        }
     }
 
     RunResult {
@@ -812,6 +941,98 @@ mod tests {
             "RDMA baseline should beat TCP: {} vs {}",
             r.tc_iops,
             t.tc_iops
+        );
+    }
+
+    #[test]
+    fn lossy_run_recovers_every_request() {
+        let mut sc = Scenario::ratio(RuntimeKind::Opf, Gbps::G100, Mix::READ, 1, 2);
+        sc.warmup_s = 0.02;
+        sc.measure_s = 0.08;
+        sc.faults = Some(faults::FaultProfile {
+            drop_p: 0.01,
+            ..faults::FaultProfile::default()
+        });
+        let r = run(&sc);
+        let m = &r.metrics;
+        assert!(
+            m.get("faults.drops").unwrap_or(0.0) > 0.0,
+            "plane must fire"
+        );
+        assert!(
+            m.get("faults.retries").unwrap_or(0.0) + m.get("faults.redrains").unwrap_or(0.0) > 0.0,
+            "recovery must fire"
+        );
+        assert_eq!(
+            m.get("faults.offered"),
+            m.get("faults.goodput"),
+            "every submitted request must complete within the settle window"
+        );
+        assert_eq!(m.get("faults.retry_exhausted"), Some(0.0));
+    }
+
+    #[test]
+    fn lossy_spdk_run_recovers_every_request() {
+        let mut sc = Scenario::ratio(RuntimeKind::Spdk, Gbps::G100, Mix::READ, 1, 2);
+        sc.warmup_s = 0.02;
+        sc.measure_s = 0.06;
+        sc.faults = Some(faults::FaultProfile {
+            drop_p: 0.01,
+            ..faults::FaultProfile::default()
+        });
+        let r = run(&sc);
+        let m = &r.metrics;
+        assert!(m.get("faults.retries").unwrap_or(0.0) > 0.0);
+        assert_eq!(m.get("faults.offered"), m.get("faults.goodput"));
+    }
+
+    #[test]
+    fn zero_probability_profile_matches_fault_free_run() {
+        // A plane with every knob at zero must not perturb the event
+        // sequence: the interposing closures forward inline and draw no
+        // RNG on the zero-probability paths.
+        let mut clean = Scenario::ratio(RuntimeKind::Opf, Gbps::G100, Mix::READ, 1, 2);
+        clean.warmup_s = 0.02;
+        clean.measure_s = 0.06;
+        let mut zeroed = clean.clone();
+        zeroed.faults = Some(faults::FaultProfile {
+            retry: None,
+            redrain_timeout: None,
+            settle_s: 0.0,
+            ..faults::FaultProfile::default()
+        });
+        let a = run(&clean);
+        let b = run(&zeroed);
+        assert_eq!(a.completed, b.completed);
+        assert_eq!(a.notifications, b.notifications);
+        assert_eq!(a.tc_p9999_us, b.tc_p9999_us);
+        assert_eq!(a.ls_p9999_us, b.ls_p9999_us);
+    }
+
+    #[test]
+    fn link_flap_triggers_keepalive_reconnect() {
+        let mut sc = Scenario::ratio(RuntimeKind::Opf, Gbps::G100, Mix::READ, 1, 2);
+        sc.warmup_s = 0.02;
+        sc.measure_s = 0.08;
+        sc.faults = Some(faults::FaultProfile {
+            flaps: vec![faults::LinkFlap {
+                link: 0,
+                at: SimTime::from_millis(30),
+                dur: SimDuration::from_millis(15),
+            }],
+            keepalive: Some(faults::KeepAliveSpec {
+                every: SimDuration::from_millis(4),
+                kato: SimDuration::from_millis(10),
+            }),
+            ..faults::FaultProfile::default()
+        });
+        let r = run(&sc);
+        let m = &r.metrics;
+        assert!(m.get("faults.flap_drops").unwrap_or(0.0) > 0.0);
+        assert!(m.get("admin.heartbeat_misses").unwrap_or(0.0) >= 2.0);
+        assert!(
+            m.get("admin.reconnects").unwrap_or(0.0) >= 1.0,
+            "the outage outlives KATO, so the client must reconnect"
         );
     }
 

@@ -131,6 +131,9 @@ pub struct Scenario {
     pub shared_queue: bool,
     /// Ablation: disable the LS bypass.
     pub no_ls_bypass: bool,
+    /// Fault-injection profile. `None` (the default everywhere) means a
+    /// perfect fabric and the exact pre-faults event sequence.
+    pub faults: Option<faults::FaultProfile>,
 }
 
 impl Scenario {
@@ -156,6 +159,7 @@ impl Scenario {
             separate_nodes: false,
             shared_queue: false,
             no_ls_bypass: false,
+            faults: None,
         }
     }
 
