@@ -11,6 +11,7 @@
 //! | `hashmap-iter` | all crates | no iteration over `HashMap`s declared in the same file: iteration order is randomized per process and leaks nondeterminism into metrics, snapshots, and reports — use `BTreeMap`, sort first, or waive with a reason |
 //! | `safety-comment` | all code incl. tests | every `unsafe` block/impl/fn is adjacent to a `// SAFETY:` (or `# Safety` doc) explaining why it is sound |
 //! | `foreign-rand` | all crates except `simkit` and the `shims` | no `rand`-crate APIs (`thread_rng`, `StdRng`, …) or ad-hoc LCG multiplier constants: every random draw must flow from `simkit::rng` (seeded, forkable) or simulations stop being bit-reproducible |
+//! | `no-payload-to_vec` | data-plane crates (`core`, `nvmf`, `nvme`, `fabric`, `queues`, `faults`) | no `.to_vec()` in non-test code: payloads travel as refcounted `Bytes` handles allocated once at issue (DESIGN.md §12), and a stray copy silently re-introduces per-request allocation — waived only at the fault plane's copy-on-write corrupt site |
 //!
 //! Matching runs on comment- and string-literal-stripped source (so the
 //! rule table above doesn't flag itself), with a test-region heuristic:
@@ -425,6 +426,17 @@ pub fn lint_source(rel: &Path, src: &str) -> Vec<Finding> {
     // simkit::rng is the sanctioned RNG home; the shims may carry PRNG
     // constants of their own (the proptest shim seeds deterministically).
     let scope_foreign_rand = scope_wall_clock;
+    // The zero-copy data plane: anywhere a payload handle flows.
+    let scope_no_to_vec = [
+        "crates/core/src",
+        "crates/nvmf/src",
+        "crates/nvme/src",
+        "crates/fabric/src",
+        "crates/queues/src",
+        "crates/faults/src",
+    ]
+    .iter()
+    .any(|s| rel_str.contains(s));
 
     for (idx, line) in lines.iter().enumerate() {
         let code = &line.code;
@@ -516,6 +528,21 @@ pub fn lint_source(rel: &Path, src: &str) -> Vec<Finding> {
                         .to_string(),
                 );
             }
+        }
+
+        // no-payload-to_vec
+        if scope_no_to_vec
+            && !is_test(idx)
+            && code.contains(".to_vec()")
+            && !waived(&lines, idx, "no-payload-to_vec", None)
+        {
+            push(
+                "no-payload-to_vec",
+                idx,
+                ".to_vec() on the data plane: payloads are shared `Bytes` handles — \
+                 copying re-introduces per-request allocation (DESIGN.md §12)"
+                    .to_string(),
+            );
         }
 
         // safety-comment — applies to test code too.
@@ -755,6 +782,37 @@ mod tests {
         )
         .is_empty());
         assert!(lint("crates/workload/src/x.rs", "fn f() { operand::eval(); }\n").is_empty());
+    }
+
+    #[test]
+    fn payload_to_vec_flagged_on_data_plane() {
+        let src = "fn f(b: &Bytes) -> Vec<u8> { b.to_vec() }\n";
+        for scope in [
+            "crates/core/src/x.rs",
+            "crates/nvmf/src/x.rs",
+            "crates/nvme/src/x.rs",
+            "crates/fabric/src/x.rs",
+            "crates/queues/src/x.rs",
+            "crates/faults/src/x.rs",
+        ] {
+            let f = lint(scope, src);
+            assert!(
+                f.iter().any(|x| x.rule == "no-payload-to_vec"),
+                "{scope}: {f:?}"
+            );
+        }
+        // Off the data plane (reports, experiments) copies are fine.
+        assert!(lint("crates/workload/src/x.rs", src).is_empty());
+        assert!(lint("crates/experiments/src/x.rs", src).is_empty());
+        // Test code is exempt.
+        assert!(lint(
+            "crates/nvmf/src/x.rs",
+            "#[cfg(test)]\nmod tests {\n    fn t(b: &Bytes) -> Vec<u8> { b.to_vec() }\n}\n"
+        )
+        .is_empty());
+        // The single sanctioned site is waived with a reason.
+        let waived = "// lint: allow(no-payload-to_vec) copy-on-write: corrupt must not\n// mutate the shared buffer\nfn f(b: &Bytes) -> Vec<u8> { b.to_vec() }\n";
+        assert!(lint("crates/faults/src/x.rs", waived).is_empty());
     }
 
     #[test]

@@ -1,0 +1,331 @@
+//! `hotpath` — the hot-path perf baseline and regression gate.
+//!
+//! Measures events/sec on the quick artifact reproductions (the
+//! Figure 6(c) and observability scenario sets, run serially through the
+//! same code path `repro --quick` uses) plus ops/sec on the hot data
+//! structures (CID-queue drain, SPSC ring, PDU codec, kernel scheduling,
+//! Table I build), and writes the report as `results/BENCH_hotpath.json`.
+//!
+//! The report separates *deterministic* fields (scenario counts and
+//! simulated-event counts — bit-identical on every run and every
+//! machine) from *measured* fields (wall-clock rates, hardware
+//! dependent). The deterministic fields double as a behaviour guard: a
+//! refactor that changes any simulated event count is not a
+//! representation change.
+//!
+//! ```text
+//! hotpath [--out PATH]    measure and write the report
+//! hotpath --check PATH    measure, compare against a baseline report:
+//!                           * every quick-repro `events` count must match
+//!                           * quick-repro events/sec may not regress >15%
+//! ```
+
+use experiments::{fig6, observe, table1, Durations};
+use simkit::metrics::format_f64;
+use simkit::{Kernel, SimDuration, Stopwatch};
+use sweep::json::{self, Json};
+
+/// Regression tolerance for the `--check` gate: wall-clock rates may
+/// not fall below `1 - TOLERANCE` of the baseline.
+const TOLERANCE: f64 = 0.15;
+
+/// One quick-repro measurement: a scenario set run serially.
+struct Group {
+    name: &'static str,
+    scenarios: usize,
+    /// Total simulated events executed — deterministic.
+    events: u64,
+    wall_s: f64,
+}
+
+impl Group {
+    fn events_per_sec(&self) -> f64 {
+        self.events as f64 / self.wall_s
+    }
+}
+
+/// One micro measurement: a fixed-iteration hot loop.
+struct Micro {
+    name: &'static str,
+    /// Operations timed — deterministic.
+    iters: u64,
+    wall_s: f64,
+}
+
+impl Micro {
+    fn ops_per_sec(&self) -> f64 {
+        self.iters as f64 / self.wall_s
+    }
+}
+
+/// Repetitions per measurement; the fastest wall time is reported, which
+/// filters out scheduler noise on shared machines.
+const REPS: usize = 3;
+
+fn run_group(name: &'static str, scenarios: Vec<workload::Scenario>) -> Group {
+    // Serial (one worker): the measurement should not depend on the
+    // machine's core count, only on single-thread hot-path speed.
+    let n = scenarios.len();
+    let mut events = 0u64;
+    let mut wall_s = f64::INFINITY;
+    for rep in 0..REPS {
+        let sw = Stopwatch::start();
+        let results = experiments::sweep::run_all(&scenarios, Some(1));
+        let wall = sw.elapsed_secs();
+        let e: u64 = results.iter().map(|r| r.events).sum();
+        if rep == 0 {
+            events = e;
+        } else {
+            // Free determinism check: identical scenarios, identical
+            // simulated event counts, every repetition.
+            assert_eq!(e, events, "{name}: event count drifted across reps");
+        }
+        wall_s = wall_s.min(wall);
+    }
+    Group {
+        name,
+        scenarios: n,
+        events,
+        wall_s,
+    }
+}
+
+fn time_loop(name: &'static str, iters: u64, mut f: impl FnMut()) -> Micro {
+    for _ in 0..iters / 10 {
+        f(); // warmup
+    }
+    let mut wall_s = f64::INFINITY;
+    for _ in 0..REPS {
+        let sw = Stopwatch::start();
+        for _ in 0..iters {
+            f();
+        }
+        wall_s = wall_s.min(sw.elapsed_secs());
+    }
+    Micro {
+        name,
+        iters,
+        wall_s,
+    }
+}
+
+fn measure_micro() -> Vec<Micro> {
+    let mut out = Vec::new();
+
+    let mut q = queues::CidQueue::new(256);
+    let mut scratch = Vec::new();
+    out.push(time_loop("cid/window32_complete_through", 200_000, || {
+        for cid in 0..32u16 {
+            q.push(cid).unwrap();
+        }
+        std::hint::black_box(q.complete_through_into(31, &mut scratch));
+    }));
+
+    let mut q = queues::CidQueue::new(256);
+    let mut scratch = Vec::new();
+    out.push(time_loop("cid/window32_drain_all", 200_000, || {
+        for cid in 0..32u16 {
+            q.push(cid).unwrap();
+        }
+        q.drain_all_into(&mut scratch);
+        std::hint::black_box(scratch.len());
+    }));
+
+    let (mut tx, mut rx) = queues::spsc_channel::<u64>(256);
+    out.push(time_loop("spsc/push_pop", 2_000_000, || {
+        tx.push(42).unwrap();
+        std::hint::black_box(rx.pop().unwrap());
+    }));
+
+    let cmd = nvmf::Pdu::CapsuleCmd {
+        sqe: nvme::Sqe::read(7, 1, 123_456, 1),
+        priority: nvmf::Priority::ThroughputCritical { draining: true },
+        initiator: 3,
+    };
+    out.push(time_loop("pdu/encode_cmd", 1_000_000, || {
+        std::hint::black_box(cmd.encode());
+    }));
+
+    let data = nvmf::Pdu::C2HData {
+        cccid: 9,
+        data: bytes::Bytes::from(vec![0u8; 4096]),
+    };
+    out.push(time_loop("pdu/encode_data_4k", 200_000, || {
+        std::hint::black_box(data.encode());
+    }));
+
+    out.push(time_loop("kernel/schedule_run_10k", 200, || {
+        let mut k = Kernel::new(1);
+        for i in 0..10_000u64 {
+            k.schedule_in(SimDuration::from_nanos(i % 977), |_| {});
+        }
+        k.run_to_completion();
+        std::hint::black_box(k.events_executed());
+    }));
+
+    out.push(time_loop("table1/build", 2_000, || {
+        std::hint::black_box(table1::build().rows.len());
+    }));
+
+    out
+}
+
+fn measure() -> (Vec<Group>, Vec<Micro>) {
+    let d = Durations::quick();
+    let groups = vec![
+        run_group("fig6c", fig6::fig6c_scenarios(d)),
+        run_group("observe", observe::scenarios(d)),
+    ];
+    (groups, measure_micro())
+}
+
+fn report(groups: &[Group], micro: &[Micro]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n  \"schema\": \"nvme-opf.bench.hotpath.v1\",\n  \"quick_repro\": [\n");
+    for (i, g) in groups.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"scenarios\": {}, \"events\": {}, \"wall_s\": {}, \"events_per_sec\": {}}}{}\n",
+            json::escape(g.name),
+            g.scenarios,
+            g.events,
+            format_f64(g.wall_s),
+            format_f64(g.events_per_sec()),
+            if i + 1 < groups.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ],\n  \"micro\": [\n");
+    for (i, m) in micro.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"iters\": {}, \"wall_s\": {}, \"ops_per_sec\": {}}}{}\n",
+            json::escape(m.name),
+            m.iters,
+            format_f64(m.wall_s),
+            format_f64(m.ops_per_sec()),
+            if i + 1 < micro.len() { "," } else { "" },
+        ));
+    }
+    let total_events: u64 = groups.iter().map(|g| g.events).sum();
+    let total_wall: f64 = groups.iter().map(|g| g.wall_s).sum();
+    out.push_str(&format!(
+        "  ],\n  \"total_events\": {},\n  \"total_events_per_sec\": {}\n}}\n",
+        total_events,
+        format_f64(total_events as f64 / total_wall),
+    ));
+    out
+}
+
+/// Compare a fresh measurement against a baseline report. Returns the
+/// number of failures (mismatched event counts or >15% rate regressions).
+fn check(baseline: &Json, groups: &[Group], micro: &[Micro]) -> usize {
+    let mut failures = 0;
+    let find = |arr: &'static str, name: &str| -> Option<Json> {
+        baseline
+            .get(arr)?
+            .as_arr()?
+            .iter()
+            .find(|e| e.get("name").and_then(Json::as_str) == Some(name))
+            .cloned()
+    };
+    for g in groups {
+        let Some(b) = find("quick_repro", g.name) else {
+            println!("FAIL {}: missing from baseline", g.name);
+            failures += 1;
+            continue;
+        };
+        let base_events = b.get("events").and_then(Json::as_u64).unwrap_or(0);
+        if base_events != g.events {
+            println!(
+                "FAIL {}: simulated event count drifted (baseline {}, now {}) — \
+                 not a representation-only change",
+                g.name, base_events, g.events
+            );
+            failures += 1;
+        }
+        let base_rate = b
+            .get("events_per_sec")
+            .and_then(Json::as_f64)
+            .unwrap_or(0.0);
+        let rate = g.events_per_sec();
+        if rate < base_rate * (1.0 - TOLERANCE) {
+            println!(
+                "FAIL {}: events/sec regressed >{:.0}% (baseline {:.0}, now {:.0})",
+                g.name,
+                TOLERANCE * 100.0,
+                base_rate,
+                rate
+            );
+            failures += 1;
+        } else {
+            println!(
+                "ok   {}: {} events, {:.0} events/sec ({:+.1}% vs baseline)",
+                g.name,
+                g.events,
+                rate,
+                100.0 * (rate / base_rate - 1.0)
+            );
+        }
+    }
+    // Micro rates are noisier (short loops); report drift without gating.
+    for m in micro {
+        if let Some(b) = find("micro", m.name) {
+            let base = b.get("ops_per_sec").and_then(Json::as_f64).unwrap_or(0.0);
+            let rate = m.ops_per_sec();
+            println!(
+                "info {}: {:.2e} ops/sec ({:+.1}% vs baseline)",
+                m.name,
+                rate,
+                100.0 * (rate / base - 1.0)
+            );
+        }
+    }
+    failures
+}
+
+fn usage() -> ! {
+    eprintln!("usage: hotpath [--out PATH | --check PATH]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut out_path: Option<std::path::PathBuf> = None;
+    let mut check_path: Option<std::path::PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--out" => out_path = Some(args.next().unwrap_or_else(|| usage()).into()),
+            "--check" => check_path = Some(args.next().unwrap_or_else(|| usage()).into()),
+            _ => usage(),
+        }
+    }
+
+    let (groups, micro) = measure();
+
+    if let Some(path) = check_path {
+        let src = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            eprintln!("cannot read baseline {}: {e}", path.display());
+            std::process::exit(2);
+        });
+        let baseline = json::parse(&src).unwrap_or_else(|e| {
+            eprintln!("cannot parse baseline {}: {e}", path.display());
+            std::process::exit(2);
+        });
+        let failures = check(&baseline, &groups, &micro);
+        if failures > 0 {
+            eprintln!("[hotpath check FAILED: {failures} regression(s)]");
+            std::process::exit(1);
+        }
+        println!("[hotpath check passed]");
+        return;
+    }
+
+    let path = out_path.unwrap_or_else(|| experiments::results_dir().join("BENCH_hotpath.json"));
+    let body = report(&groups, &micro);
+    print!("{body}");
+    match std::fs::write(&path, &body) {
+        Ok(()) => eprintln!("[saved {}]", path.display()),
+        Err(e) => {
+            eprintln!("[could not save {}: {e}]", path.display());
+            std::process::exit(1);
+        }
+    }
+}

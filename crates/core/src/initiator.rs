@@ -131,6 +131,10 @@ pub struct OpfInitiator {
     /// response. The CID lets the recovery path match responses to
     /// specific drains and retransmit a lost one.
     drain_sent_at: VecDeque<(SimTime, u16)>,
+    /// Recycled CID buffers for the coalesced-completion path. A drain's
+    /// dequeued CIDs travel into the deferred completion event and the
+    /// emptied buffer returns here, so steady-state drains never allocate.
+    cid_pool: Vec<Vec<u16>>,
     /// Retransmission slots, one per CID (empty when retry is disabled).
     slots: Vec<RetrySlot>,
     tracer: Tracer,
@@ -190,6 +194,7 @@ impl OpfInitiator {
             window_generation: 0,
             timer_armed: false,
             drain_sent_at: VecDeque::new(),
+            cid_pool: Vec::new(),
             slots,
             tracer,
             stats: OpfInitiatorStats::default(),
@@ -781,26 +786,23 @@ impl OpfInitiator {
                         }
                     }
                 }
-                let result = i.cid_queue.complete_through(cqe.cid);
-                let cids = match result {
-                    CompleteResult::Completed(v) => v,
+                let mut cids = i.cid_pool.pop().unwrap_or_default();
+                let found = i.cid_queue.complete_through_into(cqe.cid, &mut cids);
+                if !found {
                     // The drain CID is not queued — a malformed or replayed
                     // response. Everything dequeued during the search is
                     // still completed (stranding them would leak qpair
                     // slots); the violation is recorded and the sim runs on.
-                    CompleteResult::Missing(v) => {
-                        let id = i.id;
-                        i.note_protocol_error(
-                            k.now(),
-                            ProtocolError::CoalescedCidMissing {
-                                initiator: id,
-                                cid: cqe.cid,
-                                drained: v.len(),
-                            },
-                        );
-                        v
-                    }
-                };
+                    let id = i.id;
+                    i.note_protocol_error(
+                        k.now(),
+                        ProtocolError::CoalescedCidMissing {
+                            initiator: id,
+                            cid: cqe.cid,
+                            drained: cids.len(),
+                        },
+                    );
+                }
                 i.stats.coalesced_completions += cids.len() as u64;
                 if recovery {
                     // A single response can complete *earlier* drains whose
@@ -841,15 +843,22 @@ impl OpfInitiator {
             } else {
                 let cost = i.costs.ini_on_resp;
                 let finish = i.cpu.reserve(k.now(), cost).finish;
-                (finish, vec![cqe.cid])
+                let mut v = i.cid_pool.pop().unwrap_or_default();
+                v.clear();
+                v.push(cqe.cid);
+                (finish, v)
             }
         };
         let this2 = this.clone();
         let status = cqe.status;
         k.schedule_at(finish, move |k| {
-            for cid in cids {
+            let mut cids = cids;
+            for &cid in &cids {
                 Self::complete(&this2, k, cid, status);
             }
+            // Return the emptied buffer to the pool for the next drain.
+            cids.clear();
+            this2.borrow_mut().cid_pool.push(cids);
         });
     }
 

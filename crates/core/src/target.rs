@@ -13,8 +13,9 @@ use fabric::{Endpoint, Network};
 use nvme::{NvmeDevice, Opcode, Sqe, Status};
 use nvmf::{CpuCosts, Pdu, PduRx, Priority};
 use queues::CidQueue;
+use simkit::FxHashMap;
 use simkit::{Kernel, Metrics, MetricsSource, Resource, Shared, SimDuration, SimTime, Tracer};
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 /// Target-side counters. `resps_tx` is the Figure 6(c) notification
 /// count; in NVMe-oPF it is roughly `drains_rx + ls_rx` instead of the
@@ -65,7 +66,7 @@ struct StagedCmd {
     /// queue mixes tenants).
     owner: u8,
     sqe: Sqe,
-    data: Option<Vec<u8>>,
+    data: Option<Bytes>,
     /// Write whose H2C data has not arrived yet. TC writes are staged at
     /// *command* arrival so a drain covers every earlier command of the
     /// window (the R2T/data round trip would otherwise reorder them past
@@ -82,7 +83,7 @@ struct StagedCmd {
 /// bounded by the qpair depth, well under 1024).
 struct TcState {
     order: CidQueue,
-    staged: HashMap<(u8, u16), StagedCmd>,
+    staged: FxHashMap<(u8, u16), StagedCmd>,
 }
 
 const OWNER_SHIFT: u16 = 10;
@@ -102,7 +103,7 @@ impl TcState {
     fn new() -> Self {
         TcState {
             order: CidQueue::new(2048),
-            staged: HashMap::new(),
+            staged: FxHashMap::default(),
         }
     }
 }
@@ -129,7 +130,7 @@ struct Batch {
 struct ReadyCmd {
     initiator: u8,
     sqe: Sqe,
-    data: Option<Vec<u8>>,
+    data: Option<Bytes>,
     batch: usize,
 }
 
@@ -152,20 +153,27 @@ pub struct OpfTarget {
     /// iteration order, which must be deterministic.
     conns: BTreeMap<u8, Conn>,
     /// Writes whose H2C data has not arrived yet.
-    pending_writes: HashMap<(u8, u16), (Sqe, Priority)>,
+    pending_writes: FxHashMap<(u8, u16), (Sqe, Priority)>,
     /// Per-initiator TC queues (the §IV-A lock-free design), or one
     /// shared queue in the ablation mode.
-    tc: HashMap<u8, TcState>,
+    tc: FxHashMap<u8, TcState>,
     /// Drained batches in flight. Slots are recycled via a free list.
     batches: Vec<Option<Batch>>,
     free_batches: Vec<usize>,
     /// Per-tenant batch order: responses release strictly in drain order.
-    batch_fifo: HashMap<u8, VecDeque<usize>>,
+    batch_fifo: FxHashMap<u8, VecDeque<usize>>,
     /// Drained TC writes still waiting for their H2C data: batch slot to
     /// join once the payload lands.
-    awaiting_data: HashMap<(u8, u16), (usize, Sqe)>,
+    awaiting_data: FxHashMap<(u8, u16), (usize, Sqe)>,
     /// Metered commands waiting for a device slot.
     ready: VecDeque<ReadyCmd>,
+    /// Scratch for [`CidQueue::drain_all_into`] in `flush_queue`: reused
+    /// across drains so the steady-state hot path never allocates.
+    drain_keys: Vec<u16>,
+    /// Scratch for `flush_queue`'s per-tenant grouping, with a pool of
+    /// retired inner vectors (their capacity is what we are reusing).
+    groups: Vec<(u8, Vec<StagedCmd>)>,
+    group_pool: Vec<Vec<StagedCmd>>,
     /// TC commands currently at the device.
     tc_inflight: usize,
     /// Recovery mode: suppress duplicate commands from retransmitting
@@ -174,7 +182,7 @@ pub struct OpfTarget {
     /// Commands accepted and not yet completed, keyed by (initiator,
     /// CID). Membership-only — never iterated, so its hash order can
     /// never leak into event order.
-    live: std::collections::HashSet<(u8, u16)>,
+    live: simkit::FxHashSet<(u8, u16)>,
     tracer: Tracer,
     /// Counters.
     pub stats: OpfTargetStats,
@@ -206,16 +214,19 @@ impl OpfTarget {
             ep,
             device,
             conns: BTreeMap::new(),
-            pending_writes: HashMap::new(),
-            tc: HashMap::new(),
+            pending_writes: FxHashMap::default(),
+            tc: FxHashMap::default(),
             batches: Vec::new(),
             free_batches: Vec::new(),
-            batch_fifo: HashMap::new(),
-            awaiting_data: HashMap::new(),
+            batch_fifo: FxHashMap::default(),
+            awaiting_data: FxHashMap::default(),
             ready: VecDeque::new(),
+            drain_keys: Vec::new(),
+            groups: Vec::new(),
+            group_pool: Vec::new(),
             tc_inflight: 0,
             recovery: false,
-            live: std::collections::HashSet::new(),
+            live: simkit::FxHashSet::default(),
             tracer,
             stats: OpfTargetStats::default(),
             last_protocol_error: None,
@@ -380,7 +391,7 @@ impl OpfTarget {
             match pending {
                 // LS/untagged write: classify now that the data is here.
                 Some((sqe, priority)) => {
-                    Self::classify(&this2, k, from, sqe, priority, Some(data.to_vec()));
+                    Self::classify(&this2, k, from, sqe, priority, Some(data));
                 }
                 // TC write: attach the payload to the staged command, or
                 // release it into its batch if the drain already passed.
@@ -391,7 +402,7 @@ impl OpfTarget {
                             t.ready.push_back(ReadyCmd {
                                 initiator: from,
                                 sqe,
-                                data: Some(data.to_vec()),
+                                data: Some(data),
                                 batch,
                             });
                             let rlen = t.ready.len();
@@ -407,7 +418,7 @@ impl OpfTarget {
                                 .and_then(|state| state.staged.get_mut(&(from, cccid)))
                             {
                                 Some(staged) => {
-                                    staged.data = Some(data.to_vec());
+                                    staged.data = Some(data);
                                     staged.needs_data = false;
                                 }
                                 // H2C data naming no staged TC write: a
@@ -448,7 +459,7 @@ impl OpfTarget {
         from: u8,
         sqe: Sqe,
         priority: Priority,
-        data: Option<Vec<u8>>,
+        data: Option<Bytes>,
     ) {
         match priority {
             Priority::ThroughputCritical { draining } => {
@@ -565,19 +576,31 @@ impl OpfTarget {
         {
             let mut t = this.borrow_mut();
             let key = t.queue_key(from);
+            // Scratch buffers cycle through `self` so steady-state drains
+            // allocate nothing (they reuse the previous drain's capacity).
+            let mut keys = std::mem::take(&mut t.drain_keys);
+            let mut groups = std::mem::take(&mut t.groups);
+            let mut pool = std::mem::take(&mut t.group_pool);
+            debug_assert!(groups.is_empty());
+            let put_back = |t: &mut OpfTarget, keys, groups, pool| {
+                t.drain_keys = keys;
+                t.groups = groups;
+                t.group_pool = pool;
+            };
             let Some(state) = t.tc.get_mut(&key) else {
+                put_back(&mut t, keys, groups, pool);
                 return;
             };
-            let keys = state.order.drain_all();
+            state.order.drain_all_into(&mut keys);
             if keys.is_empty() {
+                put_back(&mut t, keys, groups, pool);
                 return;
             }
             // Group the flushed commands by owning tenant (one group in
             // per-initiator mode). Each group becomes a batch whose
             // coalesced response goes to that tenant, acknowledged by the
             // tenant's most recent flushed CID.
-            let mut groups: Vec<(u8, Vec<StagedCmd>)> = Vec::new();
-            for qkey in keys {
+            for &qkey in &keys {
                 let (owner, cid) = decode_key(qkey);
                 // lint: allow(no-panic) internal invariant: `order` and
                 // `staged` are updated together in `classify`.
@@ -585,7 +608,11 @@ impl OpfTarget {
                 debug_assert_eq!(staged.owner, owner);
                 match groups.iter_mut().find(|(o, _)| *o == owner) {
                     Some((_, v)) => v.push(staged),
-                    None => groups.push((owner, vec![staged])),
+                    None => {
+                        let mut v = pool.pop().unwrap_or_default();
+                        v.push(staged);
+                        groups.push((owner, v));
+                    }
                 }
             }
 
@@ -594,7 +621,8 @@ impl OpfTarget {
             let cost = t.costs.submit_dev * n as u64;
             t.reactor.reserve(k.now(), cost);
 
-            for (owner, cmds) in groups {
+            for (owner, cmds) in &mut groups {
+                let owner = *owner;
                 let ack_cid = if owner == from {
                     drain_cid
                 } else {
@@ -605,7 +633,7 @@ impl OpfTarget {
                     cmds.last().expect("non-empty group").sqe.cid
                 };
                 let batch = t.new_batch(owner, ack_cid, cmds.len(), false);
-                for cmd in cmds {
+                for cmd in cmds.drain(..) {
                     if cmd.needs_data {
                         // Drained before its H2C data landed: joins the
                         // batch when the payload arrives.
@@ -621,6 +649,10 @@ impl OpfTarget {
                     }
                 }
             }
+            for (_, v) in groups.drain(..) {
+                pool.push(v);
+            }
+            put_back(&mut t, keys, groups, pool);
             let rlen = t.ready.len();
             if rlen > t.stats.max_ready {
                 t.stats.max_ready = rlen;
@@ -677,7 +709,7 @@ impl OpfTarget {
         k: &mut Kernel,
         from: u8,
         sqe: Sqe,
-        data: Option<Vec<u8>>,
+        data: Option<Bytes>,
     ) {
         let device = this.borrow().device.clone();
         {

@@ -55,7 +55,10 @@ pub struct DynamicWindow {
     drains_per_epoch: u32,
     drains_in_epoch: u32,
     completed_in_epoch: u64,
-    epoch_start: SimTime,
+    /// Seeded lazily by the first [`Self::on_drain_complete`]: the
+    /// optimizer may come alive long after t=0, and measuring the first
+    /// epoch from `SimTime::ZERO` would dilute its rate arbitrarily.
+    epoch_start: Option<SimTime>,
     last_rate: Option<f64>,
 }
 
@@ -74,7 +77,7 @@ impl DynamicWindow {
             drains_per_epoch: 16,
             drains_in_epoch: 0,
             completed_in_epoch: 0,
-            epoch_start: SimTime::ZERO,
+            epoch_start: None,
             last_rate: None,
         }
     }
@@ -85,36 +88,51 @@ impl DynamicWindow {
     }
 
     /// Record a drain completion that finished `batch` requests at
-    /// `now`. Returns the new window size when the optimizer retunes.
+    /// `now`. Returns the new window size when the optimizer actually
+    /// changed it.
     pub fn on_drain_complete(&mut self, now: SimTime, batch: u64) -> Option<u32> {
+        let epoch_start = *self.epoch_start.get_or_insert(now);
         self.drains_in_epoch += 1;
         self.completed_in_epoch += batch;
         if self.drains_in_epoch < self.drains_per_epoch {
             return None;
         }
-        let elapsed = now.since(self.epoch_start).as_secs_f64();
-        let rate = if elapsed > 0.0 {
-            self.completed_in_epoch as f64 / elapsed
-        } else {
-            f64::MAX
-        };
+        let elapsed = now.since(epoch_start).as_secs_f64();
+        let completed = self.completed_in_epoch;
+        self.drains_in_epoch = 0;
+        self.completed_in_epoch = 0;
+        self.epoch_start = Some(now);
+        if elapsed <= 0.0 {
+            // A whole epoch inside one instant carries no rate signal:
+            // don't fabricate one (the old `f64::MAX` sentinel made the
+            // *next* real epoch always look like a regression), don't
+            // move, and leave `last_rate` for a measurable epoch.
+            return None;
+        }
+        let rate = completed as f64 / elapsed;
         if let Some(last) = self.last_rate {
             // Worse than last epoch: reverse direction.
             if rate < last {
                 self.direction = -self.direction;
             }
         }
-        let next = self.idx as i32 + self.direction;
-        if next < 0 || next >= WINDOW_SIZES.len() as i32 {
-            self.direction = -self.direction;
-        } else {
-            self.idx = next as usize;
-        }
         self.last_rate = Some(rate);
-        self.drains_in_epoch = 0;
-        self.completed_in_epoch = 0;
-        self.epoch_start = now;
-        Some(self.current())
+        let mut next = self.idx as i32 + self.direction;
+        if next < 0 || next >= WINDOW_SIZES.len() as i32 {
+            // At a boundary the step must land somewhere: reverse and
+            // take the step in the same epoch rather than burning an
+            // epoch standing still (the old bounce re-measured the edge
+            // window and only then walked away from it).
+            self.direction = -self.direction;
+            next = self.idx as i32 + self.direction;
+        }
+        let prev = self.idx;
+        self.idx = next.clamp(0, WINDOW_SIZES.len() as i32 - 1) as usize;
+        if self.idx != prev {
+            Some(self.current())
+        } else {
+            None
+        }
     }
 }
 
@@ -180,6 +198,67 @@ mod tests {
             near_peak * 10 >= total * 7,
             "spent too little time near peak: {visits:?}"
         );
+    }
+
+    /// The first epoch must measure from the first observed drain, not
+    /// from t=0: two optimizers fed identical drain streams offset by a
+    /// large constant time must make identical decisions.
+    #[test]
+    fn first_epoch_is_translation_invariant() {
+        let offset = SimDuration::from_secs_f64(3600.0);
+        let mut at_zero = DynamicWindow::new(2);
+        let mut at_hour = DynamicWindow::new(2);
+        let mut now = SimTime::ZERO;
+        for i in 0..64 {
+            now += SimDuration::from_micros(50 + (i % 7));
+            let a = at_zero.on_drain_complete(now, 8);
+            let b = at_hour.on_drain_complete(now + offset, 8);
+            assert_eq!(a, b, "drain {i} diverged");
+            assert_eq!(at_zero.current(), at_hour.current(), "drain {i}");
+        }
+    }
+
+    /// An epoch whose 16 drains all land on one instant has no rate
+    /// signal: the optimizer must hold still and must not poison the
+    /// next real epoch's comparison (the old sentinel rate of
+    /// `f64::MAX` made it always read as a regression).
+    #[test]
+    fn degenerate_epoch_is_skipped() {
+        let mut opt = DynamicWindow::new(8);
+        let before = opt.current();
+        let now = SimTime::ZERO + SimDuration::from_millis(5);
+        for _ in 0..16 {
+            assert_eq!(opt.on_drain_complete(now, 8), None);
+        }
+        assert_eq!(opt.current(), before, "degenerate epoch moved the window");
+        // The next measurable epoch proceeds as if it were the first:
+        // no stale comparison, one exploratory step.
+        let mut later = now;
+        for _ in 0..16 {
+            later += SimDuration::from_micros(100);
+            opt.on_drain_complete(later, 8);
+        }
+        assert_eq!(opt.current(), 16, "exploratory step after a skipped epoch");
+    }
+
+    /// At the edge of `WINDOW_SIZES` a retune reverses and steps inward
+    /// in the same epoch; `Some` is returned only when the window
+    /// actually changed.
+    #[test]
+    fn boundary_reverses_within_same_epoch() {
+        let mut opt = DynamicWindow::new(64);
+        let mut now = SimTime::ZERO;
+        for _ in 0..16 {
+            now += SimDuration::from_micros(100);
+        }
+        let mut retune = None;
+        for _ in 0..16 {
+            now += SimDuration::from_micros(100);
+            retune = opt.on_drain_complete(now, 64);
+        }
+        // From the top edge the only legal step is down, taken at once.
+        assert_eq!(retune, Some(32));
+        assert_eq!(opt.current(), 32);
     }
 
     #[test]

@@ -38,9 +38,9 @@ fn profile(loss: f64) -> faults::FaultProfile {
     }
 }
 
-/// Run the loss × window grid and emit the degradation table.
-pub fn all(d: Durations, threads: Option<usize>) {
-    println!("== Chaos: loss rate x window size, NVMe-oPF 1 LS : 4 TC read, 100 Gbps ==\n");
+/// The loss × window scenario grid, in sweep order. Shared with the
+/// zero-copy differential test (fault-profile variant).
+pub fn scenarios(d: Durations) -> Vec<Scenario> {
     let mut scenarios = Vec::new();
     for &loss in &LOSS_RATES {
         for &window in &WINDOWS {
@@ -51,8 +51,11 @@ pub fn all(d: Durations, threads: Option<usize>) {
             scenarios.push(sc);
         }
     }
-    let results = run_all(&scenarios, threads);
+    scenarios
+}
 
+/// Render the degradation table from the results of [`scenarios`].
+pub fn table(results: &[workload::RunResult]) -> Table {
     let mut t = Table::new([
         "loss",
         "window",
@@ -88,6 +91,14 @@ pub fn all(d: Durations, threads: Option<usize>) {
             ]);
         }
     }
+    t
+}
+
+/// Run the loss × window grid and emit the degradation table.
+pub fn all(d: Durations, threads: Option<usize>) {
+    println!("== Chaos: loss rate x window size, NVMe-oPF 1 LS : 4 TC read, 100 Gbps ==\n");
+    let results = run_all(&scenarios(d), threads);
+    let t = table(&results);
     println!("{}", workload::render_table(&t));
     crate::save_csv("chaos", &t);
 }

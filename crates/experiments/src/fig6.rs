@@ -121,10 +121,10 @@ pub fn fig6b(d: Durations, threads: Option<usize>) {
     crate::save_csv("fig6b", &t);
 }
 
-/// Figure 6(c): completion notifications generated during the measure
-/// window (read and write, SPDK QD 1/128 vs NVMe-oPF windows).
-pub fn fig6c(d: Durations, threads: Option<usize>) {
-    println!("== Fig 6(c): completion notification counts (1 TC initiator, 100 Gbps) ==\n");
+/// The Figure 6(c) scenario list (read and write, SPDK QD 1/128 vs
+/// NVMe-oPF windows). Shared with the hot-path benchmark and the
+/// zero-copy differential test so they measure the artifact path itself.
+pub fn fig6c_scenarios(d: Durations) -> Vec<workload::Scenario> {
     let speed = Gbps::G100;
     let mixes = [Mix::READ, Mix::WRITE];
     let mut scenarios = Vec::new();
@@ -143,8 +143,13 @@ pub fn fig6c(d: Durations, threads: Option<usize>) {
             scenarios.push(sc);
         }
     }
-    let results = run_all(&scenarios, threads);
+    scenarios
+}
 
+/// Render the Figure 6(c) table from the results of
+/// [`fig6c_scenarios`], in order.
+pub fn fig6c_table(results: &[workload::RunResult]) -> Table {
+    let mixes = [Mix::READ, Mix::WRITE];
     let mut t = Table::new([
         "workload",
         "config",
@@ -177,6 +182,16 @@ pub fn fig6c(d: Durations, threads: Option<usize>) {
             ]);
         }
     }
+    t
+}
+
+/// Figure 6(c): completion notifications generated during the measure
+/// window (read and write, SPDK QD 1/128 vs NVMe-oPF windows).
+pub fn fig6c(d: Durations, threads: Option<usize>) {
+    println!("== Fig 6(c): completion notification counts (1 TC initiator, 100 Gbps) ==\n");
+    let scenarios = fig6c_scenarios(d);
+    let results = run_all(&scenarios, threads);
+    let t = fig6c_table(&results);
     println!("{}", workload::render_table(&t));
     crate::save_csv("fig6c", &t);
 }

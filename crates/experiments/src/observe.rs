@@ -25,28 +25,22 @@ const HIGHLIGHTS: [(&str, &str); 10] = [
     ("pair0.tgt.protocol_errors", "protocol errors"),
 ];
 
-/// Run the observability comparison and emit summary + full CSV.
-pub fn all(d: Durations, threads: Option<usize>) {
-    println!("== Observability: unified metrics snapshot (1 LS : 4 TC, 100 Gbps, read) ==\n");
+/// The two scenarios compared (SPDK vs NVMe-oPF on 1 LS : 4 TC read).
+/// Shared with the hot-path benchmark and the differential test.
+pub fn scenarios(d: Durations) -> Vec<Scenario> {
     let mut scenarios = Vec::new();
     for runtime in [RuntimeKind::Spdk, RuntimeKind::Opf] {
         let mut sc = Scenario::ratio(runtime, Gbps::G100, Mix::READ, 1, 4);
         d.apply(&mut sc);
         scenarios.push(sc);
     }
-    let results = run_all(&scenarios, threads);
+    scenarios
+}
+
+/// The full snapshot dump (union of metric names) from the results of
+/// [`scenarios`], in order — the table saved as `observe.csv`.
+pub fn full_table(results: &[workload::RunResult]) -> Table {
     let (spdk, opf) = (&results[0].metrics, &results[1].metrics);
-
-    let mut t = Table::new(["counter", "SPDK", "NVMe-oPF"]);
-    for (name, label) in HIGHLIGHTS {
-        let fmt = |m: &simkit::Metrics| match m.get(name) {
-            Some(v) => format!("{v:.4}"),
-            None => "-".to_string(),
-        };
-        t.row([label.to_string(), fmt(spdk), fmt(opf)]);
-    }
-    println!("{}", workload::render_table(&t));
-
     // Full dump: union of metric names (each snapshot is name-sorted,
     // so a simple merge keeps the output deterministic).
     let mut full = Table::new(["metric", "spdk", "opf"]);
@@ -61,5 +55,24 @@ pub fn all(d: Durations, threads: Option<usize>) {
         let cell = |m: &simkit::Metrics| m.get(name).map_or("-".to_string(), format_f64);
         full.row([name.to_string(), cell(spdk), cell(opf)]);
     }
-    crate::save_csv("observe", &full);
+    full
+}
+
+/// Run the observability comparison and emit summary + full CSV.
+pub fn all(d: Durations, threads: Option<usize>) {
+    println!("== Observability: unified metrics snapshot (1 LS : 4 TC, 100 Gbps, read) ==\n");
+    let results = run_all(&scenarios(d), threads);
+    let (spdk, opf) = (&results[0].metrics, &results[1].metrics);
+
+    let mut t = Table::new(["counter", "SPDK", "NVMe-oPF"]);
+    for (name, label) in HIGHLIGHTS {
+        let fmt = |m: &simkit::Metrics| match m.get(name) {
+            Some(v) => format!("{v:.4}"),
+            None => "-".to_string(),
+        };
+        t.row([label.to_string(), fmt(spdk), fmt(opf)]);
+    }
+    println!("{}", workload::render_table(&t));
+
+    crate::save_csv("observe", &full_table(&results));
 }

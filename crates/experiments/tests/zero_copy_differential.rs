@@ -1,0 +1,71 @@
+//! Differential guard for the zero-copy data plane.
+//!
+//! The `Bytes` payload refactor and the allocation-free drain paths are
+//! representation changes: every simulated event, metric and rendered CSV
+//! must be bit-identical to the allocating implementation. The goldens
+//! under `tests/golden/` were rendered by that implementation (quick
+//! durations, single-threaded) immediately before the refactor; these
+//! tests re-render the same tables and compare bytes. `chaos` covers the
+//! fault-profile variant, where the fault plane interposes on (and
+//! copy-on-write-mutates) shared payloads.
+
+use experiments::sweep::run_all;
+use experiments::{chaos, fig6, observe, table1, Durations};
+
+fn golden(name: &str) -> String {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden");
+    std::fs::read_to_string(format!("{path}/{name}.csv"))
+        .unwrap_or_else(|e| panic!("missing golden {name}.csv: {e}"))
+}
+
+fn assert_csv_matches(name: &str, rendered: &str) {
+    let want = golden(name);
+    if rendered != want {
+        // Pinpoint the first divergent line before failing: a whole-file
+        // dump of two multi-kilobyte CSVs is unreadable.
+        for (i, (r, w)) in rendered.lines().zip(want.lines()).enumerate() {
+            assert_eq!(r, w, "{name}.csv line {}", i + 1);
+        }
+        assert_eq!(
+            rendered.lines().count(),
+            want.lines().count(),
+            "{name}.csv line count"
+        );
+        panic!("{name}.csv differs only in line endings / trailing bytes");
+    }
+}
+
+/// Static hardware table: no simulation involved, but it shares the CSV
+/// renderer with everything else.
+#[test]
+fn table1_matches_golden() {
+    assert_csv_matches("table1", &workload::csv_table(&table1::build()));
+}
+
+/// Fig 6(c) quick repro (10 scenarios, read+write, SPDK vs oPF): the
+/// fault-free TC hot path end to end.
+#[test]
+fn fig6c_quick_matches_golden() {
+    let results = run_all(&fig6::fig6c_scenarios(Durations::quick()), Some(1));
+    assert_csv_matches("fig6c", &workload::csv_table(&fig6::fig6c_table(&results)));
+}
+
+/// Observability snapshot: the full metric-name union, so any
+/// accidentally added/removed/renumbered metric shows up as a diff.
+#[test]
+fn observe_quick_matches_golden() {
+    let results = run_all(&observe::scenarios(Durations::quick()), Some(1));
+    assert_csv_matches(
+        "observe",
+        &workload::csv_table(&observe::full_table(&results)),
+    );
+}
+
+/// Chaos grid (loss × window, fault profile installed): exercises the
+/// fault plane's payload interposition — corrupt actions must
+/// copy-on-write without disturbing other holders of the same `Bytes`.
+#[test]
+fn chaos_quick_matches_golden() {
+    let results = run_all(&chaos::scenarios(Durations::quick()), Some(1));
+    assert_csv_matches("chaos", &workload::csv_table(&chaos::table(&results)));
+}

@@ -316,6 +316,9 @@ impl MetricsSource for FaultPlane {
 /// flip broke framing (the simulated CRC catches it → treated as a drop).
 fn corrupt_one_bit(rng: &mut Pcg32, pdu: &Pdu) -> Option<Pdu> {
     let wire: Bytes = pdu.encode();
+    // lint: allow(no-payload-to_vec) copy-on-write: the bit flip must not
+    // mutate the sender's retransmission buffer or any sibling view of
+    // the shared payload (DESIGN.md §12).
     let mut buf = wire.to_vec();
     if buf.is_empty() {
         return None;

@@ -152,8 +152,9 @@ impl NvmeDevice {
     }
 
     /// Submit a command. `data` must be `Some` for writes (one 4K block
-    /// per `sqe.blocks()`), `None` otherwise. The callback fires when the
-    /// CQE is reaped from the completion ring.
+    /// per `sqe.blocks()`), `None` otherwise. The payload is a refcounted
+    /// [`Bytes`] handle — the transport's buffer is shared, never copied.
+    /// The callback fires when the CQE is reaped from the completion ring.
     ///
     /// Free function over a [`Shared`] handle because completion events
     /// must re-borrow the device.
@@ -161,7 +162,7 @@ impl NvmeDevice {
         this: &Shared<NvmeDevice>,
         k: &mut Kernel,
         sqe: Sqe,
-        data: Option<Vec<u8>>,
+        data: Option<Bytes>,
         cb: impl FnOnce(&mut Kernel, IoResult) + 'static,
     ) {
         let (finish, seq) = {
@@ -245,7 +246,7 @@ impl NvmeDevice {
     }
 
     /// Perform the media access and post/reap the CQE.
-    fn execute(&mut self, sqe: Sqe, data: Option<Vec<u8>>) -> IoResult {
+    fn execute(&mut self, sqe: Sqe, data: Option<Bytes>) -> IoResult {
         let sq_head = self.sq.head();
         if self.error_rate > 0.0 && self.rng.gen_bool(self.error_rate) {
             self.stats.errors += 1;
@@ -373,7 +374,7 @@ mod tests {
             &dev,
             &mut k,
             Sqe::write(1, 1, 42, 1),
-            Some(p),
+            Some(Bytes::from(p)),
             move |k, r| {
                 assert!(r.cqe.status.is_ok());
                 NvmeDevice::submit(&d2, k, Sqe::read(2, 1, 42, 1), None, move |_, r| {
@@ -434,7 +435,7 @@ mod tests {
                 &dev,
                 &mut k,
                 Sqe::write(i, 1, u64::from(i), 1),
-                Some(vec![0; BLOCK_SIZE]),
+                Some(Bytes::from(vec![0; BLOCK_SIZE])),
                 move |k, _| {
                     rt2.borrow_mut()
                         .1

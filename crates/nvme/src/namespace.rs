@@ -8,14 +8,14 @@
 //! stack, not just timing.
 
 use crate::spec::BLOCK_SIZE;
-use std::collections::HashMap;
+use simkit::FxHashMap;
 
 /// A logical-block namespace backed by a sparse block map.
 #[derive(Debug)]
 pub struct Namespace {
     nsid: u32,
     capacity_blocks: u64,
-    blocks: HashMap<u64, Box<[u8; BLOCK_SIZE]>>,
+    blocks: FxHashMap<u64, Box<[u8; BLOCK_SIZE]>>,
 }
 
 /// Errors from namespace I/O.
@@ -39,7 +39,7 @@ impl Namespace {
         Namespace {
             nsid,
             capacity_blocks,
-            blocks: HashMap::new(),
+            blocks: FxHashMap::default(),
         }
     }
 

@@ -5,7 +5,6 @@ use crate::pdu::Priority;
 use bytes::Bytes;
 use nvme::Opcode;
 use simkit::{Kernel, SimTime};
-use std::collections::HashMap;
 
 /// Callback invoked when a request completes.
 pub type IoCallback = Box<dyn FnOnce(&mut Kernel, IoOutcome)>;
@@ -44,9 +43,14 @@ pub struct ReqCtx {
 
 /// A queue pair: a bounded set of command identifiers and the contexts of
 /// in-flight commands.
+///
+/// CIDs are dense in `0..depth`, so contexts live in a slab indexed
+/// directly by CID: begin/lookup/finish on the per-request hot path touch
+/// one slot with no hashing.
 pub struct QPair {
     free_cids: Vec<u16>,
-    outstanding: HashMap<u16, ReqCtx>,
+    outstanding: Vec<Option<ReqCtx>>,
+    inflight: usize,
     depth: usize,
     /// When set, freed CIDs are reused last (FIFO) instead of first
     /// (LIFO), maximizing the time before a CID names a new command —
@@ -59,7 +63,7 @@ impl std::fmt::Debug for QPair {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("QPair")
             .field("depth", &self.depth)
-            .field("outstanding", &self.outstanding.len())
+            .field("outstanding", &self.inflight)
             .finish()
     }
 }
@@ -70,9 +74,12 @@ impl QPair {
         assert!(depth >= 1 && depth <= u16::MAX as usize);
         // Hand out low CIDs first so traces are readable.
         let free_cids = (0..depth as u16).rev().collect();
+        let mut outstanding = Vec::with_capacity(depth);
+        outstanding.resize_with(depth, || None);
         QPair {
             free_cids,
-            outstanding: HashMap::with_capacity(depth),
+            outstanding,
+            inflight: 0,
             depth,
             fifo_recycle: false,
         }
@@ -92,7 +99,7 @@ impl QPair {
 
     /// Commands currently in flight.
     pub fn inflight(&self) -> usize {
-        self.outstanding.len()
+        self.inflight
     }
 
     /// True when another command can be issued.
@@ -104,19 +111,22 @@ impl QPair {
     /// queue pair is at depth.
     pub fn begin(&mut self, ctx: ReqCtx) -> Option<u16> {
         let cid = self.free_cids.pop()?;
-        let prev = self.outstanding.insert(cid, ctx);
-        debug_assert!(prev.is_none(), "CID {cid} double-allocated");
+        let slot = &mut self.outstanding[cid as usize];
+        debug_assert!(slot.is_none(), "CID {cid} double-allocated");
+        *slot = Some(ctx);
+        self.inflight += 1;
         Some(cid)
     }
 
     /// Look up a request context mutably (e.g. to stash C2H data).
     pub fn get_mut(&mut self, cid: u16) -> Option<&mut ReqCtx> {
-        self.outstanding.get_mut(&cid)
+        self.outstanding.get_mut(cid as usize)?.as_mut()
     }
 
     /// Complete a request: release the CID and return its context.
     pub fn finish(&mut self, cid: u16) -> Option<ReqCtx> {
-        let ctx = self.outstanding.remove(&cid)?;
+        let ctx = self.outstanding.get_mut(cid as usize)?.take()?;
+        self.inflight -= 1;
         if self.fifo_recycle {
             // `begin` pops from the back, so inserting at the front makes
             // this CID the last one to be handed out again.

@@ -12,8 +12,9 @@ use crate::PduRx;
 use bytes::Bytes;
 use fabric::{Endpoint, Network};
 use nvme::{NvmeDevice, Opcode, Sqe};
+use simkit::FxHashMap;
 use simkit::{Kernel, Metrics, MetricsSource, Resource, Shared, SimDuration, SimTime, Tracer};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 
 /// Target-side counters. `resps_tx` is the completion-notification count
 /// Figure 6(c) compares between SPDK and NVMe-oPF.
@@ -66,14 +67,14 @@ pub struct SpdkTarget {
     /// Write commands waiting for their H2C data, keyed by
     /// (initiator, CID). Lookup-only — never iterated — so HashMap
     /// order-nondeterminism cannot leak into any output.
-    pending_writes: HashMap<(u8, u16), (Sqe, Priority)>,
+    pending_writes: FxHashMap<(u8, u16), (Sqe, Priority)>,
     /// Duplicate-suppression mode for lossy fabrics (see
     /// [`SpdkTarget::set_recovery`]).
     recovery: bool,
     /// Commands accepted and not yet responded to, keyed by
     /// (initiator, CID). Membership-only — never iterated — so HashSet
     /// order-nondeterminism cannot leak into any output.
-    inflight: std::collections::HashSet<(u8, u16)>,
+    inflight: simkit::FxHashSet<(u8, u16)>,
     tracer: Tracer,
     /// Counters.
     pub stats: TargetStats,
@@ -97,9 +98,9 @@ impl SpdkTarget {
             ep,
             device,
             conns: BTreeMap::new(),
-            pending_writes: HashMap::new(),
+            pending_writes: FxHashMap::default(),
             recovery: false,
-            inflight: std::collections::HashSet::new(),
+            inflight: simkit::FxHashSet::default(),
             tracer,
             stats: TargetStats::default(),
         }
@@ -241,7 +242,7 @@ impl SpdkTarget {
         };
         let this2 = this.clone();
         k.schedule_at(finish, move |k| {
-            Self::submit_to_device(&this2, k, from, sqe, priority, Some(data.to_vec()));
+            Self::submit_to_device(&this2, k, from, sqe, priority, Some(data));
         });
     }
 
@@ -253,7 +254,7 @@ impl SpdkTarget {
         from: u8,
         sqe: Sqe,
         priority: Priority,
-        data: Option<Vec<u8>>,
+        data: Option<Bytes>,
     ) {
         let device = this.borrow().device.clone();
         {

@@ -78,22 +78,44 @@ impl CidQueue {
     /// including `cid`.
     pub fn complete_through(&mut self, cid: u16) -> CompleteResult {
         let mut done = Vec::new();
+        if self.complete_through_into(cid, &mut done) {
+            CompleteResult::Completed(done)
+        } else {
+            CompleteResult::Missing(done)
+        }
+    }
+
+    /// Allocation-free [`Self::complete_through`]: clears `out` and fills
+    /// it with the dequeued CIDs in issue order (the matching CID last
+    /// when found). Returns `true` when `cid` was found — `false` is the
+    /// [`CompleteResult::Missing`] protocol-violation case. Callers keep
+    /// `out` as a scratch buffer across drains so the steady-state hot
+    /// path never allocates (§IV-B "Zero-Copy Queues").
+    pub fn complete_through_into(&mut self, cid: u16, out: &mut Vec<u16>) -> bool {
+        out.clear();
         while let Some(c) = self.rx.pop() {
-            done.push(c);
+            out.push(c);
             if c == cid {
-                return CompleteResult::Completed(done);
+                return true;
             }
         }
-        CompleteResult::Missing(done)
+        false
     }
 
     /// Target-side drain (Algorithm 3): dequeue everything, in order.
     pub fn drain_all(&mut self) -> Vec<u16> {
         let mut out = Vec::with_capacity(self.len());
+        self.drain_all_into(&mut out);
+        out
+    }
+
+    /// Allocation-free [`Self::drain_all`]: clears `out` and fills it
+    /// with every pending CID in issue order, reusing its capacity.
+    pub fn drain_all_into(&mut self, out: &mut Vec<u16>) {
+        out.clear();
         while let Some(c) = self.rx.pop() {
             out.push(c);
         }
-        out
     }
 
     /// Dequeue the oldest pending CID.
@@ -229,6 +251,33 @@ mod tests {
             proptest::prop_assert!(r.found());
             proptest::prop_assert_eq!(q.len(), cids.len() - target_idx - 1);
             proptest::prop_assert_eq!(q.drain_all(), cids[target_idx + 1..].to_vec());
+        }
+
+        /// The scratch-buffer drain used on the hot path must agree with
+        /// the Vec-returning reference on any CID stream (duplicates
+        /// included) and any probe CID — present or missing — even when
+        /// the scratch buffer arrives dirty.
+        #[test]
+        fn scratch_matches_reference(cids in proptest::collection::vec(0u16..32, 0..64),
+                                     probe in 0u16..40,
+                                     dirt in proptest::collection::vec(proptest::prelude::any::<u16>(), 0..8)) {
+            let mut reference = CidQueue::new(64);
+            let mut scratch_q = CidQueue::new(64);
+            for &c in &cids {
+                reference.push(c).unwrap();
+                scratch_q.push(c).unwrap();
+            }
+            let expected = reference.complete_through(probe);
+            let mut out = dirt;
+            let found = scratch_q.complete_through_into(probe, &mut out);
+            proptest::prop_assert_eq!(found, expected.found());
+            proptest::prop_assert_eq!(&out[..], expected.cids());
+            proptest::prop_assert_eq!(scratch_q.len(), reference.len());
+            // And the same agreement for the full drain.
+            let expected_rest = reference.drain_all();
+            let mut rest = out; // reuse, again dirty
+            scratch_q.drain_all_into(&mut rest);
+            proptest::prop_assert_eq!(rest, expected_rest);
         }
     }
 }

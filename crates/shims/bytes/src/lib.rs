@@ -12,12 +12,15 @@ use std::sync::Arc;
 
 /// A cheaply clonable, immutable, contiguous slice of memory.
 ///
-/// Clones share one allocation (`Arc<[u8]>`), so passing payloads between
-/// simulated initiators, fabrics and targets never copies data — the
-/// zero-copy property the NVMe-oPF queues rely on.
+/// Clones share one allocation (`Arc<Vec<u8>>`), so passing payloads
+/// between simulated initiators, fabrics and targets never copies data —
+/// the zero-copy property the NVMe-oPF queues rely on. The `Vec` backing
+/// (rather than `Arc<[u8]>`) makes `From<Vec<u8>>` and
+/// [`BytesMut::freeze`] true moves, matching the real crate: a payload is
+/// allocated exactly once, where it is built.
 #[derive(Clone, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Bytes {
-    data: Arc<[u8]>,
+    data: Arc<Vec<u8>>,
 }
 
 impl Bytes {
@@ -30,14 +33,14 @@ impl Bytes {
     /// the small headers this workspace uses it on).
     pub fn from_static(data: &'static [u8]) -> Self {
         Bytes {
-            data: Arc::from(data),
+            data: Arc::new(data.to_vec()),
         }
     }
 
     /// Copy a slice into a new `Bytes`.
     pub fn copy_from_slice(data: &[u8]) -> Self {
         Bytes {
-            data: Arc::from(data),
+            data: Arc::new(data.to_vec()),
         }
     }
 
@@ -101,7 +104,9 @@ impl std::fmt::Debug for Bytes {
 
 impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Bytes {
-        Bytes { data: Arc::from(v) }
+        // A move, not a copy: the Vec's allocation becomes the shared
+        // payload buffer.
+        Bytes { data: Arc::new(v) }
     }
 }
 
@@ -119,13 +124,13 @@ impl From<BytesMut> for Bytes {
 
 impl PartialEq<[u8]> for Bytes {
     fn eq(&self, other: &[u8]) -> bool {
-        &*self.data == other
+        self.data.as_slice() == other
     }
 }
 
 impl PartialEq<Vec<u8>> for Bytes {
     fn eq(&self, other: &Vec<u8>) -> bool {
-        &*self.data == other.as_slice()
+        self.data.as_slice() == other.as_slice()
     }
 }
 
@@ -161,7 +166,7 @@ impl BytesMut {
     /// Convert into an immutable [`Bytes`] without copying.
     pub fn freeze(self) -> Bytes {
         Bytes {
-            data: Arc::from(self.data),
+            data: Arc::new(self.data),
         }
     }
 }

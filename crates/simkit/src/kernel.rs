@@ -9,14 +9,75 @@ use crate::rng::Pcg32;
 use crate::time::{SimDuration, SimTime};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+use std::mem::MaybeUninit;
 
-/// An event: a one-shot closure run with exclusive access to the kernel.
-pub type EventFn = Box<dyn FnOnce(&mut Kernel)>;
+/// Closures up to this many machine words are stored inline in their
+/// event slot; larger (or over-aligned) ones fall back to a `Box`. Sized
+/// so an [`EventSlot`] is exactly two cache lines while still covering
+/// the deepest hot-path capture (the device-completion closure: two `Rc`
+/// handles, an SQE, a payload handle and the nested completion callback),
+/// so the steady state schedules without allocating.
+const INLINE_WORDS: usize = 14;
+
+type EventData = [MaybeUninit<usize>; INLINE_WORDS];
+// SAFETY: callers must pass a pointer to storage initialized by
+// `store_event` for the erased closure type, and never use it again.
+type CallFn = unsafe fn(*mut usize, &mut Kernel);
+// SAFETY: same contract as `CallFn`; consumes the stored closure unrun.
+type DropFn = unsafe fn(*mut usize);
+
+/// One stored event closure: erased call/drop entry points plus either
+/// the closure itself (inline) or a raw `Box` pointer to it.
+///
+/// Lifecycle is manual — `EventSlot` deliberately has no `Drop` impl.
+/// A slot is *occupied* from `store_event` until exactly one of `call`
+/// (which consumes the closure) or `drop` (kernel teardown with pending
+/// events) runs; afterwards its index sits on the free list and the
+/// stale bytes are never touched again.
+#[derive(Clone, Copy)]
+struct EventSlot {
+    call: CallFn,
+    drop: DropFn,
+    data: EventData,
+}
+
+/// SAFETY contract for both fns: `data` points at storage previously
+/// initialized by `store_event` for this exact `F`, and is not used
+/// again afterwards.
+unsafe fn call_inline<F: FnOnce(&mut Kernel)>(data: *mut usize, k: &mut Kernel) {
+    // SAFETY: per the contract, `data` holds a valid `F` (inline layout
+    // was checked at store time); `read` takes ownership, so the slot is
+    // dead after this call.
+    let f = unsafe { (data as *mut F).read() };
+    f(k);
+}
+
+// SAFETY: caller upholds the shared contract above for this `F`.
+unsafe fn drop_inline<F>(data: *mut usize) {
+    // SAFETY: per the contract, `data` holds a valid `F` that will not
+    // be read again.
+    unsafe { std::ptr::drop_in_place(data as *mut F) }
+}
+
+// SAFETY: caller upholds the shared contract above for this `F`.
+unsafe fn call_boxed<F: FnOnce(&mut Kernel)>(data: *mut usize, k: &mut Kernel) {
+    // SAFETY: per the contract, the first word holds the raw pointer
+    // produced by `Box::into_raw` at store time; ownership returns to
+    // the `Box` here and the slot is dead after this call.
+    let b = unsafe { Box::from_raw((data as *mut *mut F).read()) };
+    b(k);
+}
+
+// SAFETY: caller upholds the shared contract above for this `F`.
+unsafe fn drop_boxed<F>(data: *mut usize) {
+    // SAFETY: as `call_boxed`, but the closure is dropped unrun.
+    drop(unsafe { Box::from_raw((data as *mut *mut F).read()) });
+}
 
 struct Scheduled {
     at: SimTime,
     seq: u64,
-    f: Option<EventFn>,
+    slot: u32,
 }
 
 impl PartialEq for Scheduled {
@@ -43,10 +104,17 @@ pub struct Kernel {
     now: SimTime,
     seq: u64,
     heap: BinaryHeap<Scheduled>,
+    /// Closure storage, indexed by `Scheduled::slot`; recycled through
+    /// `free_slots` so steady-state scheduling is allocation-free.
+    slots: Vec<EventSlot>,
+    free_slots: Vec<u32>,
     rng: Pcg32,
     executed: u64,
-    /// Hard stop: events scheduled past this instant are silently dropped.
+    /// Hard stop: events scheduled past this instant are dropped.
     horizon: SimTime,
+    /// Events discarded at the horizon (observability for chaos runs:
+    /// distinguishes "dropped by fault plane" from "dropped by horizon").
+    horizon_dropped: u64,
 }
 
 impl Kernel {
@@ -56,9 +124,12 @@ impl Kernel {
             now: SimTime::ZERO,
             seq: 0,
             heap: BinaryHeap::with_capacity(1024),
+            slots: Vec::with_capacity(1024),
+            free_slots: Vec::with_capacity(1024),
             rng: Pcg32::new(seed),
             executed: 0,
             horizon: SimTime::MAX,
+            horizon_dropped: 0,
         }
     }
 
@@ -94,20 +165,59 @@ impl Kernel {
         self.horizon = horizon;
     }
 
+    /// Events discarded because they were scheduled past the horizon.
+    #[inline]
+    pub fn horizon_dropped(&self) -> u64 {
+        self.horizon_dropped
+    }
+
+    /// Stash `f` in a slot (inline when it fits, boxed otherwise) and
+    /// return the slot index.
+    fn store_event<F: FnOnce(&mut Kernel) + 'static>(&mut self, f: F) -> u32 {
+        let mut data: EventData = [MaybeUninit::uninit(); INLINE_WORDS];
+        let (call, drop): (CallFn, DropFn) = if std::mem::size_of::<F>()
+            <= std::mem::size_of::<EventData>()
+            && std::mem::align_of::<F>() <= std::mem::align_of::<usize>()
+        {
+            // SAFETY: just checked that `F` fits in the inline words and
+            // needs no stronger alignment than them; the slot stays
+            // untouched until `call_inline`/`drop_inline` consumes it.
+            unsafe { (data.as_mut_ptr() as *mut F).write(f) };
+            (call_inline::<F>, drop_inline::<F>)
+        } else {
+            let raw = Box::into_raw(Box::new(f));
+            // SAFETY: a thin pointer always fits in the first inline
+            // word; ownership transfers to `call_boxed`/`drop_boxed`.
+            unsafe { (data.as_mut_ptr() as *mut *mut F).write(raw) };
+            (call_boxed::<F>, drop_boxed::<F>)
+        };
+        let slot = EventSlot { call, drop, data };
+        match self.free_slots.pop() {
+            Some(i) => {
+                // The previous occupant was consumed when the slot was
+                // freed; plain overwrite (EventSlot has no Drop).
+                self.slots[i as usize] = slot;
+                i
+            }
+            None => {
+                self.slots.push(slot);
+                (self.slots.len() - 1) as u32
+            }
+        }
+    }
+
     /// Schedule `f` to run at absolute time `at` (clamped to `now` if in
     /// the past, which models "immediately, after the current event").
     pub fn schedule_at(&mut self, at: SimTime, f: impl FnOnce(&mut Kernel) + 'static) {
         let at = at.max(self.now);
         if at > self.horizon {
+            self.horizon_dropped += 1;
             return;
         }
         let seq = self.seq;
         self.seq += 1;
-        self.heap.push(Scheduled {
-            at,
-            seq,
-            f: Some(Box::new(f)),
-        });
+        let slot = self.store_event(f);
+        self.heap.push(Scheduled { at, seq, slot });
     }
 
     /// Schedule `f` to run `delay` after now.
@@ -126,12 +236,18 @@ impl Kernel {
     /// queue is empty.
     pub fn step(&mut self) -> bool {
         match self.heap.pop() {
-            Some(mut ev) => {
+            Some(ev) => {
                 debug_assert!(ev.at >= self.now, "time went backwards");
                 self.now = ev.at;
                 self.executed += 1;
-                let f = ev.f.take().expect("event fired twice");
-                f(self);
+                // Copy the slot out (plain words) and free it *before*
+                // running, so the closure can schedule into it.
+                let mut slot = self.slots[ev.slot as usize];
+                self.free_slots.push(ev.slot);
+                // SAFETY: the slot was occupied (its index came off the
+                // heap, which holds each stored index exactly once) and
+                // is consumed exactly here.
+                unsafe { (slot.call)(slot.data.as_mut_ptr() as *mut usize, self) };
                 true
             }
             None => false,
@@ -154,6 +270,19 @@ impl Kernel {
             self.step();
         }
         self.now = self.now.max(until);
+    }
+}
+
+impl Drop for Kernel {
+    fn drop(&mut self) {
+        // Release closures still pending (e.g. after `run_until`): each
+        // occupied slot is named exactly once by a heap entry.
+        for ev in self.heap.drain() {
+            let mut slot = self.slots[ev.slot as usize];
+            // SAFETY: the slot is occupied (see above) and this is its
+            // single consumption.
+            unsafe { (slot.drop)(slot.data.as_mut_ptr() as *mut usize) };
+        }
     }
 }
 
@@ -248,7 +377,7 @@ mod tests {
     }
 
     #[test]
-    fn horizon_drops_late_events() {
+    fn horizon_drops_late_events_and_counts_them() {
         let fired = Rc::new(RefCell::new(0u32));
         let mut k = Kernel::new(0);
         k.set_horizon(SimTime::from_micros(10));
@@ -258,6 +387,73 @@ mod tests {
         k.schedule_at(SimTime::from_micros(50), move |_| *f.borrow_mut() += 1);
         k.run_to_completion();
         assert_eq!(*fired.borrow(), 1);
+        // The loss is observable, not silent.
+        assert_eq!(k.horizon_dropped(), 1);
+        // A dropped closure's captures are released immediately.
+        assert_eq!(Rc::strong_count(&fired), 1);
+    }
+
+    #[test]
+    fn large_closures_take_the_boxed_path() {
+        // Captures well past INLINE_WORDS force the Box fallback; the
+        // event must still run exactly once with its payload intact.
+        let big = [7u64; 32];
+        let out = Rc::new(RefCell::new(0u64));
+        let o = out.clone();
+        let mut k = Kernel::new(0);
+        k.schedule_at(SimTime::from_micros(1), move |_| {
+            *o.borrow_mut() = big.iter().sum();
+        });
+        k.run_to_completion();
+        assert_eq!(*out.borrow(), 7 * 32);
+        assert_eq!(k.events_executed(), 1);
+    }
+
+    #[test]
+    fn pending_events_release_captures_on_kernel_drop() {
+        // Both inline and boxed pending closures must be dropped (not
+        // leaked, not run) when the kernel is torn down mid-run.
+        let token = Rc::new(());
+        {
+            let mut k = Kernel::new(0);
+            let t = token.clone();
+            k.schedule_at(SimTime::from_micros(5), move |_| drop(t));
+            let t = token.clone();
+            let big = [0u64; 32];
+            k.schedule_at(SimTime::from_micros(6), move |_| {
+                std::hint::black_box(big);
+                drop(t);
+            });
+            k.run_until(SimTime::from_micros(1));
+            assert_eq!(Rc::strong_count(&token), 3);
+        }
+        assert_eq!(Rc::strong_count(&token), 1);
+    }
+
+    #[test]
+    fn slot_recycling_survives_reentrant_scheduling() {
+        // An event that schedules from inside its own execution reuses
+        // the slot just freed; exercise a deep chain to churn the free
+        // list in both inline and boxed flavours.
+        let count = Rc::new(RefCell::new(0u32));
+        let mut k = Kernel::new(0);
+        fn chain(k: &mut Kernel, count: Rc<RefCell<u32>>, left: u32) {
+            if left == 0 {
+                return;
+            }
+            let big = [left as u64; 16];
+            k.schedule_in(SimDuration::from_nanos(1), move |k| {
+                std::hint::black_box(big);
+                *count.borrow_mut() += 1;
+                chain(k, count.clone(), left - 1);
+            });
+            // An inline-sized sibling at the same instant.
+            k.schedule_in(SimDuration::from_nanos(1), |_| {});
+        }
+        chain(&mut k, count.clone(), 64);
+        k.run_to_completion();
+        assert_eq!(*count.borrow(), 64);
+        assert_eq!(k.events_executed(), 128);
     }
 
     #[test]

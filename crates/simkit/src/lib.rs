@@ -25,6 +25,7 @@
 //! assert_eq!(k.now().as_micros(), 5);
 //! ```
 
+pub mod fxhash;
 pub mod kernel;
 pub mod metrics;
 pub mod resource;
@@ -32,7 +33,8 @@ pub mod rng;
 pub mod time;
 pub mod trace;
 
-pub use kernel::{EventFn, Kernel};
+pub use fxhash::{FxHashMap, FxHashSet, FxHasher};
+pub use kernel::Kernel;
 pub use metrics::{Metrics, MetricsSource};
 pub use resource::Resource;
 pub use rng::Pcg32;

@@ -754,6 +754,11 @@ pub fn run(sc: &Scenario) -> RunResult {
     // runs keep their exact pre-faults metric key set.
     if let Some(p) = &plane {
         metrics.merge("faults.", &p.borrow().metrics(now));
+        // Events refused past the (settle-extended) horizon. Gated with
+        // the fault counters: the horizon exists on every run, but only
+        // fault timers can realistically outlive it, and an
+        // unconditional key would change the fault-free metric union.
+        metrics.set("kernel.horizon_dropped", k.horizon_dropped() as f64);
         let (mut retries, mut exhausted, mut redrains, mut dups) = (0u64, 0u64, 0u64, 0u64);
         let (mut offered, mut goodput) = (0u64, 0u64);
         for (_, ini) in &ini_handles {
