@@ -6,14 +6,15 @@
 //! ```
 
 use experiments::{
-    ablate, breakdown, chaos, fig6, fig7, fig8, fig9, iosize, observe, openloop, table1, transport,
-    Durations,
+    ablate, breakdown, chaos, fig6, fig7, fig8, fig9, iosize, observe, openloop, scale, table1,
+    transport, Durations,
 };
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro [--quick] [--threads N] <artifact>...\n\
-         artifacts: table1 fig6a fig6b fig6c fig7 fig8 fig9 ablate iosize openloop transport breakdown observe chaos all"
+        "usage: repro [--quick] [--threads N] [--shards N] <artifact>...\n\
+         artifacts: table1 fig6a fig6b fig6c fig7 fig8 fig9 ablate iosize openloop transport breakdown observe chaos scale all\n\
+         --shards N runs every scenario on N kernel shards (results are bit-identical for any N)"
     );
     std::process::exit(2);
 }
@@ -21,6 +22,7 @@ fn usage() -> ! {
 fn main() {
     let mut quick = false;
     let mut threads: Option<usize> = None;
+    let mut shards: usize = 1;
     let mut artifacts: Vec<String> = Vec::new();
 
     let mut args = std::env::args().skip(1);
@@ -30,6 +32,13 @@ fn main() {
             "--threads" => {
                 let n = args.next().unwrap_or_else(|| usage());
                 threads = Some(n.parse().unwrap_or_else(|_| usage()));
+            }
+            "--shards" => {
+                let n = args.next().unwrap_or_else(|| usage());
+                shards = n.parse().unwrap_or_else(|_| usage());
+                if shards == 0 {
+                    usage();
+                }
             }
             "--help" | "-h" => usage(),
             other if other.starts_with('-') => usage(),
@@ -43,7 +52,8 @@ fn main() {
         Durations::quick()
     } else {
         Durations::full()
-    };
+    }
+    .with_shards(shards);
 
     let start = simkit::Stopwatch::start();
     for artifact in &artifacts {
@@ -67,6 +77,7 @@ fn main() {
             "breakdown" => breakdown::all(d, threads),
             "observe" => observe::all(d, threads),
             "chaos" => chaos::all(d, threads),
+            "scale" => scale::all(d, threads, quick),
             "all" => {
                 table1::print();
                 fig6::fig6a(d, threads);

@@ -16,6 +16,7 @@
 //! | [`breakdown`] | extension: target-side latency phase breakdown     |
 //! | [`observe`] | extension: unified metrics snapshot, SPDK vs oPF     |
 //! | [`chaos`]  | extension: fault injection — loss × window degradation |
+//! | [`scale`]  | extension: tenants × shards on the multi-reactor target |
 //!
 //! The `repro` binary drives them; results print as aligned tables and
 //! are written as CSV under `results/`.
@@ -30,6 +31,7 @@ pub mod fig9;
 pub mod iosize;
 pub mod observe;
 pub mod openloop;
+pub mod scale;
 pub mod sweep;
 pub mod table1;
 pub mod transport;
@@ -75,6 +77,10 @@ pub struct Durations {
     pub warmup_s: f64,
     /// Measured seconds.
     pub measure_s: f64,
+    /// Kernel shard / target reactor count applied to every scenario
+    /// (`repro --shards N`). Results are bit-identical for any value
+    /// (DESIGN.md §13); the knob exercises the sharded machinery.
+    pub shards: usize,
 }
 
 impl Durations {
@@ -83,6 +89,7 @@ impl Durations {
         Durations {
             warmup_s: 0.25,
             measure_s: 1.0,
+            shards: 1,
         }
     }
 
@@ -91,13 +98,20 @@ impl Durations {
         Durations {
             warmup_s: 0.05,
             measure_s: 0.15,
+            shards: 1,
         }
+    }
+
+    /// Same durations, different shard count.
+    pub fn with_shards(self, shards: usize) -> Self {
+        Durations { shards, ..self }
     }
 
     /// Apply to a scenario.
     pub fn apply(&self, sc: &mut workload::Scenario) {
         sc.warmup_s = self.warmup_s;
         sc.measure_s = self.measure_s;
+        sc.shards = self.shards;
     }
 }
 

@@ -64,6 +64,10 @@ pub struct SpdkTarget {
     /// per-tenant metrics, as in `OpfTarget`) is deterministic by
     /// construction.
     conns: BTreeMap<u8, Conn>,
+    /// Kernel shard hosting each connected initiator (see
+    /// [`SpdkTarget::connect_on`]). Deliveries to a tenant run on its
+    /// lane so the sharded kernel keeps per-tenant event chains local.
+    lane_of: BTreeMap<u8, u32>,
     /// Write commands waiting for their H2C data, keyed by
     /// (initiator, CID). Lookup-only — never iterated — so HashMap
     /// order-nondeterminism cannot leak into any output.
@@ -98,6 +102,7 @@ impl SpdkTarget {
             ep,
             device,
             conns: BTreeMap::new(),
+            lane_of: BTreeMap::new(),
             pending_writes: FxHashMap::default(),
             recovery: false,
             inflight: simkit::FxHashSet::default(),
@@ -115,8 +120,17 @@ impl SpdkTarget {
     }
 
     /// Register an initiator connection: its fabric endpoint and the
-    /// closure that delivers PDUs to it.
+    /// closure that delivers PDUs to it. Hosted on kernel shard 0.
     pub fn connect(&mut self, initiator: u8, ep: Shared<Endpoint>, rx: PduRx) {
+        self.connect_on(initiator, ep, rx, 0);
+    }
+
+    /// Register an initiator connection hosted on kernel shard `shard`:
+    /// PDU deliveries back to the initiator are scheduled on its lane,
+    /// keeping each tenant's event chain on its own shard even though
+    /// the baseline target itself is a single reactor.
+    pub fn connect_on(&mut self, initiator: u8, ep: Shared<Endpoint>, rx: PduRx, shard: u32) {
+        self.lane_of.insert(initiator, shard);
         let prev = self.conns.insert(initiator, Conn { ep, rx });
         assert!(prev.is_none(), "initiator {initiator} connected twice");
     }
@@ -322,15 +336,19 @@ impl SpdkTarget {
         });
     }
 
-    /// Transmit a PDU to initiator `from` over the fabric.
+    /// Transmit a PDU to initiator `from` over the fabric. The delivery
+    /// event is scheduled on the recipient's kernel lane.
     pub(crate) fn send_to(&mut self, k: &mut Kernel, to: u8, pdu: Pdu) {
         // lint: allow(no-panic) internal invariant: we only send to
         // initiators registered via `connect`.
         let conn = self.conns.get(&to).expect("send to unknown initiator");
         let rx = conn.rx.clone();
         let bytes = pdu.wire_len();
-        self.net
-            .send(k, &self.ep, &conn.ep, bytes, move |k| rx(k, pdu));
+        let lane = self.lane_of.get(&to).copied().unwrap_or(0);
+        k.with_shard(lane, |k| {
+            self.net
+                .send(k, &self.ep, &conn.ep, bytes, move |k| rx(k, pdu))
+        });
     }
 }
 

@@ -14,6 +14,9 @@
 //!   the request or its payload, so space cost is independent of I/O size.
 //!   It also implements the initiator-side in-order completion marking of
 //!   Algorithm 2 (§IV-C out-of-order handling).
+//! * [`mailbox`] — the cross-shard mailbox of the multi-reactor target
+//!   (DESIGN.md §13): the SPSC ring plus a batch doorbell, used for the
+//!   rare shared paths (admin, device submission) between reactors.
 //! * [`mpsc`] — an unbounded multi-producer/single-consumer queue used
 //!   only by the *shared-queue ablation*, which demonstrates the problem
 //!   (early drains, cross-tenant interference) that per-initiator queues
@@ -26,11 +29,13 @@
 //! leaked nodes (`cargo test -p analysis`).
 
 pub mod cid;
+pub mod mailbox;
 pub mod mpsc;
 pub mod spsc;
 pub mod sync;
 
 pub use cid::{CidQueue, CompleteResult};
+pub use mailbox::{mailbox, MailboxRx, MailboxTx};
 pub use mpsc::{channel as mpsc_channel, MpscQueue, MpscReceiver, MpscSender};
 pub use spsc::{spsc_channel, Consumer, Producer};
 

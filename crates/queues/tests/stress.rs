@@ -12,6 +12,17 @@ use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::thread;
 
+/// Producer thread count, sized to the machine: `available_parallelism`
+/// clamped to [2, 8]. A fixed count starves interleavings on single-core
+/// CI runners (every producer just runs to completion between yields)
+/// and oversubscribes small ones; the total operation count stays fixed
+/// regardless, so the test budget does not scale with core count.
+fn producers() -> u64 {
+    std::thread::available_parallelism()
+        .map_or(2, |n| n.get() as u64)
+        .clamp(2, 8)
+}
+
 /// Tiny deterministic PRNG (xorshift64*): no external deps, stable
 /// across platforms, seeded per test.
 struct Rng(u64);
@@ -96,17 +107,18 @@ fn spsc_stress_wraparound_small_capacity() {
 
 #[test]
 fn mpsc_stress_per_producer_fifo_no_loss() {
-    const PRODUCERS: u64 = 4;
-    const PER_PRODUCER: u64 = 10_000;
+    const TOTAL_OPS: u64 = 40_000;
+    let producers = producers();
+    let per_producer = TOTAL_OPS / producers;
     let (tx, mut rx) = mpsc_channel::<u64>();
 
     let mut handles = Vec::new();
-    for p in 0..PRODUCERS {
+    for p in 0..producers {
         let tx = tx.clone();
         handles.push(thread::spawn(move || {
             let mut rng = Rng::new(0xBAD5EED ^ p);
-            for i in 0..PER_PRODUCER {
-                tx.send(p * PER_PRODUCER + i);
+            for i in 0..per_producer {
+                tx.send(p * per_producer + i);
                 // Jittered pacing varies the interleavings across runs of
                 // the deterministic schedule-free hardware race.
                 if rng.next().is_multiple_of(64) {
@@ -117,12 +129,12 @@ fn mpsc_stress_per_producer_fifo_no_loss() {
     }
     drop(tx);
 
-    let mut last_seen = [None::<u64>; PRODUCERS as usize];
+    let mut last_seen = vec![None::<u64>; producers as usize];
     let mut received = 0u64;
-    while received < PRODUCERS * PER_PRODUCER {
+    while received < producers * per_producer {
         if let Some(v) = rx.recv() {
-            let p = (v / PER_PRODUCER) as usize;
-            let seq = v % PER_PRODUCER;
+            let p = (v / per_producer) as usize;
+            let seq = v % per_producer;
             if let Some(prev) = last_seen[p] {
                 assert!(seq > prev, "producer {p} reordered: {prev} then {seq}");
             }
@@ -137,7 +149,7 @@ fn mpsc_stress_per_producer_fifo_no_loss() {
     }
     assert!(rx.recv().is_none(), "no phantom elements after drain");
     for (p, last) in last_seen.iter().enumerate() {
-        assert_eq!(last, &Some(PER_PRODUCER - 1), "producer {p} lost tail");
+        assert_eq!(last, &Some(per_producer - 1), "producer {p} lost tail");
     }
 }
 
@@ -154,17 +166,18 @@ fn mpsc_stress_drop_mid_stream_frees_everything() {
         }
     }
 
-    const PRODUCERS: usize = 4;
-    const PER_PRODUCER: u64 = 5_000;
+    const TOTAL_OPS: u64 = 20_000;
+    let producers = producers();
+    let per_producer = TOTAL_OPS / producers;
     let drops = Arc::new(std::sync::atomic::AtomicU64::new(0));
     let (tx, mut rx) = mpsc_channel::<Counted>();
 
     let mut handles = Vec::new();
-    for _ in 0..PRODUCERS {
+    for _ in 0..producers {
         let tx = tx.clone();
         let drops = drops.clone();
         handles.push(thread::spawn(move || {
-            for _ in 0..PER_PRODUCER {
+            for _ in 0..per_producer {
                 tx.send(Counted(drops.clone()));
             }
         }));
@@ -173,7 +186,7 @@ fn mpsc_stress_drop_mid_stream_frees_everything() {
 
     // Consume roughly half, then drop the receiver with the rest queued.
     let mut consumed = 0u64;
-    while consumed < PRODUCERS as u64 * PER_PRODUCER / 2 {
+    while consumed < producers * per_producer / 2 {
         if rx.recv().is_some() {
             consumed += 1;
         } else {
@@ -186,7 +199,7 @@ fn mpsc_stress_drop_mid_stream_frees_everything() {
     drop(rx);
     assert_eq!(
         drops.load(Ordering::Relaxed),
-        PRODUCERS as u64 * PER_PRODUCER,
+        producers * per_producer,
         "every sent value must be dropped exactly once"
     );
 }

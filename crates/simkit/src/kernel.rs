@@ -4,6 +4,27 @@
 //! monotone sequence number breaks ties), which makes every simulation a
 //! total deterministic order — a requirement for comparing the SPDK
 //! baseline against NVMe-oPF without measurement noise.
+//!
+//! # Shards
+//!
+//! The kernel can be partitioned into N logical *shards* (lanes): each
+//! shard owns its own event heap, and every component (tenant, reactor)
+//! is pinned to one shard. Events inherit the shard of the event that
+//! scheduled them, so a tenant's whole causal chain stays on its lane;
+//! [`Kernel::schedule_at_on`] and [`Kernel::with_shard`] move work
+//! across lanes explicitly (and are counted, so cross-shard traffic is
+//! observable).
+//!
+//! The merge rule makes shard count *unobservable in results*: every
+//! event carries a globally monotone sequence stamp assigned at schedule
+//! time, each lane's stream is sorted by `(time, seq)`, and `step()`
+//! pops the lane whose head has the smallest `(time, seq)`. Because the
+//! stamp is globally unique, this k-way merge reproduces the serial
+//! kernel's total order *bit-identically for any shard count* — the
+//! (time, shard, seq) decomposition is pure bookkeeping. That invariant
+//! is what lets the multi-reactor target refactor land without
+//! disturbing a single golden artifact; it is enforced end-to-end by
+//! the shard-differential test suite (DESIGN.md §13).
 
 use crate::rng::Pcg32;
 use crate::time::{SimDuration, SimTime};
@@ -102,8 +123,20 @@ impl Ord for Scheduled {
 /// Discrete-event simulation kernel.
 pub struct Kernel {
     now: SimTime,
+    /// Globally monotone schedule stamp shared by every lane: the merge
+    /// key `(at, seq)` therefore totally orders events identically to a
+    /// single serial heap, whatever the shard count.
     seq: u64,
-    heap: BinaryHeap<Scheduled>,
+    /// Per-shard event heaps ("lanes"); `lanes.len() == 1` is the serial
+    /// kernel.
+    lanes: Vec<BinaryHeap<Scheduled>>,
+    /// Events executed per lane (ownership accounting for the scale
+    /// experiment; invisible to default metrics).
+    lane_executed: Vec<u64>,
+    /// Shard of the event currently executing; new events inherit it.
+    current_shard: u32,
+    /// Events explicitly placed on a lane other than the scheduler's.
+    cross_shard_scheduled: u64,
     /// Closure storage, indexed by `Scheduled::slot`; recycled through
     /// `free_slots` so steady-state scheduling is allocation-free.
     slots: Vec<EventSlot>,
@@ -120,10 +153,23 @@ pub struct Kernel {
 impl Kernel {
     /// Create a kernel with the given RNG seed and no horizon.
     pub fn new(seed: u64) -> Self {
+        Self::with_shards(seed, 1)
+    }
+
+    /// Create a kernel partitioned into `shards` logical lanes (clamped
+    /// to at least one). Shard count never changes simulation results —
+    /// see the module docs for the merge rule that guarantees it.
+    pub fn with_shards(seed: u64, shards: usize) -> Self {
+        let shards = shards.max(1);
         Kernel {
             now: SimTime::ZERO,
             seq: 0,
-            heap: BinaryHeap::with_capacity(1024),
+            lanes: (0..shards)
+                .map(|_| BinaryHeap::with_capacity(1024 / shards.min(8)))
+                .collect(),
+            lane_executed: vec![0; shards],
+            current_shard: 0,
+            cross_shard_scheduled: 0,
             slots: Vec::with_capacity(1024),
             free_slots: Vec::with_capacity(1024),
             rng: Pcg32::new(seed),
@@ -131,6 +177,44 @@ impl Kernel {
             horizon: SimTime::MAX,
             horizon_dropped: 0,
         }
+    }
+
+    /// Number of logical shards (always ≥ 1).
+    #[inline]
+    pub fn shards(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// Shard of the event currently executing (0 outside any event).
+    #[inline]
+    pub fn current_shard(&self) -> u32 {
+        self.current_shard
+    }
+
+    /// Events executed on `shard` so far.
+    #[inline]
+    pub fn shard_executed(&self, shard: u32) -> u64 {
+        self.lane_executed[shard as usize]
+    }
+
+    /// Events that were explicitly scheduled onto a lane other than the
+    /// one their scheduler was running on.
+    #[inline]
+    pub fn cross_shard_scheduled(&self) -> u64 {
+        self.cross_shard_scheduled
+    }
+
+    /// Run `f` with the current-shard context set to `shard`, restoring
+    /// the previous context afterwards. Models a synchronous handoff to
+    /// another reactor (e.g. a mailbox drain): everything `f` schedules
+    /// lands on `shard`'s lane.
+    pub fn with_shard<R>(&mut self, shard: u32, f: impl FnOnce(&mut Kernel) -> R) -> R {
+        debug_assert!((shard as usize) < self.lanes.len(), "shard out of range");
+        let prev = self.current_shard;
+        self.current_shard = shard;
+        let r = f(self);
+        self.current_shard = prev;
+        r
     }
 
     /// Current virtual time.
@@ -145,10 +229,10 @@ impl Kernel {
         self.executed
     }
 
-    /// Number of events currently pending.
+    /// Number of events currently pending (across all shards).
     #[inline]
     pub fn events_pending(&self) -> usize {
-        self.heap.len()
+        self.lanes.iter().map(BinaryHeap::len).sum()
     }
 
     /// The kernel RNG. Components should usually [`fork`](Pcg32::fork)
@@ -208,16 +292,34 @@ impl Kernel {
 
     /// Schedule `f` to run at absolute time `at` (clamped to `now` if in
     /// the past, which models "immediately, after the current event").
+    /// The event lands on the scheduler's own lane.
     pub fn schedule_at(&mut self, at: SimTime, f: impl FnOnce(&mut Kernel) + 'static) {
+        let shard = self.current_shard;
+        self.schedule_at_on(shard, at, f);
+    }
+
+    /// Schedule `f` at `at` on an explicit shard lane. The global stamp
+    /// keeps the merged order independent of lane placement; this only
+    /// affects ownership accounting and which reactor "runs" the event.
+    pub fn schedule_at_on(
+        &mut self,
+        shard: u32,
+        at: SimTime,
+        f: impl FnOnce(&mut Kernel) + 'static,
+    ) {
+        debug_assert!((shard as usize) < self.lanes.len(), "shard out of range");
         let at = at.max(self.now);
         if at > self.horizon {
             self.horizon_dropped += 1;
             return;
         }
+        if shard != self.current_shard {
+            self.cross_shard_scheduled += 1;
+        }
         let seq = self.seq;
         self.seq += 1;
         let slot = self.store_event(f);
-        self.heap.push(Scheduled { at, seq, slot });
+        self.lanes[shard as usize].push(Scheduled { at, seq, slot });
     }
 
     /// Schedule `f` to run `delay` after now.
@@ -232,14 +334,41 @@ impl Kernel {
         self.schedule_at(self.now, f);
     }
 
+    /// Index of the lane whose head event has the smallest `(at, seq)`,
+    /// or `None` when every lane is empty. This is the deterministic
+    /// k-way merge: seq stamps are globally unique, so the winner is the
+    /// exact event a serial single-heap kernel would pop next.
+    #[inline]
+    fn merge_lane(&self) -> Option<(usize, SimTime)> {
+        if self.lanes.len() == 1 {
+            // Serial fast path: no merge scan on the hot path.
+            return self.lanes[0].peek().map(|head| (0, head.at));
+        }
+        let mut best: Option<(SimTime, u64, usize)> = None;
+        for (i, lane) in self.lanes.iter().enumerate() {
+            if let Some(head) = lane.peek() {
+                let key = (head.at, head.seq, i);
+                if best.is_none_or(|b| key < b) {
+                    best = Some(key);
+                }
+            }
+        }
+        best.map(|(at, _, i)| (i, at))
+    }
+
     /// Execute a single event if one is pending. Returns `false` when the
     /// queue is empty.
     pub fn step(&mut self) -> bool {
-        match self.heap.pop() {
+        let Some((lane, _)) = self.merge_lane() else {
+            return false;
+        };
+        match self.lanes[lane].pop() {
             Some(ev) => {
                 debug_assert!(ev.at >= self.now, "time went backwards");
                 self.now = ev.at;
                 self.executed += 1;
+                self.lane_executed[lane] += 1;
+                self.current_shard = lane as u32;
                 // Copy the slot out (plain words) and free it *before*
                 // running, so the closure can schedule into it.
                 let mut slot = self.slots[ev.slot as usize];
@@ -263,8 +392,8 @@ impl Kernel {
     /// at `until`) or the queue drains. The clock is advanced to `until`
     /// even if the queue drained earlier.
     pub fn run_until(&mut self, until: SimTime) {
-        while let Some(head) = self.heap.peek() {
-            if head.at > until {
+        while let Some((_, at)) = self.merge_lane() {
+            if at > until {
                 break;
             }
             self.step();
@@ -277,11 +406,13 @@ impl Drop for Kernel {
     fn drop(&mut self) {
         // Release closures still pending (e.g. after `run_until`): each
         // occupied slot is named exactly once by a heap entry.
-        for ev in self.heap.drain() {
-            let mut slot = self.slots[ev.slot as usize];
-            // SAFETY: the slot is occupied (see above) and this is its
-            // single consumption.
-            unsafe { (slot.drop)(slot.data.as_mut_ptr() as *mut usize) };
+        for lane in &mut self.lanes {
+            for ev in lane.drain() {
+                let mut slot = self.slots[ev.slot as usize];
+                // SAFETY: the slot is occupied (see above) and this is
+                // its single consumption.
+                unsafe { (slot.drop)(slot.data.as_mut_ptr() as *mut usize) };
+            }
         }
     }
 }
@@ -469,6 +600,76 @@ mod tests {
         });
         k.run_to_completion();
         assert_eq!(*order.borrow(), vec!["outer", "outer-end", "deferred"]);
+    }
+
+    /// The tentpole invariant: any shard count replays the serial
+    /// kernel's total order bit-identically, including same-instant ties
+    /// and nested scheduling across lanes.
+    #[test]
+    fn sharded_merge_matches_serial_order() {
+        fn run(shards: usize) -> Vec<(u64, u64)> {
+            let order = Rc::new(RefCell::new(Vec::new()));
+            let mut k = Kernel::with_shards(9, shards);
+            let n = shards as u64;
+            for i in 0..40u64 {
+                let order = order.clone();
+                let lane = (i % n.max(1)) as u32 % k.shards() as u32;
+                // Deliberate tie storms: only 5 distinct timestamps.
+                k.schedule_at_on(lane, SimTime::from_micros(i % 5), move |k| {
+                    order.borrow_mut().push((i, k.now().as_micros()));
+                    if i < 8 {
+                        // Nested: child inherits the lane, same instant.
+                        let order = order.clone();
+                        k.defer(move |k| {
+                            order.borrow_mut().push((100 + i, k.now().as_micros()));
+                        });
+                    }
+                });
+            }
+            k.run_to_completion();
+            Rc::try_unwrap(order).unwrap().into_inner()
+        }
+        let serial = run(1);
+        for shards in [2, 3, 4, 8] {
+            assert_eq!(run(shards), serial, "shards={shards} diverged from serial");
+        }
+    }
+
+    #[test]
+    fn events_inherit_and_with_shard_overrides_lane() {
+        let lanes = Rc::new(RefCell::new(Vec::new()));
+        let mut k = Kernel::with_shards(0, 4);
+        let l = lanes.clone();
+        k.schedule_at_on(2, SimTime::from_micros(1), move |k| {
+            l.borrow_mut().push(k.current_shard());
+            let l2 = l.clone();
+            // Inherits lane 2.
+            k.defer(move |k| l2.borrow_mut().push(k.current_shard()));
+            let l3 = l.clone();
+            // Synchronous handoff: nested schedules land on lane 3.
+            k.with_shard(3, |k| {
+                k.defer(move |k| l3.borrow_mut().push(k.current_shard()));
+            });
+            assert_eq!(k.current_shard(), 2, "context restored after with_shard");
+        });
+        k.run_to_completion();
+        assert_eq!(*lanes.borrow(), vec![2, 2, 3]);
+        // Only the explicit setup placement counts: inside `with_shard`
+        // the context IS the target lane, so nested schedules are local.
+        assert_eq!(k.cross_shard_scheduled(), 1);
+    }
+
+    #[test]
+    fn per_shard_executed_counters_sum_to_total() {
+        let mut k = Kernel::with_shards(0, 3);
+        for i in 0..9u64 {
+            k.schedule_at_on((i % 3) as u32, SimTime::from_micros(i), |_| {});
+        }
+        k.run_to_completion();
+        assert_eq!(k.events_executed(), 9);
+        let per: u64 = (0..3).map(|s| k.shard_executed(s)).sum();
+        assert_eq!(per, 9);
+        assert_eq!(k.shard_executed(0), 3);
     }
 
     #[test]

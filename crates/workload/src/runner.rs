@@ -41,6 +41,13 @@ pub struct RunResult {
     pub reactor_util: f64,
     /// Simulation events executed (cost accounting).
     pub events: u64,
+    /// Events scheduled across kernel shard lanes (0 with one shard).
+    /// Bookkeeping, not a metric: proves the sharded routing actually
+    /// engaged while results stay shard-invariant.
+    pub cross_shard_events: u64,
+    /// Device submissions that crossed target reactors via the mailbox
+    /// (NVMe-oPF targets only; 0 with one shard).
+    pub cross_reactor_submits: u64,
     /// Unified whole-cluster snapshot: the scalar fields above plus every
     /// component's [`MetricsSource`] counters, prefixed by component
     /// (`pair0.tgt.*`, `pair0.dev.*`, `ini3.*`, …).
@@ -392,7 +399,11 @@ pub fn build_pair_traced(
 /// Run one scenario to completion and collect its metrics.
 pub fn run(sc: &Scenario) -> RunResult {
     let speed: Gbps = sc.speed.into();
-    let mut k = Kernel::new(sc.seed);
+    // Shard the kernel; tenants are assigned to lanes round-robin below.
+    // The merge is bit-identical to the serial kernel for any shard
+    // count (see `simkit::Kernel`), so `shards` never changes results.
+    let shards = sc.shards.max(1);
+    let mut k = Kernel::with_shards(sc.seed, shards);
     let net = Network::new(FabricConfig::preset(speed));
     // Table I: the 10/25 Gbps testbed (Chameleon Cloud) has slower CPUs
     // and a larger SSD than the 100 Gbps one (CloudLab).
@@ -525,6 +536,10 @@ pub fn run(sc: &Scenario) -> RunResult {
                 ReqClass::ThroughputCritical => sc.tc_qd,
             };
             let global_idx = (pair * per_node + slot) as u64;
+            // Round-robin shard (reactor) assignment: the tenant's whole
+            // event chain — issue loop, deliveries, its reactor's queue
+            // work — runs on this lane.
+            let lane = (global_idx % shards as u64) as u32;
             if sc.faults.as_ref().is_some_and(|p| p.keepalive.is_some()) && ka_eps.is_none() {
                 ka_eps = Some((tep.clone(), iep.clone()));
             }
@@ -556,7 +571,7 @@ pub fn run(sc: &Scenario) -> RunResult {
                         None => rx,
                     };
                     match &target {
-                        AnyTarget::Spdk(t) => t.borrow_mut().connect(id, iep.clone(), rx),
+                        AnyTarget::Spdk(t) => t.borrow_mut().connect_on(id, iep.clone(), rx, lane),
                         AnyTarget::Opf(_) => unreachable!(),
                     }
                     AnyInitiator::Spdk(i)
@@ -586,7 +601,7 @@ pub fn run(sc: &Scenario) -> RunResult {
                         None => rx,
                     };
                     match &target {
-                        AnyTarget::Opf(t) => t.borrow_mut().connect(id, iep.clone(), rx),
+                        AnyTarget::Opf(t) => t.borrow_mut().connect_on(id, iep.clone(), rx, lane),
                         AnyTarget::Spdk(_) => unreachable!(),
                     }
                     AnyInitiator::Opf(i)
@@ -617,7 +632,7 @@ pub fn run(sc: &Scenario) -> RunResult {
                 win_end: end,
                 completed_in_win: count,
             }));
-            drivers.push((driver, qd, global_idx));
+            drivers.push((driver, qd, global_idx, lane));
         }
         targets.push(target);
     }
@@ -655,10 +670,12 @@ pub fn run(sc: &Scenario) -> RunResult {
     }
 
     // Start each driver's closed loop, staggered by a microsecond per
-    // initiator so nothing runs in artificial lockstep.
-    for (driver, qd, idx) in drivers {
+    // initiator so nothing runs in artificial lockstep. The start event
+    // is pinned to the tenant's shard: everything the loop schedules
+    // afterwards inherits that lane.
+    for (driver, qd, idx, lane) in drivers {
         let d = driver.clone();
-        k.schedule_at(SimTime::from_micros(idx), move |k| {
+        k.schedule_at_on(lane, SimTime::from_micros(idx), move |k| {
             for _ in 0..qd {
                 issue(d.clone(), k);
             }
@@ -810,6 +827,14 @@ pub fn run(sc: &Scenario) -> RunResult {
         completed: tc_done + ls_done,
         reactor_util: util,
         events: k.events_executed(),
+        cross_shard_events: k.cross_shard_scheduled(),
+        cross_reactor_submits: targets
+            .iter()
+            .map(|t| match t {
+                AnyTarget::Opf(t) => t.borrow().cross_reactor_submits(),
+                AnyTarget::Spdk(_) => 0,
+            })
+            .sum(),
         metrics,
     }
 }

@@ -134,6 +134,13 @@ pub struct Scenario {
     /// Fault-injection profile. `None` (the default everywhere) means a
     /// perfect fabric and the exact pre-faults event sequence.
     pub faults: Option<faults::FaultProfile>,
+    /// Kernel shard / target reactor count. Tenants are assigned
+    /// round-robin to shards; each target reactor owns its tenants' TC
+    /// queues, and device submission crosses reactors through a mailbox.
+    /// Shard count is *unobservable in results* by construction
+    /// (DESIGN.md §13) — any value replays bit-identically to 1 — which
+    /// the shard-differential test suite enforces.
+    pub shards: usize,
 }
 
 impl Scenario {
@@ -160,6 +167,7 @@ impl Scenario {
             shared_queue: false,
             no_ls_bypass: false,
             faults: None,
+            shards: 1,
         }
     }
 
