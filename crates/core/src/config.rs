@@ -90,6 +90,33 @@ impl Default for OpfInitiatorConfig {
     }
 }
 
+/// Per-tenant drain-flag rate limit (DESIGN.md §14): a token bucket in
+/// simulated time. Each accepted draining flag costs one token; tokens
+/// refill at `per_sec` up to `burst`. A drain arriving with no token is
+/// *coalesced*, not dropped — its command stays staged as plain TC and
+/// is flushed by the tenant's next in-rate drain (or re-drain timer), so
+/// honest traffic is never lost while a drain flood cannot force one
+/// flush-plus-response per command.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DrainRateLimit {
+    /// Sustained accepted-drain rate, per simulated second.
+    pub per_sec: f64,
+    /// Bucket capacity (burst tolerance).
+    pub burst: u32,
+}
+
+impl Default for DrainRateLimit {
+    fn default() -> Self {
+        // Generous: an honest window-32 tenant drains at IOPS/32, well
+        // under this even at 100 Gbps line rate; a flood setting the
+        // flag on every command exceeds it by the window factor.
+        DrainRateLimit {
+            per_sec: 50_000.0,
+            burst: 128,
+        }
+    }
+}
+
 /// Target-side Priority Manager configuration.
 #[derive(Clone, Debug)]
 pub struct OpfTargetConfig {
@@ -104,6 +131,17 @@ pub struct OpfTargetConfig {
     /// "control request completion times ... with respect to application
     /// optimization objectives").
     pub tc_inflight_cap: usize,
+    /// Enforce that a command capsule's wire initiator byte matches the
+    /// connection it arrived on (DESIGN.md §14). On mismatch the capsule
+    /// is counted and dropped. Disabling this reproduces the unhardened
+    /// wire-trusting target for the adversary experiment's baseline
+    /// column — spoofed capsules are then classified under the ID they
+    /// claim.
+    pub enforce_identity: bool,
+    /// Per-tenant drain-flag rate limit. `None` (the default) disables
+    /// the limiter and adds no state, no arithmetic and no metric keys,
+    /// keeping pre-hardening runs byte-identical.
+    pub drain_rate: Option<DrainRateLimit>,
 }
 
 impl Default for OpfTargetConfig {
@@ -112,6 +150,8 @@ impl Default for OpfTargetConfig {
             queue_mode: QueueMode::PerInitiator,
             ls_bypass: true,
             tc_inflight_cap: 64,
+            enforce_identity: true,
+            drain_rate: None,
         }
     }
 }
@@ -133,6 +173,12 @@ mod tests {
         assert_eq!(t.queue_mode, QueueMode::PerInitiator);
         assert!(t.ls_bypass);
         assert!(t.tc_inflight_cap >= 16);
+        // Identity checking is always on; the drain limiter (which adds
+        // metric keys) is strictly opt-in.
+        assert!(t.enforce_identity);
+        assert!(t.drain_rate.is_none());
+        let d = DrainRateLimit::default();
+        assert!(d.per_sec > 0.0 && d.burst >= 1);
     }
 
     #[test]

@@ -57,6 +57,62 @@ pub enum ProtocolError {
         /// The command the R2T referenced.
         cid: u16,
     },
+    /// A command capsule's wire initiator byte did not match the
+    /// connection it arrived on — the §IV-A identity field was forged
+    /// (or corrupted). The capsule is dropped before classification so a
+    /// spoofing tenant cannot plant commands in a victim's TC queue.
+    IdentityMismatch {
+        /// Engine that received the capsule.
+        side: ProtocolSide,
+        /// Initiator ID claimed by the wire byte.
+        claimed: u8,
+        /// Initiator the connection actually belongs to.
+        expected: u8,
+    },
+    /// An initiator ID named no registered connection (a second connect
+    /// for an already-connected tenant, or a send routed by a forged ID
+    /// when identity enforcement is off).
+    UnknownInitiator {
+        /// Engine that detected the violation.
+        side: ProtocolSide,
+        /// The unregistered initiator ID.
+        initiator: u8,
+    },
+    /// A tenant's TC staging queue was full; the command was dropped
+    /// (counted, recoverable by retransmission) instead of panicking.
+    /// Reachable only under adversarial floods — honest closed-loop
+    /// tenants are bounded well under the queue capacity.
+    TcQueueOverflow {
+        /// Target that dropped the command.
+        target: u32,
+        /// Tenant whose queue overflowed.
+        initiator: u8,
+        /// The dropped command.
+        cid: u16,
+    },
+    /// An LS-flagged command arrived on a connection registered as
+    /// throughput-critical at connect time — the priority bit is forged
+    /// (or corrupted). The command is demoted to plain TC so it cannot
+    /// jump the bypass queue.
+    ForgedPriority {
+        /// Target that demoted the command.
+        target: u32,
+        /// Tenant whose connection carried the forged flag.
+        initiator: u8,
+        /// The demoted command.
+        cid: u16,
+    },
+    /// A response's echoed priority bits named a different request class
+    /// than the one the command was submitted with. The echoed bits are
+    /// attacker-influencable (a forged LS flag is reflected back by the
+    /// target), so completion handling always follows the locally
+    /// recorded class; the mismatch is only recorded.
+    RespClassMismatch {
+        /// Initiator that received the response.
+        initiator: u8,
+        /// The command whose response carried the wrong class.
+        cid: u16,
+    },
 }
 
 impl std::fmt::Display for ProtocolError {
@@ -83,6 +139,37 @@ impl std::fmt::Display for ProtocolError {
                     "Initiator({initiator}) got R2T for CID {cid} with no payload"
                 )
             }
+            ProtocolError::IdentityMismatch {
+                side,
+                claimed,
+                expected,
+            } => write!(
+                f,
+                "{side:?} capsule claims initiator {claimed} on initiator {expected}'s connection"
+            ),
+            ProtocolError::UnknownInitiator { side, initiator } => {
+                write!(f, "{side:?} referenced unregistered initiator {initiator}")
+            }
+            ProtocolError::TcQueueOverflow {
+                target,
+                initiator,
+                cid,
+            } => write!(
+                f,
+                "Target({target}) TC queue full for initiator {initiator}; dropped CID {cid}"
+            ),
+            ProtocolError::ForgedPriority {
+                target,
+                initiator,
+                cid,
+            } => write!(
+                f,
+                "Target({target}) demoted forged LS flag from TC initiator {initiator}, CID {cid}"
+            ),
+            ProtocolError::RespClassMismatch { initiator, cid } => write!(
+                f,
+                "Initiator({initiator}) response for CID {cid} echoed the wrong request class"
+            ),
         }
     }
 }

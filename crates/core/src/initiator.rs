@@ -762,6 +762,25 @@ impl OpfInitiator {
         let (finish, cids) = {
             let mut i = this.borrow_mut();
             i.stats.resps_rx += 1;
+            // The echoed priority bits are wire data an adversary can
+            // influence (a forged LS flag on a TC capsule is reflected
+            // back by the target); the locally recorded request class is
+            // ground truth. Routing a TC completion down the LS path
+            // would strand its CID-queue entry until the queue overflows.
+            let priority = match i.qpair.get_mut(cqe.cid).map(|c| c.priority) {
+                Some(local) if local.is_tc() != priority.is_tc() => {
+                    let id = i.id;
+                    i.note_protocol_error(
+                        k.now(),
+                        ProtocolError::RespClassMismatch {
+                            initiator: id,
+                            cid: cqe.cid,
+                        },
+                    );
+                    local
+                }
+                _ => priority,
+            };
             if priority.is_tc() {
                 let recovery = i.recovery();
                 if recovery {

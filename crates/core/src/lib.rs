@@ -34,7 +34,9 @@ pub mod initiator;
 pub mod target;
 pub mod window;
 
-pub use config::{OpfInitiatorConfig, OpfTargetConfig, QueueMode, ReqClass, WindowPolicy};
+pub use config::{
+    DrainRateLimit, OpfInitiatorConfig, OpfTargetConfig, QueueMode, ReqClass, WindowPolicy,
+};
 pub use error::{ProtocolError, ProtocolSide};
 pub use initiator::{OpfInitiator, OpfInitiatorStats};
 pub use target::{OpfTarget, OpfTargetStats};

@@ -72,6 +72,21 @@ pub struct OpfTargetStats {
     pub dup_cmds_dropped: u64,
     /// R2Ts re-granted to retransmitted writes (recovery mode).
     pub r2t_regrants: u64,
+    /// Command capsules dropped because the wire initiator byte did not
+    /// match the connection they arrived on (identity enforcement,
+    /// DESIGN.md §14). Subset of `protocol_errors`.
+    pub spoofs_dropped: u64,
+    /// Draining flags stripped by the per-tenant rate limiter. The
+    /// command itself is kept — staged as plain TC and flushed by the
+    /// tenant's next in-rate drain — so honest traffic is never lost.
+    pub drains_suppressed: u64,
+    /// TC commands dropped because a tenant's staging queue overflowed
+    /// (reachable only under floods). Subset of `protocol_errors`.
+    pub tc_overflow_drops: u64,
+    /// LS-flagged commands demoted to TC because their connection is
+    /// registered throughput-critical (class admission control,
+    /// DESIGN.md §14). Subset of `protocol_errors`.
+    pub ls_demoted: u64,
 }
 
 /// A TC command staged in a tenant's queue, waiting for a drain.
@@ -151,6 +166,15 @@ struct ReadyCmd {
 struct Conn {
     ep: Shared<Endpoint>,
     rx: PduRx,
+}
+
+/// Token-bucket state for one tenant's drain-flag rate limit
+/// (DESIGN.md §14). Pure sim-time arithmetic: refills are computed
+/// lazily from the elapsed time at each drain, so an in-rate tenant
+/// costs two float ops per drain and no events.
+struct DrainBucket {
+    tokens: f64,
+    last: SimTime,
 }
 
 /// Shard of the device-owner reactor: the metered ready queue, the batch
@@ -254,6 +278,13 @@ pub struct OpfTarget {
     /// CID). Membership-only — never iterated, so its hash order can
     /// never leak into event order.
     live: simkit::FxHashSet<(u8, u16)>,
+    /// Per-tenant drain rate-limit buckets. Only populated when
+    /// `cfg.drain_rate` is set; membership-only lookups, never iterated.
+    drain_buckets: FxHashMap<u8, DrainBucket>,
+    /// Tenants registered throughput-critical at connect time: their
+    /// LS flags are forged by definition and demoted under enforcement.
+    /// Membership-only, never iterated.
+    ls_denied: simkit::FxHashSet<u8>,
     tracer: Tracer,
     /// Counters.
     pub stats: OpfTargetStats,
@@ -300,6 +331,8 @@ impl OpfTarget {
             tc_inflight: 0,
             recovery: false,
             live: simkit::FxHashSet::default(),
+            drain_buckets: FxHashMap::default(),
+            ls_denied: simkit::FxHashSet::default(),
             tracer,
             stats: OpfTargetStats::default(),
             last_protocol_error: None,
@@ -401,6 +434,18 @@ impl OpfTarget {
             initiator, SHARED_KEY,
             "initiator id {SHARED_KEY} is reserved"
         );
+        if self.conns.contains_key(&initiator) {
+            // A second connect for a live tenant is protocol-reachable
+            // (a confused or malicious host), not a program bug: keep
+            // the original connection, count the violation, and drop
+            // the new endpoint instead of aborting the fabric.
+            let side = ProtocolSide::Target(self.id);
+            self.note_protocol_error(
+                SimTime::ZERO,
+                ProtocolError::UnknownInitiator { side, initiator },
+            );
+            return;
+        }
         let shard = match self.cfg.queue_mode {
             QueueMode::PerInitiator => shard,
             QueueMode::Shared => OWNER_SHARD,
@@ -408,8 +453,17 @@ impl OpfTarget {
         self.ensure_reactor(shard);
         self.reactors[shard as usize].tenants.push(initiator);
         self.lane_of.insert(initiator, shard);
-        let prev = self.conns.insert(initiator, Conn { ep, rx });
-        assert!(prev.is_none(), "initiator {initiator} connected twice");
+        self.conns.insert(initiator, Conn { ep, rx });
+    }
+
+    /// Register `initiator`'s connection as throughput-critical: any
+    /// LS flag it carries is forged by definition and — while
+    /// `enforce_identity` holds — is demoted to plain TC instead of
+    /// jumping the bypass queue (class admission control, DESIGN.md
+    /// §14). Untracked connections keep the historical trust-the-wire
+    /// behavior, so existing setups are unaffected.
+    pub fn deny_ls(&mut self, initiator: u8) {
+        self.ls_denied.insert(initiator);
     }
 
     /// Route a released command to the device-owner reactor through the
@@ -484,7 +538,36 @@ impl OpfTarget {
                 priority,
                 initiator,
             } => {
-                debug_assert_eq!(initiator, from, "initiator ID must ride the PDU");
+                if initiator != from {
+                    let enforce = {
+                        let mut t = this.borrow_mut();
+                        if t.cfg.enforce_identity {
+                            // §14 defense: the wire byte is untrusted.
+                            // The connection's `from` is ground truth, so
+                            // a mismatched capsule can only be forged or
+                            // corrupted — count and drop it before it
+                            // reaches a victim's queue.
+                            t.stats.spoofs_dropped += 1;
+                            let side = ProtocolSide::Target(t.id);
+                            t.note_protocol_error(
+                                k.now(),
+                                ProtocolError::IdentityMismatch {
+                                    side,
+                                    claimed: initiator,
+                                    expected: from,
+                                },
+                            );
+                        }
+                        t.cfg.enforce_identity
+                    };
+                    if enforce {
+                        return;
+                    }
+                    // Enforcement off (the unhardened baseline column):
+                    // trust the wire, classifying under the claimed ID.
+                    Self::on_cmd(this, k, initiator, sqe, priority);
+                    return;
+                }
                 Self::on_cmd(this, k, from, sqe, priority);
             }
             Pdu::H2CData { cccid, data } => Self::on_h2c_data(this, k, from, cccid, data),
@@ -506,6 +589,28 @@ impl OpfTarget {
 
     /// Algorithm 3 entry: classify the command.
     fn on_cmd(this: &Shared<OpfTarget>, k: &mut Kernel, from: u8, sqe: Sqe, priority: Priority) {
+        let priority = {
+            let mut t = this.borrow_mut();
+            // Class admission control: the LS bit on a connection
+            // registered throughput-critical is forged — demote it to
+            // plain TC so it cannot jump the bypass queue. Only under
+            // enforcement; the baseline trusts the wire.
+            if priority.is_ls() && t.cfg.enforce_identity && t.ls_denied.contains(&from) {
+                t.stats.ls_demoted += 1;
+                let target = t.id;
+                t.note_protocol_error(
+                    k.now(),
+                    ProtocolError::ForgedPriority {
+                        target,
+                        initiator: from,
+                        cid: sqe.cid,
+                    },
+                );
+                Priority::ThroughputCritical { draining: false }
+            } else {
+                priority
+            }
+        };
         {
             let mut t = this.borrow_mut();
             t.stats.cmds_rx += 1;
@@ -666,15 +771,53 @@ impl OpfTarget {
                         t.stats.dup_cmds_dropped += 1;
                         return;
                     }
+                    // §14 drain rate limit: an out-of-rate draining flag
+                    // is stripped, not dropped — the command stages as
+                    // plain TC and the tenant's next in-rate drain (or
+                    // re-drain timer) flushes it, so a flood cannot force
+                    // one flush-plus-response per command.
+                    let mut draining = draining;
+                    if draining {
+                        if let Some(rate) = t.cfg.drain_rate {
+                            let now = k.now();
+                            let bucket = t.drain_buckets.entry(from).or_insert(DrainBucket {
+                                tokens: f64::from(rate.burst),
+                                last: now,
+                            });
+                            let refill = now.since(bucket.last).as_secs_f64() * rate.per_sec;
+                            bucket.tokens = (bucket.tokens + refill).min(f64::from(rate.burst));
+                            bucket.last = now;
+                            if bucket.tokens >= 1.0 {
+                                bucket.tokens -= 1.0;
+                            } else {
+                                draining = false;
+                                t.stats.drains_suppressed += 1;
+                            }
+                        }
+                    }
                     let key = t.queue_key(from);
                     let lane = t.lane_idx(from);
                     let state = t.reactors[lane].tc.entry(key).or_insert_with(TcState::new);
-                    state
-                        .order
-                        .push(encode_key(from, sqe.cid))
-                        // lint: allow(no-panic) internal invariant: the CID
-                        // queue is sized for QD + window at construction.
-                        .expect("target TC queue sized for QD + window");
+                    if state.order.push(encode_key(from, sqe.cid)).is_err() {
+                        // Staging queue full. The queue is sized for
+                        // QD + window, so honest closed-loop tenants never
+                        // get here — only a flood does. Count and drop;
+                        // a recovering sender retransmits.
+                        if t.recovery {
+                            t.live.remove(&(from, sqe.cid));
+                        }
+                        t.stats.tc_overflow_drops += 1;
+                        let target = t.id;
+                        t.note_protocol_error(
+                            k.now(),
+                            ProtocolError::TcQueueOverflow {
+                                target,
+                                initiator: from,
+                                cid: sqe.cid,
+                            },
+                        );
+                        return;
+                    }
                     let needs_data = sqe.opcode == Opcode::Write && data.is_none();
                     state.staged.insert(
                         (from, sqe.cid),
@@ -793,11 +936,21 @@ impl OpfTarget {
             // per-initiator mode). Each group becomes a batch whose
             // coalesced response goes to that tenant, acknowledged by the
             // tenant's most recent flushed CID.
+            // `order` and `staged` are updated together in `classify`,
+            // so a queue key with no staged command is only reachable
+            // when trust-the-wire mode (enforce_identity=false) lets a
+            // spoofed duplicate collide with a staged CID. Skip and
+            // count instead of panicking; batches are built only from
+            // commands actually found, so accounting stays consistent.
+            let mut stale: Option<u16> = None;
+            let mut stale_n: u64 = 0;
             for &qkey in &keys {
                 let (owner, cid) = decode_key(qkey);
-                // lint: allow(no-panic) internal invariant: `order` and
-                // `staged` are updated together in `classify`.
-                let staged = state.staged.remove(&(owner, cid)).expect("staged command");
+                let Some(staged) = state.staged.remove(&(owner, cid)) else {
+                    stale = Some(cid);
+                    stale_n += 1;
+                    continue;
+                };
                 debug_assert_eq!(staged.owner, owner);
                 match groups.iter_mut().find(|(o, _)| *o == owner) {
                     Some((_, v)) => v.push(staged),
@@ -807,6 +960,11 @@ impl OpfTarget {
                         groups.push((owner, v));
                     }
                 }
+            }
+            if let Some(cid) = stale {
+                let side = ProtocolSide::Target(t.id);
+                t.stats.protocol_errors += stale_n - 1;
+                t.note_protocol_error(k.now(), ProtocolError::UnknownCid { side, cid });
             }
 
             // Reactor cost: flushing is a queue walk + submits.
@@ -1115,9 +1273,21 @@ impl OpfTarget {
     /// there (completion handlers switch lanes first), so this is a
     /// guarantee, not a handoff.
     fn send_to(&mut self, k: &mut Kernel, to: u8, pdu: Pdu) {
-        // lint: allow(no-panic) internal invariant: we only send to
-        // initiators registered via `connect`.
-        let conn = self.conns.get(&to).expect("send to unknown initiator");
+        let Some(conn) = self.conns.get(&to) else {
+            // Normal paths only send to initiators registered via
+            // `connect`, but trust-the-wire routing (enforcement off)
+            // can be steered to an ID that never connected. Count and
+            // drop rather than aborting the fabric.
+            let side = ProtocolSide::Target(self.id);
+            self.note_protocol_error(
+                k.now(),
+                ProtocolError::UnknownInitiator {
+                    side,
+                    initiator: to,
+                },
+            );
+            return;
+        };
         let rx = conn.rx.clone();
         let bytes = pdu.wire_len();
         let lane = self.lane_of.get(&to).copied().unwrap_or(OWNER_SHARD);
@@ -1183,6 +1353,16 @@ impl MetricsSource for OpfTarget {
         if self.recovery {
             m.set("dup_cmds_dropped", self.stats.dup_cmds_dropped as f64);
             m.set("r2t_regrants", self.stats.r2t_regrants as f64);
+        }
+        // Hardening counters only exist when the config deviates from
+        // the historical default (a drain limiter configured, or
+        // identity enforcement switched off for the adversary baseline
+        // column), so pre-hardening snapshots stay bit-identical.
+        if self.cfg.drain_rate.is_some() || !self.cfg.enforce_identity {
+            m.set("spoofs_dropped", self.stats.spoofs_dropped as f64);
+            m.set("drains_suppressed", self.stats.drains_suppressed as f64);
+            m.set("tc_overflow_drops", self.stats.tc_overflow_drops as f64);
+            m.set("ls_demoted", self.stats.ls_demoted as f64);
         }
         m
     }

@@ -6,14 +6,14 @@
 //! ```
 
 use experiments::{
-    ablate, breakdown, chaos, fig6, fig7, fig8, fig9, iosize, observe, openloop, scale, table1,
-    transport, Durations,
+    ablate, adversary, breakdown, chaos, fig6, fig7, fig8, fig9, iosize, observe, openloop, scale,
+    table1, transport, Durations,
 };
 
 fn usage() -> ! {
     eprintln!(
         "usage: repro [--quick] [--threads N] [--shards N] <artifact>...\n\
-         artifacts: table1 fig6a fig6b fig6c fig7 fig8 fig9 ablate iosize openloop transport breakdown observe chaos scale all\n\
+         artifacts: table1 fig6a fig6b fig6c fig7 fig8 fig9 ablate iosize openloop transport breakdown observe chaos scale adversary all\n\
          --shards N runs every scenario on N kernel shards (results are bit-identical for any N)"
     );
     std::process::exit(2);
@@ -78,6 +78,7 @@ fn main() {
             "observe" => observe::all(d, threads),
             "chaos" => chaos::all(d, threads),
             "scale" => scale::all(d, threads, quick),
+            "adversary" => adversary::all(d, threads),
             "all" => {
                 table1::print();
                 fig6::fig6a(d, threads);

@@ -17,11 +17,13 @@
 //! | [`observe`] | extension: unified metrics snapshot, SPDK vs oPF     |
 //! | [`chaos`]  | extension: fault injection — loss × window degradation |
 //! | [`scale`]  | extension: tenants × shards on the multi-reactor target |
+//! | [`adversary`] | extension: adversarial tenant vs the hardened protocol plane |
 //!
 //! The `repro` binary drives them; results print as aligned tables and
 //! are written as CSV under `results/`.
 
 pub mod ablate;
+pub mod adversary;
 pub mod breakdown;
 pub mod chaos;
 pub mod fig6;

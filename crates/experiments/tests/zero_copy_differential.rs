@@ -10,7 +10,7 @@
 //! copy-on-write-mutates) shared payloads.
 
 use experiments::sweep::run_all;
-use experiments::{chaos, fig6, observe, table1, Durations};
+use experiments::{adversary, chaos, fig6, observe, table1, Durations};
 
 fn golden(name: &str) -> String {
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden");
@@ -68,4 +68,17 @@ fn observe_quick_matches_golden() {
 fn chaos_quick_matches_golden() {
     let results = run_all(&chaos::scenarios(Durations::quick()), Some(1));
     assert_csv_matches("chaos", &workload::csv_table(&chaos::table(&results)));
+}
+
+/// Adversary grid (attack profile × enforcement): the hardened rows must
+/// hold the fairness/exactly-once/LS-tail bounds (asserted inside
+/// `table`), the enforcement-off rows must demonstrably violate one, and
+/// the rendered table must stay bit-identical run to run.
+#[test]
+fn adversary_quick_matches_golden() {
+    let results = run_all(&adversary::scenarios(Durations::quick()), Some(1));
+    assert_csv_matches(
+        "adversary",
+        &workload::csv_table(&adversary::table(&results)),
+    );
 }

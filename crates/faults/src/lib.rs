@@ -22,13 +22,20 @@
 //! this crate wired in at all.
 
 use bytes::Bytes;
-use nvmf::{Pdu, PduRx, RetryPolicy, TargetRx};
+use nvmf::{Pdu, PduRx, Priority, RetryPolicy, TargetRx};
 use simkit::{Kernel, Metrics, MetricsSource, Pcg32, Shared, SimDuration, SimTime};
 use std::rc::Rc;
 
 /// Lag applied to the duplicate copy of a duplicated PDU, so the original
 /// and its ghost never race at the exact same instant.
 const DUP_LAG: SimDuration = SimDuration::from_micros(3);
+
+/// Lag applied to a replayed capsule, so the replay never races the
+/// capsule it was cloned from.
+const REPLAY_LAG: SimDuration = SimDuration::from_micros(7);
+
+/// How many recently sent capsules the adversary keeps for replay.
+const ADV_STASH_CAP: usize = 16;
 
 /// A scheduled link outage: every PDU on `link` in `[at, at + dur)` is
 /// dropped, in both directions.
@@ -75,6 +82,92 @@ pub struct Crash {
     pub at: SimTime,
     /// Time until the tenant restarts.
     pub dur: SimDuration,
+}
+
+/// A protocol-level adversary riding one tenant's link (DESIGN.md §14).
+///
+/// Unlike the stochastic fault knobs — which model a *hostile fabric* —
+/// the adversary models a *hostile tenant*: it interposes on the chosen
+/// link's initiator→target capsule stream and mangles the reserved-bit
+/// protocol fields the oPF design rides on. It can only touch what a
+/// real malicious host could: the bytes it transmits. The connection's
+/// `from` identity is established at connect time and is not forgeable
+/// here, which is exactly why the wire initiator byte must never be
+/// trusted over it.
+///
+/// All draws come from a dedicated `Pcg32` stream forked from the plane's
+/// (only when an adversary is configured, so adversary-free runs keep
+/// their fault draw sequences bit-identical), making every attack
+/// bit-reproducible.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Adversary {
+    /// Global initiator slot index whose outbound stream is mangled.
+    pub link: usize,
+    /// Per-capsule probability of rewriting a TC priority to LS — the
+    /// queue-jumping attack.
+    pub forge_ls_p: f64,
+    /// Per-capsule probability of forging the contradictory LS|TC flag
+    /// combination. `Pdu` cannot represent it (decode rejects LS|TC), so
+    /// the capsule dies at the simulated CRC/parse layer: the attempt is
+    /// counted and the capsule dropped.
+    pub invalid_flags_p: f64,
+    /// Per-capsule probability of setting the draining flag on TC
+    /// traffic — the drain-flood attack on completion coalescing.
+    pub drain_flood_p: f64,
+    /// Per-capsule probability of re-injecting a previously sent capsule
+    /// (same CID, possibly across a recovery epoch), delivered
+    /// [`REPLAY_LAG`] later.
+    pub replay_p: f64,
+    /// Per-capsule probability of rewriting the SQE initiator byte to
+    /// `spoof_victim` — the identity-spoofing attack.
+    pub spoof_p: f64,
+    /// Tenant ID planted by the spoofing attack.
+    pub spoof_victim: u8,
+    /// Whether the targets keep their §14 defenses on. The runner reads
+    /// this to configure identity enforcement and the drain rate limit;
+    /// `false` reproduces the unhardened wire-trusting baseline for the
+    /// adversary experiment's violation column.
+    pub harden: bool,
+}
+
+impl Default for Adversary {
+    fn default() -> Self {
+        Adversary {
+            link: 0,
+            forge_ls_p: 0.0,
+            invalid_flags_p: 0.0,
+            drain_flood_p: 0.0,
+            replay_p: 0.0,
+            spoof_p: 0.0,
+            spoof_victim: 0,
+            harden: true,
+        }
+    }
+}
+
+/// Attack counters, one per attack kind, surfaced through the plane's
+/// [`MetricsSource`] (only when an adversary is configured).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AdversaryStats {
+    /// TC capsules whose priority was rewritten to LS.
+    pub forged_ls: u64,
+    /// Capsules destroyed by forging the invalid LS|TC combination.
+    pub forged_invalid: u64,
+    /// TC capsules given a forged draining flag.
+    pub drain_floods: u64,
+    /// Previously sent capsules re-injected.
+    pub replays: u64,
+    /// Capsules whose SQE initiator byte was rewritten.
+    pub spoofs: u64,
+}
+
+/// Live adversary state: its config, its private RNG stream and the
+/// stash of recently sent capsules it replays from.
+struct AdvState {
+    cfg: Adversary,
+    rng: Pcg32,
+    stash: Vec<Pdu>,
+    stats: AdversaryStats,
 }
 
 /// Keep-alive/reconnect configuration for the admin plane.
@@ -127,6 +220,11 @@ pub struct FaultProfile {
     pub redrain_timeout: Option<SimDuration>,
     /// Admin keep-alive + reconnect loop (`None` disables it).
     pub keepalive: Option<KeepAliveSpec>,
+    /// Protocol-level adversary riding one tenant's link (`None`
+    /// disables it; the default). Configuring one never perturbs the
+    /// fault draw stream (see [`FaultPlane::new`]), so fault sequences
+    /// stay bit-identical to pre-adversary builds either way.
+    pub adversary: Option<Adversary>,
     /// Extra simulated seconds past the measurement window during which
     /// retry/re-drain timers may still fire, so in-flight recovery can
     /// complete instead of being cut off by the horizon.
@@ -153,6 +251,7 @@ impl Default for FaultProfile {
             }),
             redrain_timeout: Some(SimDuration::from_micros(500)),
             keepalive: None,
+            adversary: None,
             settle_s: 0.05,
         }
     }
@@ -187,6 +286,8 @@ pub struct FaultPlane {
     rng: Pcg32,
     /// Injection counters.
     pub stats: FaultStats,
+    /// Live adversary, if the profile configured one.
+    adversary: Option<AdvState>,
 }
 
 /// One routing decision: deliver after `Option<SimDuration>` (inline when
@@ -195,18 +296,35 @@ pub struct FaultPlane {
 type Deliveries = Vec<(Option<SimDuration>, Pdu)>;
 
 impl FaultPlane {
-    /// Build a plane from a profile and a forked RNG stream.
+    /// Build a plane from a profile and a forked RNG stream. When the
+    /// profile carries an adversary, its private stream is derived from
+    /// a *clone* of the parent RNG, never the parent itself: the fault
+    /// draw sequence is bit-identical with and without an adversary
+    /// configured, so attack on/off comparisons share their fault
+    /// realizations and adversary-free goldens cannot shift.
     pub fn new(profile: FaultProfile, rng: Pcg32) -> Self {
+        let adversary = profile.adversary.map(|cfg| AdvState {
+            cfg,
+            rng: rng.clone().fork(0xADF0),
+            stash: Vec::new(),
+            stats: AdversaryStats::default(),
+        });
         FaultPlane {
             profile,
             rng,
             stats: FaultStats::default(),
+            adversary,
         }
     }
 
     /// The installed profile.
     pub fn profile(&self) -> &FaultProfile {
         &self.profile
+    }
+
+    /// Attack counters, if an adversary is configured.
+    pub fn adversary_stats(&self) -> Option<AdversaryStats> {
+        self.adversary.as_ref().map(|a| a.stats)
     }
 
     /// Is `link` up at `now` (outside every flap window)?
@@ -235,10 +353,84 @@ impl FaultPlane {
             .map(|s| s.at + s.dur)
     }
 
-    /// Decide the fate of one PDU. The draw order is fixed (drop, corrupt,
-    /// dup, delay/reorder) so identical seeds replay identically.
+    /// Run one capsule through the adversary, if one rides this link.
+    /// Returns the (possibly mangled) PDU to keep routing, or `None` when
+    /// the attack destroyed it; replayed copies are pushed into `out`
+    /// directly. The attack draw order is fixed (replay, invalid flags,
+    /// forge LS, drain flood, spoof) so identical seeds replay
+    /// identically.
+    fn adversary_intercept(
+        &mut self,
+        link: usize,
+        toward_target: bool,
+        pdu: Pdu,
+        out: &mut Deliveries,
+    ) -> Option<Pdu> {
+        let Some(adv) = self.adversary.as_mut() else {
+            return Some(pdu);
+        };
+        // The adversary is a tenant: it mangles only its own outbound
+        // capsule stream, before the fabric's stochastic faults apply.
+        if !toward_target || link != adv.cfg.link {
+            return Some(pdu);
+        }
+        let Pdu::CapsuleCmd {
+            sqe,
+            mut priority,
+            mut initiator,
+        } = pdu
+        else {
+            return Some(pdu);
+        };
+        if adv.cfg.replay_p > 0.0 && !adv.stash.is_empty() && adv.rng.gen_bool(adv.cfg.replay_p) {
+            adv.stats.replays += 1;
+            let idx = adv.rng.gen_range(0, adv.stash.len() as u64) as usize;
+            out.push((Some(REPLAY_LAG), adv.stash[idx].clone()));
+        }
+        if adv.cfg.invalid_flags_p > 0.0 && adv.rng.gen_bool(adv.cfg.invalid_flags_p) {
+            // LS|TC cannot exist in a parsed `Pdu`: the forged capsule
+            // dies at the decode/CRC layer before any target sees it.
+            adv.stats.forged_invalid += 1;
+            return None;
+        }
+        if adv.cfg.forge_ls_p > 0.0 && priority.is_tc() && adv.rng.gen_bool(adv.cfg.forge_ls_p) {
+            adv.stats.forged_ls += 1;
+            priority = Priority::LatencySensitive;
+        }
+        if adv.cfg.drain_flood_p > 0.0
+            && priority.is_tc()
+            && adv.rng.gen_bool(adv.cfg.drain_flood_p)
+        {
+            adv.stats.drain_floods += 1;
+            priority = Priority::ThroughputCritical { draining: true };
+        }
+        if adv.cfg.spoof_p > 0.0 && adv.rng.gen_bool(adv.cfg.spoof_p) {
+            adv.stats.spoofs += 1;
+            initiator = adv.cfg.spoof_victim;
+        }
+        let mangled = Pdu::CapsuleCmd {
+            sqe,
+            priority,
+            initiator,
+        };
+        // Stash what actually went on the wire for later replay.
+        if adv.stash.len() < ADV_STASH_CAP {
+            adv.stash.push(mangled.clone());
+        } else {
+            let slot = adv.rng.gen_range(0, ADV_STASH_CAP as u64) as usize;
+            adv.stash[slot] = mangled.clone();
+        }
+        Some(mangled)
+    }
+
+    /// Decide the fate of one PDU. The draw order is fixed (adversary,
+    /// crash, flap, drop, corrupt, dup, delay/reorder) so identical seeds
+    /// replay identically.
     fn decide(&mut self, now: SimTime, link: usize, toward_target: bool, pdu: Pdu) -> Deliveries {
         let mut out = Deliveries::new();
+        let Some(pdu) = self.adversary_intercept(link, toward_target, pdu, &mut out) else {
+            return out;
+        };
         if self.crashed(link, now) {
             self.stats.crash_drops += 1;
             return out;
@@ -308,6 +500,16 @@ impl MetricsSource for FaultPlane {
         m.set("flap_drops", s.flap_drops as f64);
         m.set("stall_defers", s.stall_defers as f64);
         m.set("crash_drops", s.crash_drops as f64);
+        // Attack counters exist only when an adversary is configured, so
+        // adversary-free snapshots stay byte-identical.
+        if let Some(adv) = &self.adversary {
+            let a = &adv.stats;
+            m.set("adv_forged_ls", a.forged_ls as f64);
+            m.set("adv_forged_invalid", a.forged_invalid as f64);
+            m.set("adv_drain_floods", a.drain_floods as f64);
+            m.set("adv_replays", a.replays as f64);
+            m.set("adv_spoofs", a.spoofs as f64);
+        }
         m
     }
 }
@@ -649,6 +851,228 @@ mod tests {
         assert_eq!(a_order, b_order);
         assert_eq!(a_stats, b_stats);
         assert_eq!(a_events, b_events);
+    }
+
+    /// Run `n` TC capsules (tenant 3, link 0) through a plane and record
+    /// every delivered capsule's wire fields.
+    fn run_adversary(adv: Adversary, n: usize) -> (Vec<(u8, u16, Priority)>, AdversaryStats) {
+        let mut k = Kernel::new(1);
+        let plane = plane_with(FaultProfile {
+            adversary: Some(adv),
+            ..zero_profile()
+        });
+        let got: Rc<RefCell<Vec<(u8, u16, Priority)>>> = Rc::new(RefCell::new(Vec::new()));
+        let got2 = got.clone();
+        let inner: TargetRx = Rc::new(move |_k: &mut Kernel, from: u8, pdu: Pdu| {
+            if let Pdu::CapsuleCmd {
+                sqe,
+                priority,
+                initiator,
+            } = pdu
+            {
+                let _ = from;
+                got2.borrow_mut().push((initiator, sqe.cid, priority));
+            }
+        });
+        let wrapped = wrap_target_rx(&plane, 0, inner);
+        for i in 0..n {
+            let w = wrapped.clone();
+            k.schedule_in(SimDuration::from_micros(i as u64), move |k| {
+                w(k, 3, cmd(i as u16))
+            });
+        }
+        k.run_to_completion();
+        let stats = plane.borrow().adversary_stats().unwrap();
+        let order = got.borrow().clone();
+        (order, stats)
+    }
+
+    #[test]
+    fn adversary_forges_ls_on_tc_traffic() {
+        let (order, stats) = run_adversary(
+            Adversary {
+                forge_ls_p: 1.0,
+                ..Adversary::default()
+            },
+            20,
+        );
+        assert_eq!(stats.forged_ls, 20);
+        assert_eq!(order.len(), 20);
+        assert!(order.iter().all(|&(_, _, p)| p.is_ls()));
+    }
+
+    #[test]
+    fn adversary_invalid_flags_die_at_parse() {
+        let (order, stats) = run_adversary(
+            Adversary {
+                invalid_flags_p: 1.0,
+                ..Adversary::default()
+            },
+            15,
+        );
+        assert_eq!(stats.forged_invalid, 15);
+        assert!(order.is_empty(), "LS|TC forgeries must never be delivered");
+    }
+
+    #[test]
+    fn adversary_floods_drain_flags() {
+        let (order, stats) = run_adversary(
+            Adversary {
+                drain_flood_p: 1.0,
+                ..Adversary::default()
+            },
+            12,
+        );
+        assert_eq!(stats.drain_floods, 12);
+        assert!(order
+            .iter()
+            .all(|&(_, _, p)| p == Priority::ThroughputCritical { draining: true }));
+    }
+
+    #[test]
+    fn adversary_spoofs_initiator_byte() {
+        let (order, stats) = run_adversary(
+            Adversary {
+                spoof_p: 1.0,
+                spoof_victim: 9,
+                ..Adversary::default()
+            },
+            10,
+        );
+        assert_eq!(stats.spoofs, 10);
+        assert!(order.iter().all(|&(initiator, _, _)| initiator == 9));
+    }
+
+    #[test]
+    fn adversary_replays_earlier_capsules() {
+        let (order, stats) = run_adversary(
+            Adversary {
+                replay_p: 1.0,
+                ..Adversary::default()
+            },
+            30,
+        );
+        // The first capsule finds an empty stash; every later one replays.
+        assert_eq!(stats.replays, 29);
+        assert_eq!(order.len() as u64, 30 + stats.replays);
+        // Replays duplicate CIDs already on the wire.
+        let mut cids: Vec<u16> = order.iter().map(|&(_, c, _)| c).collect();
+        cids.sort_unstable();
+        cids.dedup();
+        assert_eq!(cids.len(), 30);
+    }
+
+    #[test]
+    fn adversary_touches_only_its_link() {
+        let mut k = Kernel::new(1);
+        let plane = plane_with(FaultProfile {
+            adversary: Some(Adversary {
+                link: 5,
+                forge_ls_p: 1.0,
+                spoof_p: 1.0,
+                spoof_victim: 9,
+                ..Adversary::default()
+            }),
+            ..zero_profile()
+        });
+        let got: Rc<RefCell<Vec<(u8, Priority)>>> = Rc::new(RefCell::new(Vec::new()));
+        let got2 = got.clone();
+        let inner: TargetRx = Rc::new(move |_k: &mut Kernel, _from: u8, pdu: Pdu| {
+            if let Pdu::CapsuleCmd {
+                priority,
+                initiator,
+                ..
+            } = pdu
+            {
+                got2.borrow_mut().push((initiator, priority));
+            }
+        });
+        // Honest tenant on link 0: its stream passes untouched.
+        let wrapped = wrap_target_rx(&plane, 0, inner);
+        wrapped(&mut k, 3, cmd(1));
+        k.run_to_completion();
+        assert_eq!(
+            *got.borrow(),
+            vec![(3, Priority::ThroughputCritical { draining: false })]
+        );
+        assert_eq!(
+            plane.borrow().adversary_stats().unwrap(),
+            AdversaryStats::default()
+        );
+    }
+
+    #[test]
+    fn adversary_attacks_replay_identically() {
+        let adv = Adversary {
+            forge_ls_p: 0.3,
+            drain_flood_p: 0.2,
+            replay_p: 0.2,
+            spoof_p: 0.25,
+            spoof_victim: 7,
+            invalid_flags_p: 0.1,
+            ..Adversary::default()
+        };
+        let (a_order, a_stats) = run_adversary(adv, 200);
+        let (b_order, b_stats) = run_adversary(adv, 200);
+        assert_eq!(a_order, b_order);
+        assert_eq!(a_stats, b_stats);
+        // Every attack kind fired at these rates.
+        assert!(a_stats.forged_ls > 0);
+        assert!(a_stats.forged_invalid > 0);
+        assert!(a_stats.drain_floods > 0);
+        assert!(a_stats.replays > 0);
+        assert!(a_stats.spoofs > 0);
+    }
+
+    #[test]
+    fn adversary_free_plane_keeps_fault_draws_identical() {
+        // Configuring an adversary must not shift the *fault* stream:
+        // the adversary RNG derives from a clone of the parent, never
+        // the parent itself. Two planes with identical fault knobs —
+        // one with an adversary on an unrelated link — make the same
+        // fault decisions.
+        let profile = FaultProfile {
+            drop_p: 0.2,
+            dup_p: 0.1,
+            delay_p: 0.3,
+            reorder_p: 0.1,
+            ..zero_profile()
+        };
+        let (a_order, a_stats, _) = run_n_through(profile.clone(), 300);
+        let (b_order, b_stats, _) = run_n_through(
+            FaultProfile {
+                adversary: Some(Adversary {
+                    link: 99,
+                    spoof_p: 1.0,
+                    ..Adversary::default()
+                }),
+                ..profile
+            },
+            300,
+        );
+        assert_eq!(a_order, b_order);
+        assert_eq!(a_stats, b_stats);
+    }
+
+    #[test]
+    fn metrics_gate_adversary_counters_on_presence() {
+        let plane = plane_with(zero_profile());
+        let m = plane.borrow().metrics(SimTime::ZERO);
+        assert_eq!(m.get("adv_spoofs"), None);
+        let plane = plane_with(FaultProfile {
+            adversary: Some(Adversary::default()),
+            ..zero_profile()
+        });
+        let m = plane.borrow().metrics(SimTime::ZERO);
+        for key in [
+            "adv_forged_ls",
+            "adv_forged_invalid",
+            "adv_drain_floods",
+            "adv_replays",
+            "adv_spoofs",
+        ] {
+            assert_eq!(m.get(key), Some(0.0), "{key}");
+        }
     }
 
     #[test]

@@ -9,9 +9,12 @@
 //! flags and initiator IDs").
 //!
 //! NVMe-oPF extensions carried here:
-//! * **Priority flags** — two reserved bits of the common-header FLAGS
-//!   byte (bit 2: throughput-critical / latency-sensitive selector,
-//!   bit 3: draining).
+//! * **Priority flags** — three reserved bits of the common-header FLAGS
+//!   byte (bit 2: latency-sensitive, bit 3: throughput-critical, bit 4:
+//!   draining). LS and TC are mutually exclusive by construction —
+//!   [`Priority::to_flag_bits`] never sets both — so a capsule carrying
+//!   LS|TC can only be forged or corrupted and decoding rejects it
+//!   (§IV-A still holds: the bits are reserved, no PDU grows).
 //! * **Initiator ID** — eight reserved bits; we use SQE byte 60 (command
 //!   dword 15 is reserved for I/O commands).
 
@@ -80,9 +83,12 @@ pub enum Priority {
 }
 
 impl Priority {
-    const FLAG_LS: u8 = 1 << 2;
-    const FLAG_TC: u8 = 1 << 3;
-    const FLAG_DRAIN: u8 = 1 << 4;
+    /// Reserved FLAGS bit: latency-sensitive.
+    pub const FLAG_LS: u8 = 1 << 2;
+    /// Reserved FLAGS bit: throughput-critical.
+    pub const FLAG_TC: u8 = 1 << 3;
+    /// Reserved FLAGS bit: draining (meaningful only with TC).
+    pub const FLAG_DRAIN: u8 = 1 << 4;
 
     /// Encode into the reserved bits of the CH FLAGS byte.
     pub fn to_flag_bits(self) -> u8 {
@@ -95,16 +101,20 @@ impl Priority {
         }
     }
 
-    /// Decode from the CH FLAGS byte.
-    pub fn from_flag_bits(flags: u8) -> Priority {
-        if flags & Self::FLAG_TC != 0 {
-            Priority::ThroughputCritical {
+    /// Decode from the CH FLAGS byte. `None` for the contradictory
+    /// LS|TC combination, which no encoder produces: a capsule carrying
+    /// it is forged or corrupted, and silently preferring one priority
+    /// would let an adversary smuggle traffic into the wrong queue.
+    pub fn from_flag_bits(flags: u8) -> Option<Priority> {
+        let ls = flags & Self::FLAG_LS != 0;
+        let tc = flags & Self::FLAG_TC != 0;
+        match (ls, tc) {
+            (true, true) => None,
+            (false, true) => Some(Priority::ThroughputCritical {
                 draining: flags & Self::FLAG_DRAIN != 0,
-            }
-        } else if flags & Self::FLAG_LS != 0 {
-            Priority::LatencySensitive
-        } else {
-            Priority::None
+            }),
+            (true, false) => Some(Priority::LatencySensitive),
+            (false, false) => Some(Priority::None),
         }
     }
 
@@ -250,7 +260,7 @@ impl Pdu {
                 let sqe = Sqe::decode(arr)?;
                 Some(Pdu::CapsuleCmd {
                     sqe,
-                    priority: Priority::from_flag_bits(flags),
+                    priority: Priority::from_flag_bits(flags)?,
                     initiator: arr[60],
                 })
             }
@@ -258,7 +268,7 @@ impl Pdu {
                 let arr: &[u8; 16] = body.try_into().ok()?;
                 Some(Pdu::CapsuleResp {
                     cqe: Cqe::decode(arr),
-                    priority: Priority::from_flag_bits(flags),
+                    priority: Priority::from_flag_bits(flags)?,
                 })
             }
             PduKind::R2T => {
@@ -302,12 +312,61 @@ mod tests {
             Priority::ThroughputCritical { draining: false },
             Priority::ThroughputCritical { draining: true },
         ] {
-            assert_eq!(Priority::from_flag_bits(p.to_flag_bits()), p);
+            assert_eq!(Priority::from_flag_bits(p.to_flag_bits()), Some(p));
         }
         assert!(Priority::ThroughputCritical { draining: true }.is_draining());
         assert!(!Priority::ThroughputCritical { draining: false }.is_draining());
         assert!(Priority::LatencySensitive.is_ls());
         assert!(!Priority::LatencySensitive.is_tc());
+    }
+
+    #[test]
+    fn flag_bits_exhaustive() {
+        // Every FLAGS byte decodes by the three reserved bits alone:
+        // LS|TC together is invalid, otherwise the priority follows the
+        // set bit (draining only meaningful on TC), and every valid
+        // decode re-encodes to exactly those three bits.
+        for flags in 0u8..=255 {
+            let ls = flags & Priority::FLAG_LS != 0;
+            let tc = flags & Priority::FLAG_TC != 0;
+            let drain = flags & Priority::FLAG_DRAIN != 0;
+            let got = Priority::from_flag_bits(flags);
+            let want = match (ls, tc) {
+                (true, true) => None,
+                (true, false) => Some(Priority::LatencySensitive),
+                (false, true) => Some(Priority::ThroughputCritical { draining: drain }),
+                (false, false) => Some(Priority::None),
+            };
+            assert_eq!(got, want, "flags {flags:#010b}");
+            if let Some(p) = got {
+                // Round trip drops only the bits that carry no meaning
+                // for this priority (e.g. DRAIN without TC).
+                assert_eq!(Priority::from_flag_bits(p.to_flag_bits()), Some(p));
+            }
+        }
+    }
+
+    #[test]
+    fn decode_rejects_contradictory_priority_flags() {
+        // A forged LS|TC capsule must fail to parse rather than being
+        // silently classified as TC.
+        let raw = Pdu::CapsuleCmd {
+            sqe: Sqe::read(1, 1, 0, 1),
+            priority: Priority::LatencySensitive,
+            initiator: 3,
+        }
+        .encode();
+        let mut forged = raw.to_vec();
+        forged[1] |= Priority::FLAG_TC;
+        assert_eq!(Pdu::decode(&forged), None);
+        let resp = Pdu::CapsuleResp {
+            cqe: Cqe::success(1, 0),
+            priority: Priority::LatencySensitive,
+        }
+        .encode();
+        let mut forged = resp.to_vec();
+        forged[1] |= Priority::FLAG_TC;
+        assert_eq!(Pdu::decode(&forged), None);
     }
 
     #[test]

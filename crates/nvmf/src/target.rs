@@ -44,6 +44,10 @@ pub struct TargetStats {
     /// R2Ts re-granted for retransmitted writes still waiting on their
     /// payload (recovery mode).
     pub r2t_regrants: u64,
+    /// Command capsules dropped because the wire initiator byte did not
+    /// match the connection they arrived on (identity enforcement,
+    /// DESIGN.md §14). Subset of `protocol_errors`.
+    pub spoofs_dropped: u64,
 }
 
 struct Conn {
@@ -75,6 +79,16 @@ pub struct SpdkTarget {
     /// Duplicate-suppression mode for lossy fabrics (see
     /// [`SpdkTarget::set_recovery`]).
     recovery: bool,
+    /// Enforce that a capsule's wire initiator byte matches the
+    /// connection it arrived on (DESIGN.md §14). On by default; the
+    /// adversary experiment's baseline column switches it off via
+    /// [`SpdkTarget::set_hardening`] to reproduce the wire-trusting
+    /// target.
+    enforce_identity: bool,
+    /// Emit the hardening counters in metric snapshots. Opt-in (set by
+    /// [`SpdkTarget::set_hardening`]) so pre-hardening snapshots stay
+    /// byte-identical.
+    hardening_metrics: bool,
     /// Commands accepted and not yet responded to, keyed by
     /// (initiator, CID). Membership-only — never iterated — so HashSet
     /// order-nondeterminism cannot leak into any output.
@@ -105,6 +119,8 @@ impl SpdkTarget {
             lane_of: BTreeMap::new(),
             pending_writes: FxHashMap::default(),
             recovery: false,
+            enforce_identity: true,
+            hardening_metrics: false,
             inflight: simkit::FxHashSet::default(),
             tracer,
             stats: TargetStats::default(),
@@ -119,6 +135,15 @@ impl SpdkTarget {
         self.recovery = on;
     }
 
+    /// Configure identity enforcement (DESIGN.md §14) and switch the
+    /// hardening counters on in metric snapshots. Enforcement itself
+    /// defaults to on; the metric keys appear only after this is called,
+    /// so pre-hardening snapshots stay byte-identical.
+    pub fn set_hardening(&mut self, enforce: bool) {
+        self.enforce_identity = enforce;
+        self.hardening_metrics = true;
+    }
+
     /// Register an initiator connection: its fabric endpoint and the
     /// closure that delivers PDUs to it. Hosted on kernel shard 0.
     pub fn connect(&mut self, initiator: u8, ep: Shared<Endpoint>, rx: PduRx) {
@@ -130,9 +155,21 @@ impl SpdkTarget {
     /// keeping each tenant's event chain on its own shard even though
     /// the baseline target itself is a single reactor.
     pub fn connect_on(&mut self, initiator: u8, ep: Shared<Endpoint>, rx: PduRx, shard: u32) {
+        if self.conns.contains_key(&initiator) {
+            // A second connect for a live tenant is protocol-reachable,
+            // not a program bug: keep the original connection, count the
+            // violation, drop the new endpoint.
+            self.stats.protocol_errors += 1;
+            self.tracer.emit(
+                SimTime::ZERO,
+                "tgt.protocol_error",
+                self.id,
+                u64::from(initiator),
+            );
+            return;
+        }
         self.lane_of.insert(initiator, shard);
-        let prev = self.conns.insert(initiator, Conn { ep, rx });
-        assert!(prev.is_none(), "initiator {initiator} connected twice");
+        self.conns.insert(initiator, Conn { ep, rx });
     }
 
     /// Reactor utilization snapshot.
@@ -154,7 +191,39 @@ impl SpdkTarget {
     /// Deliver a PDU arriving from initiator `from`.
     pub fn on_pdu(this: &Shared<SpdkTarget>, k: &mut Kernel, from: u8, pdu: Pdu) {
         match pdu {
-            Pdu::CapsuleCmd { sqe, priority, .. } => Self::on_cmd(this, k, from, sqe, priority),
+            Pdu::CapsuleCmd {
+                sqe,
+                priority,
+                initiator,
+            } => {
+                if initiator != from {
+                    let enforce = {
+                        let mut t = this.borrow_mut();
+                        if t.enforce_identity {
+                            // §14 defense: the connection's `from` is
+                            // ground truth; a mismatched wire byte can
+                            // only be forged or corrupted. Count + drop.
+                            t.stats.protocol_errors += 1;
+                            t.stats.spoofs_dropped += 1;
+                            t.tracer.emit(
+                                k.now(),
+                                "tgt.spoof_dropped",
+                                u32::from(from),
+                                u64::from(initiator),
+                            );
+                        }
+                        t.enforce_identity
+                    };
+                    if enforce {
+                        return;
+                    }
+                    // Enforcement off (the unhardened baseline column):
+                    // trust the wire, processing under the claimed ID.
+                    Self::on_cmd(this, k, initiator, sqe, priority);
+                    return;
+                }
+                Self::on_cmd(this, k, from, sqe, priority)
+            }
             Pdu::H2CData { cccid, data } => Self::on_h2c_data(this, k, from, cccid, data),
             // Responses, R2Ts and C2H data never travel host → controller:
             // count the violation and drop the PDU rather than abort.
@@ -339,9 +408,16 @@ impl SpdkTarget {
     /// Transmit a PDU to initiator `from` over the fabric. The delivery
     /// event is scheduled on the recipient's kernel lane.
     pub(crate) fn send_to(&mut self, k: &mut Kernel, to: u8, pdu: Pdu) {
-        // lint: allow(no-panic) internal invariant: we only send to
-        // initiators registered via `connect`.
-        let conn = self.conns.get(&to).expect("send to unknown initiator");
+        let Some(conn) = self.conns.get(&to) else {
+            // Normal paths only send to initiators registered via
+            // `connect`, but trust-the-wire routing (enforcement off)
+            // can be steered to an ID that never connected. Count and
+            // drop rather than aborting the fabric.
+            self.stats.protocol_errors += 1;
+            self.tracer
+                .emit(k.now(), "tgt.protocol_error", self.id, u64::from(to));
+            return;
+        };
         let rx = conn.rx.clone();
         let bytes = pdu.wire_len();
         let lane = self.lane_of.get(&to).copied().unwrap_or(0);
@@ -377,6 +453,97 @@ impl MetricsSource for SpdkTarget {
             m.set("dup_cmds_dropped", self.stats.dup_cmds_dropped as f64);
             m.set("r2t_regrants", self.stats.r2t_regrants as f64);
         }
+        // Hardening counters are opt-in via `set_hardening`, so
+        // pre-hardening snapshots stay byte-identical.
+        if self.hardening_metrics {
+            m.set("spoofs_dropped", self.stats.spoofs_dropped as f64);
+        }
         m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fabric::{FabricConfig, Gbps};
+    use nvme::{FlashProfile, NvmeDevice};
+    use simkit::shared;
+    use std::rc::Rc;
+
+    fn rig() -> (Kernel, Network, Shared<SpdkTarget>) {
+        let k = Kernel::new(7);
+        let net = Network::new(FabricConfig::preset(Gbps::G100));
+        let tep = net.add_endpoint("tgt");
+        let device = shared(NvmeDevice::new(FlashProfile::cl_ssd(), 1 << 20, 5));
+        device.borrow_mut().set_store_data(false);
+        let target = shared(SpdkTarget::new(
+            0,
+            net.clone(),
+            tep,
+            device,
+            CpuCosts::cl(),
+            Tracer::disabled(),
+        ));
+        let iep = net.add_endpoint("ini0");
+        let rx: PduRx = Rc::new(|_, _| {});
+        target.borrow_mut().connect(0, iep, rx);
+        (k, net, target)
+    }
+
+    #[test]
+    fn double_connect_is_counted_not_fatal() {
+        let (_k, net, target) = rig();
+        let dup_ep = net.add_endpoint("dup");
+        let rx: PduRx = Rc::new(|_, _| {});
+        target.borrow_mut().connect(0, dup_ep, rx);
+        let t = target.borrow();
+        assert_eq!(t.stats.protocol_errors, 1);
+        // The original registration is intact.
+        assert_eq!(t.conns.len(), 1);
+    }
+
+    #[test]
+    fn spoofed_initiator_byte_is_dropped_when_enforcing() {
+        let (mut k, _net, target) = rig();
+        SpdkTarget::on_pdu(
+            &target,
+            &mut k,
+            0,
+            Pdu::CapsuleCmd {
+                sqe: Sqe::read(3, 1, 0, 1),
+                priority: Priority::None,
+                initiator: 1,
+            },
+        );
+        k.run_to_completion();
+        let t = target.borrow();
+        assert_eq!(t.stats.spoofs_dropped, 1);
+        assert_eq!(t.stats.protocol_errors, 1);
+        assert_eq!(t.stats.cmds_rx, 0);
+        assert_eq!(t.stats.completed, 0);
+    }
+
+    #[test]
+    fn enforcement_off_routes_by_forged_id_without_panicking() {
+        let (mut k, _net, target) = rig();
+        target.borrow_mut().set_hardening(false);
+        // A capsule claiming initiator 7 (never connected) executes and
+        // routes its response by the forged ID: counted drop, no panic.
+        SpdkTarget::on_pdu(
+            &target,
+            &mut k,
+            0,
+            Pdu::CapsuleCmd {
+                sqe: Sqe::read(4, 1, 0, 1),
+                priority: Priority::None,
+                initiator: 7,
+            },
+        );
+        k.run_to_completion();
+        let t = target.borrow();
+        assert_eq!(t.stats.spoofs_dropped, 0);
+        assert_eq!(t.stats.cmds_rx, 1);
+        assert_eq!(t.stats.completed, 1);
+        assert!(t.stats.protocol_errors >= 1);
     }
 }

@@ -130,6 +130,13 @@ pub struct Kernel {
     /// Per-shard event heaps ("lanes"); `lanes.len() == 1` is the serial
     /// kernel.
     lanes: Vec<BinaryHeap<Scheduled>>,
+    /// Lanes currently holding at least one event. Maintained on every
+    /// push/pop so `merge_lane` can skip the k-way scan whenever at most
+    /// one lane is live — the common case for lightly sharded runs,
+    /// where the scan otherwise makes sharding *slower* than serial.
+    nonempty_lanes: usize,
+    /// The single live lane when `nonempty_lanes == 1` (stale otherwise).
+    single_lane: u32,
     /// Events executed per lane (ownership accounting for the scale
     /// experiment; invisible to default metrics).
     lane_executed: Vec<u64>,
@@ -168,6 +175,8 @@ impl Kernel {
                 .map(|_| BinaryHeap::with_capacity(1024 / shards.min(8)))
                 .collect(),
             lane_executed: vec![0; shards],
+            nonempty_lanes: 0,
+            single_lane: 0,
             current_shard: 0,
             cross_shard_scheduled: 0,
             slots: Vec::with_capacity(1024),
@@ -319,7 +328,14 @@ impl Kernel {
         let seq = self.seq;
         self.seq += 1;
         let slot = self.store_event(f);
-        self.lanes[shard as usize].push(Scheduled { at, seq, slot });
+        let lane = &mut self.lanes[shard as usize];
+        if lane.is_empty() {
+            self.nonempty_lanes += 1;
+            if self.nonempty_lanes == 1 {
+                self.single_lane = shard;
+            }
+        }
+        lane.push(Scheduled { at, seq, slot });
     }
 
     /// Schedule `f` to run `delay` after now.
@@ -340,9 +356,15 @@ impl Kernel {
     /// exact event a serial single-heap kernel would pop next.
     #[inline]
     fn merge_lane(&self) -> Option<(usize, SimTime)> {
-        if self.lanes.len() == 1 {
-            // Serial fast path: no merge scan on the hot path.
-            return self.lanes[0].peek().map(|head| (0, head.at));
+        // Fast paths: with ≤ 1 live lane there is nothing to merge, so
+        // skip the scan entirely (this also covers the serial kernel).
+        match self.nonempty_lanes {
+            0 => return None,
+            1 => {
+                let lane = self.single_lane as usize;
+                return self.lanes[lane].peek().map(|head| (lane, head.at));
+            }
+            _ => {}
         }
         let mut best: Option<(SimTime, u64, usize)> = None;
         for (i, lane) in self.lanes.iter().enumerate() {
@@ -364,6 +386,19 @@ impl Kernel {
         };
         match self.lanes[lane].pop() {
             Some(ev) => {
+                if self.lanes[lane].is_empty() {
+                    self.nonempty_lanes -= 1;
+                    if self.nonempty_lanes == 1 {
+                        // One-time scan for the survivor; cheap because
+                        // it only runs on the 2 → 1 transition.
+                        for (i, l) in self.lanes.iter().enumerate() {
+                            if !l.is_empty() {
+                                self.single_lane = i as u32;
+                                break;
+                            }
+                        }
+                    }
+                }
                 debug_assert!(ev.at >= self.now, "time went backwards");
                 self.now = ev.at;
                 self.executed += 1;
@@ -633,6 +668,35 @@ mod tests {
         for shards in [2, 3, 4, 8] {
             assert_eq!(run(shards), serial, "shards={shards} diverged from serial");
         }
+    }
+
+    /// The ≤ 1-live-lane merge short-circuit: drive the non-empty count
+    /// through every transition (0→1, 1→2, 2→1 with survivor re-scan,
+    /// 1→0, then refill) and check the order never deviates.
+    #[test]
+    fn single_live_lane_short_circuit_tracks_transitions() {
+        let order = Rc::new(RefCell::new(Vec::new()));
+        let mut k = Kernel::with_shards(0, 4);
+        // Phase 1: only lane 2 is live.
+        for i in 0..3u64 {
+            let o = order.clone();
+            k.schedule_at_on(2, SimTime::from_micros(i), move |_| o.borrow_mut().push(i));
+        }
+        // Phase 2: lane 0 joins, then both drain (2 → 1 picks a survivor).
+        let o = order.clone();
+        k.schedule_at_on(0, SimTime::from_micros(1), move |_| {
+            o.borrow_mut().push(100)
+        });
+        k.run_to_completion();
+        assert_eq!(k.events_pending(), 0);
+        // Phase 3: refill a different single lane after full drain.
+        let o = order.clone();
+        k.schedule_at_on(3, SimTime::from_micros(10), move |_| {
+            o.borrow_mut().push(200)
+        });
+        k.run_to_completion();
+        assert_eq!(*order.borrow(), vec![0, 1, 100, 2, 200]);
+        assert_eq!(k.events_executed(), 5);
     }
 
     #[test]

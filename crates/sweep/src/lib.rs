@@ -46,18 +46,26 @@
 //!     "flaps": [{"link": 0, "at_s": 0.08, "for_s": 0.015}],
 //!     "degrade": [{"at_s": 0.1, "for_s": 0.02, "factor": 4.0}],
 //!     "stalls": [{"at_s": 0.12, "for_s": 0.002}],
-//!     "crashes": [{"tenant": 1, "at_s": 0.1, "for_s": 0.03}]
+//!     "crashes": [{"tenant": 1, "at_s": 0.1, "for_s": 0.03}],
+//!     "adversary": {
+//!       "link": 4, "forge_ls_p": 0.5, "invalid_flags_p": 0.0,
+//!       "drain_flood_p": 0.0, "replay_p": 0.0,
+//!       "spoof_p": 0.0, "spoof_victim": 2, "harden": true
+//!     }
 //!   }
 //! }
 //! ```
 //!
 //! Recovery knobs default on (see `FaultProfile::default`); a zero
 //! `retry_timeout_us` / `redrain_timeout_us` disables that mechanism.
+//! The optional `"adversary"` sub-block rides one tenant's link with
+//! protocol-level attacks (see [`faults::Adversary`]); `harden` selects
+//! whether the targets keep their DESIGN.md §14 defenses on.
 
 pub mod json;
 
 use fabric::Gbps;
-use faults::{Crash, Degrade, FaultProfile, KeepAliveSpec, LinkFlap, Stall};
+use faults::{Adversary, Crash, Degrade, FaultProfile, KeepAliveSpec, LinkFlap, Stall};
 use json::Json;
 use nvmf::RetryPolicy;
 use simkit::metrics::format_f64;
@@ -313,6 +321,40 @@ fn parse_faults(doc: &Json) -> Result<Option<FaultProfile>, String> {
             .and_then(Json::as_u64)
             .ok_or("faults.crashes entry needs an integer tenant")? as usize;
         p.crashes.push(Crash { tenant, at, dur });
+    }
+    if let Some(a) = v.get("adversary") {
+        let mut adv = Adversary {
+            link: a
+                .get("link")
+                .and_then(Json::as_u64)
+                .ok_or("faults.adversary needs an integer link")? as usize,
+            ..Adversary::default()
+        };
+        if let Some(x) = opt_prob(a, "forge_ls_p")? {
+            adv.forge_ls_p = x;
+        }
+        if let Some(x) = opt_prob(a, "invalid_flags_p")? {
+            adv.invalid_flags_p = x;
+        }
+        if let Some(x) = opt_prob(a, "drain_flood_p")? {
+            adv.drain_flood_p = x;
+        }
+        if let Some(x) = opt_prob(a, "replay_p")? {
+            adv.replay_p = x;
+        }
+        if let Some(x) = opt_prob(a, "spoof_p")? {
+            adv.spoof_p = x;
+        }
+        if let Some(victim) = a.get("spoof_victim").and_then(Json::as_u64) {
+            if victim > u64::from(u8::MAX) {
+                return Err(format!("faults.adversary.spoof_victim {victim} exceeds u8"));
+            }
+            adv.spoof_victim = victim as u8;
+        }
+        if let Some(h) = a.get("harden").and_then(Json::as_bool) {
+            adv.harden = h;
+        }
+        p.adversary = Some(adv);
     }
     Ok(Some(p))
 }
@@ -588,6 +630,48 @@ mod tests {
         // The profile rides on every expanded scenario.
         let (_, sc) = &spec.expand()[0];
         assert_eq!(sc.faults.as_ref().unwrap().drop_p, 0.01);
+    }
+
+    #[test]
+    fn adversary_block_parses_and_propagates() {
+        let spec = SweepSpec::from_json(
+            r#"{"name":"adv","runtimes":["opf"],
+                "faults":{"drop_p":0.0,
+                          "adversary":{"link":4,"forge_ls_p":0.5,
+                                       "invalid_flags_p":0.1,"drain_flood_p":0.2,
+                                       "replay_p":0.05,"spoof_p":0.3,
+                                       "spoof_victim":2,"harden":false}}}"#,
+        )
+        .unwrap();
+        let adv = spec.faults.as_ref().unwrap().adversary.unwrap();
+        assert_eq!(adv.link, 4);
+        assert_eq!(adv.forge_ls_p, 0.5);
+        assert_eq!(adv.invalid_flags_p, 0.1);
+        assert_eq!(adv.drain_flood_p, 0.2);
+        assert_eq!(adv.replay_p, 0.05);
+        assert_eq!(adv.spoof_p, 0.3);
+        assert_eq!(adv.spoof_victim, 2);
+        assert!(!adv.harden);
+        // The adversary rides on every expanded scenario.
+        let (_, sc) = &spec.expand()[0];
+        assert_eq!(sc.faults.as_ref().unwrap().adversary, Some(adv));
+        // Absent block leaves the plane honest; harden defaults to true.
+        let plain = SweepSpec::from_json(r#"{"name":"x","faults":{"drop_p":0.01}}"#).unwrap();
+        assert!(plain.faults.as_ref().unwrap().adversary.is_none());
+        let min =
+            SweepSpec::from_json(r#"{"name":"x","faults":{"adversary":{"link":1}}}"#).unwrap();
+        assert!(min.faults.as_ref().unwrap().adversary.unwrap().harden);
+    }
+
+    #[test]
+    fn adversary_block_rejects_bad_input() {
+        for doc in [
+            r#"{"name":"x","faults":{"adversary":{}}}"#,
+            r#"{"name":"x","faults":{"adversary":{"link":0,"spoof_p":1.5}}}"#,
+            r#"{"name":"x","faults":{"adversary":{"link":0,"spoof_victim":300}}}"#,
+        ] {
+            assert!(SweepSpec::from_json(doc).is_err(), "should reject: {doc}");
+        }
     }
 
     #[test]

@@ -476,6 +476,12 @@ pub fn run(sc: &Scenario) -> RunResult {
                 (AnyTarget::Spdk(t), rx)
             }
             RuntimeKind::Opf => {
+                // With an adversary configured, the §14 hardening mode
+                // follows its `harden` flag: enforcement plus the drain
+                // rate limit when on, the wire-trusting baseline when
+                // off. Without one, the defaults add no state and no
+                // metric keys, so adversary-free runs stay byte-identical.
+                let adv = sc.faults.as_ref().and_then(|p| p.adversary);
                 let tcfg = OpfTargetConfig {
                     queue_mode: if sc.shared_queue {
                         QueueMode::Shared
@@ -483,6 +489,8 @@ pub fn run(sc: &Scenario) -> RunResult {
                         QueueMode::PerInitiator
                     },
                     ls_bypass: !sc.no_ls_bypass,
+                    enforce_identity: adv.is_none_or(|a| a.harden),
+                    drain_rate: adv.and_then(|a| a.harden.then(opf::DrainRateLimit::default)),
                     ..OpfTargetConfig::default()
                 };
                 let t = shared(OpfTarget::new(
@@ -506,6 +514,14 @@ pub fn run(sc: &Scenario) -> RunResult {
             match &target {
                 AnyTarget::Spdk(t) => t.borrow_mut().set_recovery(true),
                 AnyTarget::Opf(t) => t.borrow_mut().set_recovery(true),
+            }
+        }
+        // The adversary experiment drives the baseline target's identity
+        // enforcement from the same `harden` flag (and switches its
+        // hardening counters on in metric snapshots).
+        if let Some(adv) = sc.faults.as_ref().and_then(|p| p.adversary) {
+            if let AnyTarget::Spdk(t) = &target {
+                t.borrow_mut().set_hardening(adv.harden);
             }
         }
 
@@ -601,7 +617,19 @@ pub fn run(sc: &Scenario) -> RunResult {
                         None => rx,
                     };
                     match &target {
-                        AnyTarget::Opf(t) => t.borrow_mut().connect_on(id, iep.clone(), rx, lane),
+                        AnyTarget::Opf(t) => {
+                            let mut t = t.borrow_mut();
+                            t.connect_on(id, iep.clone(), rx, lane);
+                            // With an adversary in play, register each
+                            // TC connection's class so forged LS flags
+                            // are demoted under enforcement. Untracked
+                            // otherwise: historical trust-the-wire.
+                            let adversarial =
+                                sc.faults.as_ref().is_some_and(|p| p.adversary.is_some());
+                            if adversarial && class == ReqClass::ThroughputCritical {
+                                t.deny_ls(id);
+                            }
+                        }
                         AnyTarget::Spdk(_) => unreachable!(),
                     }
                     AnyInitiator::Opf(i)

@@ -1,0 +1,111 @@
+//! End-to-end invariants of the hardened protocol plane under an
+//! adversarial tenant (DESIGN.md §14).
+//!
+//! For random small topologies × both runtimes × random attack profiles
+//! (forged LS flags, invalid flag combinations, drain floods, CID
+//! replay, initiator spoofing) — optionally stacked on top of a lossy
+//! fault plane — every *hardened* run must satisfy the same contracts
+//! `workload/tests/shard_invariants.rs` enforces for honest clusters:
+//!
+//! 1. **Replay**: the sharded run's whole metric snapshot is identical
+//!    to the serial run — the adversary interposes per link from a
+//!    forked RNG stream, so its draws must be shard-invariant too.
+//! 2. **Exactly-once per honest CID**: with the settle window draining
+//!    the tail, every honest tenant's completions equal its
+//!    submissions — the adversary can waste its own stream but can
+//!    neither lose nor duplicate an honest command.
+//! 3. **Per-tenant conservation**: no honest tenant sees an I/O error
+//!    or exhausts a retry budget; the adversary's abuse is absorbed as
+//!    counted protocol errors, never as honest-tenant failures.
+
+use faults::{Adversary, FaultProfile};
+use nvmf::RetryPolicy;
+use proptest::prelude::*;
+use simkit::SimDuration;
+use workload::{Mix, RuntimeKind, Scenario};
+
+/// Full snapshot as comparable data (name-sorted inside `Metrics`).
+fn snapshot(r: &workload::RunResult) -> Vec<(String, f64)> {
+    r.metrics.iter().map(|(n, v)| (n.to_string(), v)).collect()
+}
+
+/// One single-knob attack profile; `kind` selects which draw fires.
+fn attack(kind: u8, p: f64) -> Adversary {
+    let mut adv = Adversary::default();
+    match kind % 5 {
+        0 => adv.forge_ls_p = p,
+        1 => adv.invalid_flags_p = p,
+        2 => adv.drain_flood_p = p,
+        3 => adv.replay_p = p,
+        _ => adv.spoof_p = p,
+    }
+    adv
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 8, ..Default::default() })]
+    #[test]
+    fn hardened_runs_absorb_the_adversary(
+        runtime_opf in any::<bool>(),
+        kind in 0u8..5,
+        p in 0.05f64..0.9,
+        ls in 0usize..2,
+        tc in 2usize..4,
+        shards in 2usize..=8,
+        lossy in any::<bool>(),
+        seed in 1u64..256,
+    ) {
+        let runtime = if runtime_opf { RuntimeKind::Opf } else { RuntimeKind::Spdk };
+        let mut sc = Scenario::ratio(runtime, fabric::Gbps::G100, Mix::READ, ls, tc);
+        sc.warmup_s = 0.01;
+        sc.measure_s = 0.03;
+        sc.seed = seed;
+        // The last TC slot turns adversarial; it spoofs the first slot.
+        let tenants = ls + tc;
+        let adversary_link = tenants - 1;
+        sc.faults = Some(FaultProfile {
+            drop_p: if lossy { 0.02 } else { 0.0 },
+            dup_p: if lossy { 0.01 } else { 0.0 },
+            retry: Some(RetryPolicy {
+                timeout: SimDuration::from_micros(2_000),
+                max_retries: 16,
+            }),
+            redrain_timeout: Some(SimDuration::from_micros(2_000)),
+            adversary: Some(Adversary {
+                link: adversary_link,
+                spoof_victim: 0,
+                harden: true,
+                ..attack(kind, p)
+            }),
+            ..FaultProfile::default()
+        });
+
+        let serial = workload::run(&sc);
+        sc.shards = shards;
+        let sharded = workload::run(&sc);
+
+        // 1. Replay: adversary draws and defenses are shard-invariant.
+        prop_assert_eq!(snapshot(&serial), snapshot(&sharded));
+        prop_assert_eq!(serial.events, sharded.events);
+
+        // 2 + 3. Exactly-once and conservation for every honest tenant.
+        let m = &sharded.metrics;
+        for i in (0..tenants).filter(|&i| i != adversary_link) {
+            let sub = m.get(&format!("ini{i}.submitted")).unwrap_or(-1.0);
+            let comp = m.get(&format!("ini{i}.completed")).unwrap_or(-1.0);
+            prop_assert!(sub >= 0.0 && comp >= 0.0, "tenant {i} snapshot missing");
+            prop_assert!(comp > 0.0, "tenant {i} never completed anything");
+            prop_assert_eq!(comp, sub, "tenant {} lost or duplicated commands", i);
+            prop_assert_eq!(
+                m.get(&format!("ini{i}.errors")),
+                Some(0.0),
+                "tenant {} saw I/O errors", i
+            );
+            prop_assert_eq!(
+                m.get(&format!("ini{i}.retry_exhausted")),
+                Some(0.0),
+                "tenant {} exhausted a retry budget", i
+            );
+        }
+    }
+}
