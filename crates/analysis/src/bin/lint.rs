@@ -1,32 +1,98 @@
 //! Workspace invariant linter CLI: `cargo run -p analysis --bin lint`.
 //!
-//! Lints the workspace checkout (or an explicit root passed as the first
-//! argument) against the rules in `analysis::lint` and exits non-zero if
-//! any violation is found. CI runs this as part of the `analysis` job.
+//! Lints the workspace checkout (or an explicit root passed as a
+//! positional argument) against the rules in `analysis::lint` and exits
+//! non-zero if any unwaived violation is found. CI runs this as the
+//! blocking `analysis` job.
+//!
+//! `--json` switches to machine-readable output: one object per finding
+//! (file, line, rule, detail, waived) including waived findings, so CI
+//! can both gate on violations and audit the waiver inventory.
+//! `--annotate` additionally emits GitHub Actions `::error` workflow
+//! commands for unwaived findings, which the Actions runner turns into
+//! inline PR annotations.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 fn main() -> ExitCode {
-    let root = std::env::args()
-        .nth(1)
-        .map(PathBuf::from)
-        .unwrap_or_else(|| {
-            // crates/analysis → workspace root.
-            PathBuf::from(env!("CARGO_MANIFEST_DIR"))
-                .parent()
-                .and_then(|p| p.parent())
-                .expect("analysis crate lives two levels under the workspace root")
-                .to_path_buf()
-        });
-    let findings = analysis::lint::lint_workspace(&root);
-    if findings.is_empty() {
-        println!("lint: workspace clean ({})", root.display());
-        return ExitCode::SUCCESS;
+    let mut json = false;
+    let mut annotate = false;
+    let mut root: Option<PathBuf> = None;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--annotate" => annotate = true,
+            other => root = Some(PathBuf::from(other)),
+        }
     }
-    for f in &findings {
-        println!("{f}");
+    let root = root.unwrap_or_else(|| {
+        // crates/analysis → workspace root.
+        PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .parent()
+            .and_then(|p| p.parent())
+            .expect("analysis crate lives two levels under the workspace root")
+            .to_path_buf()
+    });
+    let all = analysis::lint::audit_workspace(&root);
+    let violations: Vec<_> = all.iter().filter(|f| !f.waived).collect();
+
+    if json {
+        println!("[");
+        for (i, f) in all.iter().enumerate() {
+            let comma = if i + 1 == all.len() { "" } else { "," };
+            println!(
+                "  {{\"file\": \"{}\", \"line\": {}, \"rule\": \"{}\", \"waived\": {}, \"detail\": \"{}\"}}{comma}",
+                json_escape(&f.file.to_string_lossy()),
+                f.line,
+                f.rule,
+                f.waived,
+                json_escape(&f.detail),
+            );
+        }
+        println!("]");
+    } else if violations.is_empty() {
+        println!(
+            "lint: workspace clean ({}, {} waived finding(s))",
+            root.display(),
+            all.len()
+        );
+    } else {
+        for f in &violations {
+            println!("{f}");
+        }
+        println!("lint: {} violation(s)", violations.len());
     }
-    println!("lint: {} violation(s)", findings.len());
-    ExitCode::FAILURE
+    if annotate {
+        for f in &violations {
+            // GitHub Actions workflow command → inline PR annotation.
+            println!(
+                "::error file={},line={},title=lint {}::{}",
+                f.file.display(),
+                f.line,
+                f.rule,
+                f.detail
+            );
+        }
+    }
+    if violations.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
 }

@@ -1,0 +1,588 @@
+//! A vendored, dependency-free Rust lexer for the workspace linter.
+//!
+//! The lint rules in [`crate::lint`] used to run on per-line
+//! comment-stripped text, which cannot tell a waiver comment from a
+//! string literal that merely *mentions* one, and pairs `SAFETY`
+//! comments to `unsafe` blocks by line distance. This module turns a
+//! source file into a flat [`Tok`] stream with byte spans and line
+//! numbers so the rules can match real tokens:
+//!
+//! * nested block comments (`/* /* */ */` stays one comment token);
+//! * raw strings (`r#"…"#` with any hash count, `//` inside is content);
+//! * byte strings and raw byte strings (`b"…"`, `br#"…"#`);
+//! * char literals vs lifetimes (`'"'` is a char, `'a` in `&'a str` is
+//!   a lifetime, `'\u{1F600}'` is a char);
+//! * raw identifiers (`r#match` is one identifier, not a raw string);
+//! * numeric literals with digit-group underscores and type suffixes.
+//!
+//! It is a *lexer*, not a parser: there is no AST. The one structural
+//! pass layered on top is [`test_spans`], which brace-matches
+//! `#[cfg(test)]`-attributed items so lint rules can scope precisely to
+//! the attributed item instead of the old "first `cfg(test)` to
+//! end-of-file" heuristic — code *after* a `#[cfg(test)] mod tests {}`
+//! block is production code again.
+
+use std::ops::Range;
+
+/// Token class. String/char variants carry no decoded value — the lint
+/// rules only ever need to know that a span *is* literal content so it
+/// can be excluded from code matching.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (including `r#raw` identifiers).
+    Ident,
+    /// `'lifetime` (including `'static`, `'_`).
+    Lifetime,
+    /// `'c'`, `'\n'`, `'\u{…}'`, or `b'c'`.
+    CharLit,
+    /// `"…"`, `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#` — all string shapes.
+    StrLit,
+    /// Integer or float literal, suffix included (`6_364u64`, `1.5e3`).
+    NumLit,
+    /// `// …` to end of line (plain, `///` doc, `//!` inner doc).
+    LineComment,
+    /// `/* … */`, nesting tracked; may span lines. Doc forms included.
+    BlockComment,
+    /// Any other single character of punctuation/operators.
+    Punct,
+}
+
+impl TokKind {
+    /// True for the two comment kinds.
+    pub fn is_comment(self) -> bool {
+        matches!(self, TokKind::LineComment | TokKind::BlockComment)
+    }
+}
+
+/// One token: kind, byte span into the source, and 1-based line of its
+/// first byte.
+#[derive(Clone, Debug)]
+pub struct Tok {
+    pub kind: TokKind,
+    pub span: Range<usize>,
+    pub line: usize,
+}
+
+impl Tok {
+    /// The token's text within `src`.
+    pub fn text<'s>(&self, src: &'s str) -> &'s str {
+        &src[self.span.clone()]
+    }
+}
+
+/// Lex `src` into a token stream. Never fails: unterminated literals
+/// and comments are closed at end of input, so the linter degrades
+/// gracefully on mid-edit files.
+pub fn lex(src: &str) -> Vec<Tok> {
+    Lexer::new(src).run()
+}
+
+struct Lexer<'s> {
+    bytes: &'s [u8],
+    pos: usize,
+    line: usize,
+    out: Vec<Tok>,
+}
+
+impl<'s> Lexer<'s> {
+    fn new(src: &'s str) -> Self {
+        Lexer {
+            bytes: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            out: Vec::new(),
+        }
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.bytes.get(self.pos + ahead).copied()
+    }
+
+    /// Advance `n` bytes, counting newlines.
+    fn bump(&mut self, n: usize) {
+        for i in 0..n {
+            if self.bytes.get(self.pos + i) == Some(&b'\n') {
+                self.line += 1;
+            }
+        }
+        self.pos += n;
+    }
+
+    fn push(&mut self, kind: TokKind, start: usize, start_line: usize) {
+        self.out.push(Tok {
+            kind,
+            span: start..self.pos,
+            line: start_line,
+        });
+    }
+
+    fn run(mut self) -> Vec<Tok> {
+        // A shebang line (`#!/usr/bin/env …`) is not Rust; skip it. An
+        // inner attribute `#![…]` is Rust and must not be skipped.
+        if self.bytes.starts_with(b"#!") && self.peek(2) != Some(b'[') {
+            while self.peek(0).is_some_and(|b| b != b'\n') {
+                self.bump(1);
+            }
+        }
+        while let Some(b) = self.peek(0) {
+            let start = self.pos;
+            let start_line = self.line;
+            match b {
+                b'/' if self.peek(1) == Some(b'/') => {
+                    while self.peek(0).is_some_and(|c| c != b'\n') {
+                        self.bump(1);
+                    }
+                    self.push(TokKind::LineComment, start, start_line);
+                }
+                b'/' if self.peek(1) == Some(b'*') => {
+                    self.bump(2);
+                    let mut depth = 1usize;
+                    while depth > 0 {
+                        match (self.peek(0), self.peek(1)) {
+                            (Some(b'/'), Some(b'*')) => {
+                                depth += 1;
+                                self.bump(2);
+                            }
+                            (Some(b'*'), Some(b'/')) => {
+                                depth -= 1;
+                                self.bump(2);
+                            }
+                            (Some(_), _) => self.bump(1),
+                            (None, _) => break, // unterminated: close at EOF
+                        }
+                    }
+                    self.push(TokKind::BlockComment, start, start_line);
+                }
+                b'"' => {
+                    self.string(false);
+                    self.push(TokKind::StrLit, start, start_line);
+                }
+                b'\'' => self.quote(start, start_line),
+                b'r' | b'b' if self.raw_or_byte_literal(start, start_line) => {}
+                c if c == b'_' || c.is_ascii_alphabetic() || c >= 0x80 => {
+                    self.ident();
+                    self.push(TokKind::Ident, start, start_line);
+                }
+                c if c.is_ascii_digit() => {
+                    self.number();
+                    self.push(TokKind::NumLit, start, start_line);
+                }
+                c if c.is_ascii_whitespace() => self.bump(1),
+                _ => {
+                    self.bump(1);
+                    self.push(TokKind::Punct, start, start_line);
+                }
+            }
+        }
+        self.out
+    }
+
+    /// Consume an identifier body (first char already validated).
+    fn ident(&mut self) {
+        while self
+            .peek(0)
+            .is_some_and(|c| c == b'_' || c.is_ascii_alphanumeric() || c >= 0x80)
+        {
+            self.bump(1);
+        }
+    }
+
+    /// Consume a numeric literal: digits, `_`, radix prefixes, a float
+    /// part, an exponent, and any alphanumeric type suffix. Precision on
+    /// the literal grammar is unnecessary — the linter only needs the
+    /// span to cohere (e.g. `6_364_136u64` is one token).
+    fn number(&mut self) {
+        self.bump(1);
+        while let Some(c) = self.peek(0) {
+            if c == b'_' || c.is_ascii_alphanumeric() {
+                self.bump(1);
+            } else if c == b'.' && self.peek(1).is_some_and(|d| d.is_ascii_digit()) {
+                // `1.5` continues the literal; `1.method()` does not.
+                self.bump(1);
+            } else if (c == b'+' || c == b'-')
+                && matches!(self.bytes.get(self.pos - 1), Some(b'e') | Some(b'E'))
+            {
+                // Exponent sign: `1e-3`.
+                self.bump(1);
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// At a `'`: char literal or lifetime?
+    ///
+    /// `'x'` / `'\…'` → char literal. `'ident` not followed by a closing
+    /// quote → lifetime. The decisive test for the unescaped form is
+    /// whether the *second* character after the quote closes it: `'a'`
+    /// is a char, `'a,` is a lifetime, `'"'` is a char (a quote cannot
+    /// start a lifetime).
+    fn quote(&mut self, start: usize, start_line: usize) {
+        match self.peek(1) {
+            Some(b'\\') => {
+                // Escaped char literal: scan to the closing quote.
+                self.bump(2); // ' and backslash
+                self.bump(1); // the escaped character itself
+                while let Some(c) = self.peek(0) {
+                    if c == b'\'' {
+                        self.bump(1);
+                        break;
+                    }
+                    if c == b'\n' {
+                        break; // malformed; don't eat the file
+                    }
+                    self.bump(1);
+                }
+                self.push(TokKind::CharLit, start, start_line);
+            }
+            Some(c) if c != b'\'' && self.peek(2) == Some(b'\'') && !ident_start(c) => {
+                // `'"'`, `'('` … — a single non-identifier char closed by
+                // a quote is always a char literal.
+                self.bump(3);
+                self.push(TokKind::CharLit, start, start_line);
+            }
+            Some(c) if ident_start(c) => {
+                // `'a'` char vs `'a` lifetime: look one past the char.
+                if self.peek(2) == Some(b'\'') && !ident_continue(self.peek(3)) {
+                    // `'a'` followed by a non-identifier: char literal.
+                    // (`'a'b` cannot occur; `'static'` is not Rust.)
+                    self.bump(3);
+                    self.push(TokKind::CharLit, start, start_line);
+                } else {
+                    self.bump(1);
+                    self.ident();
+                    self.push(TokKind::Lifetime, start, start_line);
+                }
+            }
+            _ => {
+                // Lone quote (malformed) — emit as punct and move on.
+                self.bump(1);
+                self.push(TokKind::Punct, start, start_line);
+            }
+        }
+    }
+
+    /// At `r` or `b`: raw string (`r"…"`, `r#"…"#`), byte string
+    /// (`b"…"`, `br#"…"#`), byte char (`b'x'`), or raw identifier
+    /// (`r#ident`). Returns true if a token was consumed; false means
+    /// "just an identifier starting with r/b" and the caller falls
+    /// through to ident handling.
+    fn raw_or_byte_literal(&mut self, start: usize, start_line: usize) -> bool {
+        let b0 = self.peek(0).unwrap();
+        // b'x' byte char literal: step over the prefix and let the char
+        // path take it; the span passed down still covers the `b`.
+        if b0 == b'b' && self.peek(1) == Some(b'\'') {
+            self.bump(1);
+            self.quote(start, start_line);
+            return true;
+        }
+        // Candidate prefix: optional b/r ordering is `r`, `b`, `br`, `rb`
+        // (only `r`, `b`, `br` are real Rust; accept `rb` defensively).
+        let mut j = 0usize;
+        let mut saw_r = false;
+        while let Some(c) = self.peek(j) {
+            match c {
+                b'r' if j < 2 => {
+                    saw_r = true;
+                    j += 1;
+                }
+                b'b' if j < 2 => j += 1,
+                _ => break,
+            }
+        }
+        let mut hashes = 0usize;
+        while self.peek(j + hashes) == Some(b'#') {
+            hashes += 1;
+        }
+        let at_quote = self.peek(j + hashes) == Some(b'"');
+        if at_quote && (saw_r || hashes == 0) {
+            // r"…", r#"…"#, b"…", br#"…"# — a raw/byte string. A plain
+            // `b#"` (no r) is not a string; require r for hashed forms.
+            if hashes > 0 && !saw_r {
+                return false;
+            }
+            self.bump(j + hashes + 1); // prefix, hashes, opening quote
+            if saw_r {
+                self.raw_string_body(hashes);
+            } else {
+                self.string_body();
+            }
+            self.push(TokKind::StrLit, start, start_line);
+            return true;
+        }
+        // r#ident raw identifier.
+        if saw_r && hashes == 1 && self.peek(j + 1).is_some_and(ident_start) {
+            self.bump(j + 1);
+            self.ident();
+            self.push(TokKind::Ident, start, start_line);
+            return true;
+        }
+        false
+    }
+
+    /// Consume a plain (escaped) string after its opening quote,
+    /// including the closing quote.
+    fn string(&mut self, _raw: bool) {
+        self.bump(1); // opening quote
+        self.string_body();
+    }
+
+    fn string_body(&mut self) {
+        while let Some(c) = self.peek(0) {
+            match c {
+                b'\\' => self.bump(2), // escape: skip the escaped byte
+                b'"' => {
+                    self.bump(1);
+                    return;
+                }
+                _ => self.bump(1),
+            }
+        }
+    }
+
+    /// Consume a raw string body after its opening quote: ends at the
+    /// first `"` followed by `hashes` `#`s. No escapes.
+    fn raw_string_body(&mut self, hashes: usize) {
+        while let Some(c) = self.peek(0) {
+            if c == b'"' {
+                let closes = (0..hashes).all(|k| self.peek(1 + k) == Some(b'#'));
+                if closes {
+                    self.bump(1 + hashes);
+                    return;
+                }
+            }
+            self.bump(1);
+        }
+    }
+}
+
+fn ident_start(c: u8) -> bool {
+    c == b'_' || c.is_ascii_alphabetic() || c >= 0x80
+}
+
+fn ident_continue(c: Option<u8>) -> bool {
+    c.is_some_and(|c| c == b'_' || c.is_ascii_alphanumeric() || c >= 0x80)
+}
+
+/// Byte ranges of `#[cfg(test)]`-attributed items, brace-matched.
+///
+/// Walks the code tokens; on an attribute whose content mentions the
+/// `test` cfg (`#[cfg(test)]`, `#[cfg(all(test, …))]`), the following
+/// item — after any further attributes — is consumed to its closing
+/// brace (or terminating `;` for `mod name;` / `use …;` forms) and its
+/// full span recorded. Nested items are naturally covered by the brace
+/// count. Used by the linter's `is_test` scoping.
+pub fn test_spans(src: &str, toks: &[Tok]) -> Vec<Range<usize>> {
+    let code: Vec<usize> = (0..toks.len())
+        .filter(|&i| !toks[i].kind.is_comment())
+        .collect();
+    let mut spans = Vec::new();
+    let mut ci = 0usize;
+    while ci < code.len() {
+        let i = code[ci];
+        if toks[i].text(src) != "#" {
+            ci += 1;
+            continue;
+        }
+        // Parse one attribute: `#[ … ]` (or `#![ … ]`).
+        let mut aj = ci + 1;
+        if aj < code.len() && toks[code[aj]].text(src) == "!" {
+            aj += 1; // inner attribute — never attaches to a next item
+        }
+        if aj >= code.len() || toks[code[aj]].text(src) != "[" {
+            ci += 1;
+            continue;
+        }
+        let attr_start = toks[i].span.start;
+        let inner = toks[code[aj]].text(src) == "[" && aj != ci + 1;
+        // Scan to the matching `]`, noting whether this is cfg(test).
+        let mut depth = 0usize;
+        let mut k = aj;
+        let mut saw_cfg = false;
+        let mut saw_test = false;
+        while k < code.len() {
+            let t = toks[code[k]].text(src);
+            match t {
+                "[" | "(" => depth += 1,
+                "]" | ")" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                "cfg" => saw_cfg = true,
+                "test" if saw_cfg => saw_test = true,
+                _ => {}
+            }
+            k += 1;
+        }
+        if k >= code.len() {
+            break; // unterminated attribute
+        }
+        if !saw_cfg || !saw_test || inner {
+            ci = k + 1;
+            continue;
+        }
+        // `#[cfg(test)]` found: skip further attributes, then consume
+        // the item to its end.
+        let mut m = k + 1;
+        while m + 1 < code.len()
+            && toks[code[m]].text(src) == "#"
+            && toks[code[m + 1]].text(src) == "["
+        {
+            let mut d = 0usize;
+            let mut n = m + 1;
+            while n < code.len() {
+                match toks[code[n]].text(src) {
+                    "[" | "(" => d += 1,
+                    "]" | ")" => {
+                        d -= 1;
+                        if d == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                n += 1;
+            }
+            m = n + 1;
+        }
+        // Find the item end: first `;` at depth 0, or the brace block.
+        let mut d = 0usize;
+        let mut end = None;
+        let mut n = m;
+        while n < code.len() {
+            match toks[code[n]].text(src) {
+                "{" => d += 1,
+                "}" => {
+                    d = d.saturating_sub(1);
+                    if d == 0 {
+                        end = Some(toks[code[n]].span.end);
+                        break;
+                    }
+                }
+                ";" if d == 0 => {
+                    end = Some(toks[code[n]].span.end);
+                    break;
+                }
+                _ => {}
+            }
+            n += 1;
+        }
+        let end = end.unwrap_or(src.len());
+        spans.push(attr_start..end);
+        // Continue scanning after the item (a later sibling may also be
+        // cfg(test)-gated).
+        while ci < code.len() && toks[code[ci]].span.start < end {
+            ci += 1;
+        }
+    }
+    spans
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src)
+            .into_iter()
+            .map(|t| (t.kind, t.text(src).to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn nested_block_comment_is_one_token() {
+        let src = "a /* x /* y */ z */ b";
+        let k = kinds(src);
+        assert_eq!(k.len(), 3);
+        assert_eq!(k[1], (TokKind::BlockComment, "/* x /* y */ z */".into()));
+        assert_eq!(k[2].1, "b");
+    }
+
+    #[test]
+    fn raw_string_with_line_comment_inside() {
+        let src = r##"let s = r#"// not a comment"#;"##;
+        let k = kinds(src);
+        assert!(k
+            .iter()
+            .any(|(kind, t)| *kind == TokKind::StrLit && t.contains("// not a comment")));
+        assert!(!k.iter().any(|(kind, _)| kind.is_comment()));
+    }
+
+    #[test]
+    fn char_literal_quote_vs_lifetime() {
+        let src = "fn f<'a>(c: char) -> bool { c == '\"' && 'x' != '\\'' }";
+        let k = kinds(src);
+        let chars: Vec<&str> = k
+            .iter()
+            .filter(|(kind, _)| *kind == TokKind::CharLit)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(chars, ["'\"'", "'x'", "'\\''"]);
+        let lifetimes: Vec<&str> = k
+            .iter()
+            .filter(|(kind, _)| *kind == TokKind::Lifetime)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(lifetimes, ["'a"]);
+    }
+
+    #[test]
+    fn raw_identifier_is_ident_not_string() {
+        let k = kinds("let r#match = 1;");
+        assert!(k.contains(&(TokKind::Ident, "r#match".into())));
+    }
+
+    #[test]
+    fn byte_strings_and_byte_chars() {
+        let k = kinds(r##"let a = b"bytes"; let c = b'x'; let r = br#"raw"#;"##);
+        assert!(k.contains(&(TokKind::StrLit, "b\"bytes\"".into())));
+        assert!(k.contains(&(TokKind::CharLit, "b'x'".into())));
+    }
+
+    #[test]
+    fn numeric_literal_with_underscores_is_one_token() {
+        let k = kinds("x * 6_364_136_223_846_793_005u64 + 1.5e-3");
+        assert!(k.contains(&(TokKind::NumLit, "6_364_136_223_846_793_005u64".into())));
+        assert!(k.contains(&(TokKind::NumLit, "1.5e-3".into())));
+    }
+
+    #[test]
+    fn lines_are_tracked_across_multiline_tokens() {
+        let src = "a\n/* two\nlines */\nb \"str\nacross\" c";
+        let toks = lex(src);
+        let find = |text: &str| toks.iter().find(|t| t.text(src) == text).unwrap().line;
+        assert_eq!(find("a"), 1);
+        assert_eq!(find("b"), 4);
+        assert_eq!(find("c"), 5);
+    }
+
+    #[test]
+    fn test_span_covers_mod_block_only() {
+        let src = "fn prod() {}\n#[cfg(test)]\nmod tests {\n    fn t() {}\n}\nfn after() {}\n";
+        let toks = lex(src);
+        let spans = test_spans(src, &toks);
+        assert_eq!(spans.len(), 1);
+        let covered = &src[spans[0].clone()];
+        assert!(covered.starts_with("#[cfg(test)]"));
+        assert!(covered.ends_with('}'));
+        assert!(!covered.contains("after"));
+        assert!(!covered.contains("prod"));
+    }
+
+    #[test]
+    fn cfg_all_test_and_multiple_attrs() {
+        let src = "#[cfg(all(test, feature = \"x\"))]\n#[allow(dead_code)]\nmod m { fn t() {} }\nfn live() {}\n";
+        let spans = test_spans(src, &lex(src));
+        assert_eq!(spans.len(), 1);
+        assert!(src[spans[0].clone()].contains("fn t"));
+        assert!(!src[spans[0].clone()].contains("live"));
+    }
+
+    #[test]
+    fn non_test_cfg_is_not_a_test_span() {
+        let src = "#[cfg(feature = \"model\")]\nfn weak() {}\n";
+        assert!(test_spans(src, &lex(src)).is_empty());
+    }
+}

@@ -20,5 +20,7 @@
 //! Everything here is offline and dependency-free by construction: the
 //! build container has no crates.io access, so the tooling is vendored.
 
+pub mod fsm;
+pub mod lex;
 pub mod lint;
 pub mod model;

@@ -59,6 +59,7 @@ pub fn mailbox<T>(cap: usize) -> (MailboxTx<T>, MailboxRx<T>) {
             bell: bell.clone(),
             posted: 0,
             #[cfg(feature = "model")]
+            // ordering-ok: default bell edge; model negative tests weaken it.
             bell_ord: Ordering::Release,
         },
         MailboxRx { rx, bell, taken: 0 },
@@ -99,6 +100,8 @@ impl<T> MailboxTx<T> {
         }
         #[cfg(not(feature = "model"))]
         {
+            // ordering-ok: the bell publishes the whole posted batch;
+            // pairs with `pending()`'s Acquire load.
             Ordering::Release
         }
     }
@@ -142,6 +145,8 @@ impl<T> MailboxRx<T> {
     /// these is already published in the ring, so that many [`take`]
     /// calls succeed without spinning.
     pub fn pending(&self) -> usize {
+        // ordering-ok: pairs with the producer's Release bell store — every
+        // belled item's ring publication is visible before we count it.
         self.bell.load(Ordering::Acquire) - self.taken
     }
 

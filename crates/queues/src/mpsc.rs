@@ -92,6 +92,7 @@ impl<T> MpscQueue<T> {
             tail: AtomicPtr::new(stub),
             head: AtomicPtr::new(stub),
             #[cfg(feature = "model")]
+            // ordering-ok: default link edge; model negative tests weaken it.
             link_ord: Ordering::Release,
         }
     }
@@ -116,6 +117,8 @@ impl<T> MpscQueue<T> {
         }
         #[cfg(not(feature = "model"))]
         {
+            // ordering-ok: linking publishes the node's value write; pairs
+            // with the consumer's Acquire load of `next`.
             Ordering::Release
         }
     }
@@ -127,6 +130,8 @@ impl<T> MpscQueue<T> {
         // Between the swap and the store the queue is momentarily
         // "broken" (old tail not yet linked); the consumer handles that by
         // treating a null `next` on a non-tail node as empty-for-now.
+        // ordering-ok: AcqRel — Release publishes our node to the next
+        // producer that swaps; Acquire sees the previous tail's init.
         let prev = self.tail.swap(node, Ordering::AcqRel);
         // SAFETY: `prev` is a valid node; only this producer links it.
         unsafe { (*prev).next.store(node, self.link_ord()) };
@@ -148,6 +153,8 @@ impl<T> MpscQueue<T> {
         // relaxed-ok: `head` is consumer-owned; only this thread stores it.
         let head = self.head.load(Ordering::Relaxed);
         // SAFETY: head is always a valid stub node owned by the consumer.
+        // ordering-ok: pairs with the producer's Release link store — the
+        // node's value write is visible before we dereference it.
         let next = unsafe { (*head).next.load(Ordering::Acquire) };
         if next.is_null() {
             return None;
@@ -175,6 +182,7 @@ impl<T> MpscQueue<T> {
         let head = self.head.load(Ordering::Relaxed);
         // SAFETY: head is a valid stub node; `&mut self` excludes a
         // concurrent pop freeing it.
+        // ordering-ok: pairs with the producer's Release link store.
         unsafe { (*head).next.load(Ordering::Acquire).is_null() }
     }
 }

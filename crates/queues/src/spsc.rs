@@ -58,6 +58,7 @@ impl<T> Ring<T> {
             head: CachePadded(AtomicUsize::new(0)),
             tail: CachePadded(AtomicUsize::new(0)),
             #[cfg(feature = "model")]
+            // ordering-ok: default publish edge; model negative tests weaken it.
             publish_ord: Ordering::Release,
         }
     }
@@ -71,6 +72,8 @@ impl<T> Ring<T> {
         }
         #[cfg(not(feature = "model"))]
         {
+            // ordering-ok: index publication carries the slot write/read to
+            // the other side; pairs with that side's Acquire load.
             Ordering::Release
         }
     }
@@ -155,6 +158,8 @@ impl<T> Producer<T> {
         // relaxed-ok: `tail` is producer-owned; only this thread stores it.
         let tail = ring.tail.load(Ordering::Relaxed);
         if tail - self.cached_head == ring.capacity() {
+            // ordering-ok: pairs with the consumer's Release head publish —
+            // the slot is only reused after its read is visible here.
             self.cached_head = ring.head.load(Ordering::Acquire);
             if tail - self.cached_head == ring.capacity() {
                 return Err(value);
@@ -174,6 +179,7 @@ impl<T> Producer<T> {
     pub fn len(&self) -> usize {
         // relaxed-ok: producer-owned index.
         let tail = self.ring.tail.load(Ordering::Relaxed);
+        // ordering-ok: pairs with the consumer's Release head publish.
         let head = self.ring.head.load(Ordering::Acquire);
         tail - head
     }
@@ -196,6 +202,8 @@ impl<T> Consumer<T> {
         // relaxed-ok: `head` is consumer-owned; only this thread stores it.
         let head = ring.head.load(Ordering::Relaxed);
         if head == self.cached_tail {
+            // ordering-ok: pairs with the producer's Release tail publish —
+            // makes the slot write visible before we read it.
             self.cached_tail = ring.tail.load(Ordering::Acquire);
             if head == self.cached_tail {
                 return None;
@@ -216,6 +224,7 @@ impl<T> Consumer<T> {
         // relaxed-ok: consumer-owned index.
         let head = ring.head.load(Ordering::Relaxed);
         if head == self.cached_tail {
+            // ordering-ok: pairs with the producer's Release tail publish.
             self.cached_tail = ring.tail.load(Ordering::Acquire);
             if head == self.cached_tail {
                 return None;
@@ -233,6 +242,7 @@ impl<T> Consumer<T> {
     pub fn len(&self) -> usize {
         // relaxed-ok: consumer-owned index.
         let head = self.ring.head.load(Ordering::Relaxed);
+        // ordering-ok: pairs with the producer's Release tail publish.
         let tail = self.ring.tail.load(Ordering::Acquire);
         tail - head
     }
