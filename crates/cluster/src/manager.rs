@@ -1,0 +1,139 @@
+//! Cluster-level Priority Manager.
+//!
+//! Each [`opf::OpfTarget`] runs the paper's per-target priority logic in
+//! isolation; nothing below this module sees more than one box. The
+//! cluster manager closes that gap: on a fixed tick it aggregates every
+//! target's per-tenant TC staging depth and rebalances **drain weights**
+//! — a tenant whose staged queue runs deeper than the cluster mean gets
+//! its drain-rate token refill scaled up (it is being starved relative
+//! to its peers), a shallow one is scaled down. Weights only matter when
+//! the target has a [`opf::DrainRateLimit`] configured, so single-target
+//! scenarios without rate limiting are untouched by construction.
+//!
+//! The actuation is deliberately a *weight*, not a queue raid: moving
+//! commands between targets is migration's job ([`crate::migration`]),
+//! and the manager never touches protocol state.
+
+use opf::OpfTarget;
+use simkit::Shared;
+
+/// Multiplicative clamp on the per-tenant weight so one pathological
+/// tenant cannot zero out (or monopolize) a target's drain budget.
+const WEIGHT_MIN: f64 = 0.25;
+const WEIGHT_MAX: f64 = 4.0;
+
+/// Aggregated view of one manager tick, exported as `cluster.*` metrics
+/// by the workload runner.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ManagerSnapshot {
+    /// Ticks executed so far.
+    pub ticks: u64,
+    /// Individual `set_tenant_weight` actuations issued.
+    pub weight_updates: u64,
+    /// Largest (max depth − min depth) across targets seen on any tick,
+    /// in staged commands — the imbalance the manager is reacting to.
+    pub max_imbalance: usize,
+    /// Tenants observed cluster-wide on the last tick.
+    pub tenants_seen: usize,
+}
+
+/// Aggregates per-target drain/LS pressure and rebalances tenant drain
+/// weights across the cluster (DESIGN.md §16).
+pub struct ClusterPriorityManager {
+    targets: Vec<Shared<OpfTarget>>,
+    snap: ManagerSnapshot,
+}
+
+impl ClusterPriorityManager {
+    pub fn new(targets: Vec<Shared<OpfTarget>>) -> Self {
+        ClusterPriorityManager {
+            targets,
+            snap: ManagerSnapshot::default(),
+        }
+    }
+
+    /// One rebalancing pass. Reads every target's per-tenant TC depth,
+    /// computes the cluster-wide mean over *loaded* tenants, and sets
+    /// each loaded tenant's weight to `clamp(depth / mean)`: deeper than
+    /// the mean ⇒ weight > 1 ⇒ faster token refill where it lives.
+    /// Tenants with empty queues keep their previous weight — adjusting
+    /// an idle tenant is noise, and leaving it alone keeps the pass
+    /// cheap and deterministic.
+    pub fn tick(&mut self) {
+        self.snap.ticks += 1;
+
+        // Gather (target index, tenant, depth) deterministically:
+        // targets in construction order, tenants in the target's sorted
+        // connection order.
+        let mut loads: Vec<(usize, u8, usize)> = Vec::new();
+        let mut min_total = usize::MAX;
+        let mut max_total = 0usize;
+        for (ti, tgt) in self.targets.iter().enumerate() {
+            let t = tgt.borrow();
+            let total = t.total_tc_depth();
+            min_total = min_total.min(total);
+            max_total = max_total.max(total);
+            for tenant in t.tenant_ids() {
+                loads.push((ti, tenant, t.tc_queue_depth(tenant)));
+            }
+        }
+        if !self.targets.is_empty() {
+            let imbalance = max_total - min_total;
+            if imbalance > self.snap.max_imbalance {
+                self.snap.max_imbalance = imbalance;
+            }
+        }
+        self.snap.tenants_seen = loads.len();
+
+        let loaded: Vec<&(usize, u8, usize)> = loads.iter().filter(|&&(_, _, d)| d > 0).collect();
+        if loaded.is_empty() {
+            return;
+        }
+        let mean = loaded.iter().map(|&&(_, _, d)| d as f64).sum::<f64>() / loaded.len() as f64;
+        if mean <= 0.0 {
+            return;
+        }
+        for &&(ti, tenant, depth) in &loaded {
+            let w = (depth as f64 / mean).clamp(WEIGHT_MIN, WEIGHT_MAX);
+            self.targets[ti].borrow_mut().set_tenant_weight(tenant, w);
+            self.snap.weight_updates += 1;
+        }
+    }
+
+    /// Current aggregate counters.
+    pub fn snapshot(&self) -> ManagerSnapshot {
+        self.snap
+    }
+
+    /// Number of targets under management.
+    pub fn target_count(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Per-target total TC depth, in construction order — the load
+    /// vector placement policies consume.
+    pub fn depths(&self) -> Vec<usize> {
+        self.targets
+            .iter()
+            .map(|t| t.borrow().total_tc_depth())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_cluster_ticks_are_safe() {
+        let mut m = ClusterPriorityManager::new(Vec::new());
+        m.tick();
+        m.tick();
+        let s = m.snapshot();
+        assert_eq!(s.ticks, 2);
+        assert_eq!(s.weight_updates, 0);
+        assert_eq!(s.max_imbalance, 0);
+        assert_eq!(m.target_count(), 0);
+        assert!(m.depths().is_empty());
+    }
+}

@@ -1,0 +1,239 @@
+//! Live tenant migration (DESIGN.md §16).
+//!
+//! A migration moves one tenant's entire initiator↔target pair state
+//! from a source target to a destination target while traffic is
+//! running, in two scheduled phases:
+//!
+//! 1. **Drain** (at `at`): the initiator flushes its partial TC window —
+//!    a trailing drain capsule so the source can release everything
+//!    already staged before the freeze.
+//! 2. **Freeze + move + re-drive** (at `at + grace`):
+//!    * [`opf::OpfTarget::extract_tenant`] unregisters the connection on
+//!      the source and lifts the 16-bit CID queue with its staged
+//!      commands, in drain order;
+//!    * [`opf::OpfTarget::adopt_tenant`] replays the queue into a fresh
+//!      per-tenant staging queue on the destination and seeds the
+//!      recovery live-set with every moved CID;
+//!    * [`opf::OpfInitiator::rehome`] swaps the initiator's fabric
+//!      attachment to the destination and epoch-bumps + re-drives every
+//!      outstanding CID through the recovery re-issue path.
+//!
+//! Exactly-once per CID holds across the move because the moved CIDs are
+//! live on the destination before the re-drive fires (duplicates are
+//! suppressed at classify), the epoch bump invalidates the source
+//! incarnation's expiry timers, and late completions from batches the
+//! source already had in flight are counted and dropped once the
+//! connection is gone. Migration therefore **requires the recovery plane
+//! to be on** (`retry` configured): re-driven writes are served their
+//! R2T payload from the retry slot.
+
+use opf::{OpfInitiator, OpfTarget};
+use simkit::{Kernel, Shared, SimDuration, SimTime};
+
+use fabric::Endpoint;
+use nvmf::initiator::TargetRx;
+use nvmf::PduRx;
+
+/// Migration state machine. Transitions are recorded with timestamps in
+/// [`Migration::history`]; a migration either runs the full chain
+/// `Scheduled → Draining → Frozen → Adopted → Redriven → Done` or stops
+/// at `Failed` (counted on the target as a protocol error, never a
+/// panic).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MigrationState {
+    /// Installed on the kernel, waiting for `at`.
+    Scheduled,
+    /// The drain flush went out; waiting out the grace period.
+    Draining,
+    /// Source state extracted; the tenant exists only in the moved
+    /// bundle.
+    Frozen,
+    /// Destination accepted the queue; moved CIDs are live there.
+    Adopted,
+    /// The initiator re-drove its outstanding CIDs at the destination.
+    Redriven,
+    /// Terminal success.
+    Done,
+    /// Terminal failure (unknown tenant, shared-queue ablation, or a
+    /// destination id collision).
+    Failed,
+}
+
+/// One migration directive as written in scenario JSON: move tenant
+/// `tenant` (scenario tenant index) to target `to_target` at `at_s`
+/// seconds into the measured run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MigrationSpec {
+    pub tenant: usize,
+    pub at_s: f64,
+    pub to_target: usize,
+}
+
+/// A fully-wired migration: the tenant's handles on both targets plus
+/// the pre-built (possibly fault-wrapped) receive paths for the new
+/// attachment. The runner builds these; the engine schedules them.
+pub struct Migration {
+    /// Tenant id on the wire (the 8-bit initiator id).
+    pub tenant: u8,
+    /// Kernel lane the tenant's initiator-side events run on.
+    pub lane: u32,
+    /// When phase 1 (drain) fires.
+    pub at: SimTime,
+    pub initiator: Shared<OpfInitiator>,
+    pub source: Shared<OpfTarget>,
+    pub dest: Shared<OpfTarget>,
+    /// Destination target's fabric endpoint (the initiator's new peer).
+    pub dest_ep: Shared<Endpoint>,
+    /// The tenant's own endpoint (what the destination replies to).
+    pub ini_ep: Shared<Endpoint>,
+    /// Initiator → destination delivery path, fault-wrapped like any
+    /// other link so an attack can span the migration.
+    pub to_dest_rx: TargetRx,
+    /// Destination → initiator delivery path.
+    pub from_dest_rx: PduRx,
+    /// Reactor shard the tenant lands on at the destination.
+    pub dest_shard: u32,
+    /// Current state.
+    pub state: MigrationState,
+    /// Timestamped transitions, in order.
+    pub history: Vec<(SimTime, MigrationState)>,
+    /// Staged commands that crossed targets inside the frozen queue.
+    pub cmds_moved: usize,
+    /// Outstanding CIDs the initiator re-drove after rehoming.
+    pub redriven: usize,
+}
+
+impl Migration {
+    fn set_state(&mut self, now: SimTime, s: MigrationState) {
+        self.state = s;
+        self.history.push((now, s));
+    }
+
+    /// Phase 2: freeze, move, re-drive. Runs as one atomic event — no
+    /// simulated time passes between extract and re-drive, so there is
+    /// no window where the tenant exists on neither target.
+    fn freeze(rec: &Shared<Migration>, k: &mut Kernel) {
+        let now = k.now();
+        let (tenant, initiator, source, dest, dest_ep, ini_ep, to_dest_rx, from_dest_rx, shard) = {
+            let m = rec.borrow();
+            (
+                m.tenant,
+                m.initiator.clone(),
+                m.source.clone(),
+                m.dest.clone(),
+                m.dest_ep.clone(),
+                m.ini_ep.clone(),
+                m.to_dest_rx.clone(),
+                m.from_dest_rx.clone(),
+                m.dest_shard,
+            )
+        };
+        let Some(moved) = source.borrow_mut().extract_tenant(now, tenant) else {
+            rec.borrow_mut().set_state(now, MigrationState::Failed);
+            return;
+        };
+        {
+            let mut m = rec.borrow_mut();
+            m.cmds_moved = moved.staged_cmds();
+            m.set_state(now, MigrationState::Frozen);
+        }
+        if !dest
+            .borrow_mut()
+            .adopt_tenant(now, moved, ini_ep, from_dest_rx, shard)
+        {
+            rec.borrow_mut().set_state(now, MigrationState::Failed);
+            return;
+        }
+        rec.borrow_mut().set_state(now, MigrationState::Adopted);
+        let redriven = OpfInitiator::rehome(&initiator, k, dest_ep, to_dest_rx);
+        let mut m = rec.borrow_mut();
+        m.redriven = redriven;
+        m.set_state(now, MigrationState::Redriven);
+        m.set_state(now, MigrationState::Done);
+    }
+}
+
+/// Aggregate counters across an engine's migrations.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MigrationTotals {
+    pub done: u64,
+    pub failed: u64,
+    pub cmds_moved: u64,
+    pub redriven: u64,
+}
+
+/// Owns the run's migrations and installs their two-phase schedules on
+/// the kernel.
+#[derive(Default)]
+pub struct MigrationEngine {
+    records: Vec<Shared<Migration>>,
+}
+
+impl MigrationEngine {
+    pub fn new() -> Self {
+        MigrationEngine::default()
+    }
+
+    /// Register a wired migration and install both phases on the
+    /// kernel: drain at `m.at`, freeze at `m.at + grace`, both on the
+    /// tenant's lane so the sharded schedule stays deterministic.
+    pub fn schedule(&mut self, k: &mut Kernel, mut m: Migration, grace: SimDuration) {
+        let at = m.at;
+        let lane = m.lane;
+        m.set_state(k.now(), MigrationState::Scheduled);
+        let rec: Shared<Migration> = std::rc::Rc::new(std::cell::RefCell::new(m));
+        let r1 = rec.clone();
+        k.schedule_at_on(lane, at, move |k| {
+            let ini = {
+                let mut m = r1.borrow_mut();
+                if m.state != MigrationState::Scheduled {
+                    return;
+                }
+                m.set_state(k.now(), MigrationState::Draining);
+                m.initiator.clone()
+            };
+            OpfInitiator::flush(&ini, k, Box::new(|_, _| {}));
+        });
+        let r2 = rec.clone();
+        k.schedule_at_on(lane, at + grace, move |k| {
+            if r2.borrow().state != MigrationState::Draining {
+                return;
+            }
+            Migration::freeze(&r2, k);
+        });
+        self.records.push(rec);
+    }
+
+    /// The scheduled migrations, in scheduling order.
+    pub fn records(&self) -> &[Shared<Migration>] {
+        &self.records
+    }
+
+    /// Totals for metrics export.
+    pub fn totals(&self) -> MigrationTotals {
+        let mut t = MigrationTotals::default();
+        for rec in &self.records {
+            let m = rec.borrow();
+            match m.state {
+                MigrationState::Done => t.done += 1,
+                MigrationState::Failed => t.failed += 1,
+                _ => {}
+            }
+            t.cmds_moved += m.cmds_moved as u64;
+            t.redriven += m.redriven as u64;
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_engine_reports_zero_totals() {
+        let e = MigrationEngine::new();
+        assert_eq!(e.totals(), MigrationTotals::default());
+        assert!(e.records().is_empty());
+    }
+}

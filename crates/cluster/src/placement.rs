@@ -1,0 +1,144 @@
+//! Tenant placement: one policy trait serving both axes of the cluster
+//! plane — tenant → target, and tenant → reactor lane within a target.
+//!
+//! The runner used to hardcode round-robin lane assignment
+//! (`global_idx % shards`); [`RoundRobin`] reproduces that arithmetic
+//! exactly, so lifting the assignment behind the trait changes no
+//! result byte while letting targets and lanes share one code path.
+
+/// Serializable placement selection, as it appears in scenario JSON.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub enum PlacementSpec {
+    /// Tenant `i` goes to slot `i % slots`. The historical (and
+    /// default) assignment.
+    #[default]
+    RoundRobin,
+    /// Tenant goes to the slot with the smallest current load
+    /// (per-target TC queue depth plus tenants already placed); ties
+    /// break toward the lowest slot index, keeping placement
+    /// deterministic.
+    LeastLoaded,
+    /// Explicit per-tenant pins from scenario JSON. Tenants beyond the
+    /// pin list (or pinned out of range) fall back to round-robin.
+    Pinned(Vec<usize>),
+}
+
+impl PlacementSpec {
+    /// Instantiate the policy.
+    pub fn policy(&self) -> Box<dyn PlacementPolicy> {
+        match self {
+            PlacementSpec::RoundRobin => Box::new(RoundRobin),
+            PlacementSpec::LeastLoaded => Box::new(LeastLoaded),
+            PlacementSpec::Pinned(pins) => Box::new(Pinned { pins: pins.clone() }),
+        }
+    }
+
+    /// Name as written in scenario JSON.
+    pub fn name(&self) -> &'static str {
+        match self {
+            PlacementSpec::RoundRobin => "round_robin",
+            PlacementSpec::LeastLoaded => "least_loaded",
+            PlacementSpec::Pinned(_) => "pinned",
+        }
+    }
+}
+
+/// Where tenant `tenant_idx` goes among `slots` slots, given the current
+/// per-slot loads. Implementations must be deterministic: placement is
+/// part of the reproducible event schedule.
+pub trait PlacementPolicy {
+    /// Slot for the tenant. `loads.len() == slots`; the returned slot is
+    /// always `< slots` (callers guarantee `slots >= 1`).
+    fn place(&mut self, tenant_idx: usize, slots: usize, loads: &[usize]) -> usize;
+}
+
+/// `tenant_idx % slots` — bit-compatible with the runner's historical
+/// hardcoded lane assignment.
+pub struct RoundRobin;
+
+impl PlacementPolicy for RoundRobin {
+    fn place(&mut self, tenant_idx: usize, slots: usize, _loads: &[usize]) -> usize {
+        tenant_idx % slots.max(1)
+    }
+}
+
+/// Smallest current load wins; ties break toward the lowest slot index.
+pub struct LeastLoaded;
+
+impl PlacementPolicy for LeastLoaded {
+    fn place(&mut self, _tenant_idx: usize, slots: usize, loads: &[usize]) -> usize {
+        let slots = slots.max(1);
+        let mut best = 0usize;
+        let mut best_load = usize::MAX;
+        for (slot, &load) in loads.iter().take(slots).enumerate() {
+            if load < best_load {
+                best = slot;
+                best_load = load;
+            }
+        }
+        best
+    }
+}
+
+/// Explicit pins with round-robin fallback for unpinned tenants.
+pub struct Pinned {
+    pub pins: Vec<usize>,
+}
+
+impl PlacementPolicy for Pinned {
+    fn place(&mut self, tenant_idx: usize, slots: usize, loads: &[usize]) -> usize {
+        let slots = slots.max(1);
+        match self.pins.get(tenant_idx) {
+            Some(&p) if p < slots => p,
+            _ => RoundRobin.place(tenant_idx, slots, loads),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_matches_the_historical_modulo() {
+        let mut p = RoundRobin;
+        for shards in 1..=8usize {
+            for idx in 0..64usize {
+                assert_eq!(p.place(idx, shards, &vec![0; shards]), idx % shards);
+            }
+        }
+    }
+
+    #[test]
+    fn least_loaded_picks_min_and_breaks_ties_low() {
+        let mut p = LeastLoaded;
+        assert_eq!(p.place(0, 3, &[5, 2, 9]), 1);
+        assert_eq!(p.place(1, 3, &[4, 4, 4]), 0);
+        assert_eq!(p.place(2, 2, &[7, 0]), 1);
+    }
+
+    #[test]
+    fn pinned_honors_pins_and_falls_back() {
+        let mut p = Pinned {
+            pins: vec![2, 0, 99],
+        };
+        assert_eq!(p.place(0, 3, &[0, 0, 0]), 2);
+        assert_eq!(p.place(1, 3, &[0, 0, 0]), 0);
+        // Out-of-range pin and unpinned tenant both fall back to RR.
+        assert_eq!(p.place(2, 3, &[0, 0, 0]), 2);
+        assert_eq!(p.place(7, 3, &[0, 0, 0]), 7 % 3);
+    }
+
+    #[test]
+    fn spec_round_trips_to_policy() {
+        for spec in [
+            PlacementSpec::RoundRobin,
+            PlacementSpec::LeastLoaded,
+            PlacementSpec::Pinned(vec![1, 0]),
+        ] {
+            let mut pol = spec.policy();
+            let slot = pol.place(0, 2, &[0, 0]);
+            assert!(slot < 2, "{} placed out of range", spec.name());
+        }
+    }
+}

@@ -58,6 +58,11 @@ pub struct OpfInitiatorStats {
     pub redrains: u64,
     /// Stale or duplicate responses suppressed (recovery mode).
     pub dup_resps_suppressed: u64,
+    /// Times this initiator was rehomed onto a new target by a live
+    /// migration (DESIGN.md §16).
+    pub rehomes: u64,
+    /// Outstanding commands re-driven at the destination after a rehome.
+    pub rehome_redrives: u64,
 }
 
 /// Per-CID retransmission bookkeeping (mirrors the `nvmf` initiator).
@@ -671,6 +676,113 @@ impl OpfInitiator {
         res
     }
 
+    /// Live-migration rehome (DESIGN.md §16): point this initiator at a
+    /// new target and epoch-bump + re-drive every outstanding command
+    /// there through PR 3's re-issue path. TC commands are re-driven in
+    /// CID-queue order so the destination stages any it has not already
+    /// adopted in drain order; commands that crossed inside the frozen
+    /// CID queue are suppressed at the destination as duplicates, so
+    /// completion stays exactly-once per CID across the move. Returns
+    /// the number of commands re-driven.
+    ///
+    /// Requires the recovery machinery (`cfg.retry`): re-driven writes
+    /// serve their R2T re-grants from the retry payload copy, and the
+    /// epoch bump is what invalidates expiry timers armed for the old
+    /// incarnation.
+    pub fn rehome(
+        this: &Shared<OpfInitiator>,
+        k: &mut Kernel,
+        target_ep: Shared<Endpoint>,
+        target_rx: TargetRx,
+    ) -> usize {
+        struct Redrive {
+            cid: u16,
+            opcode: Opcode,
+            slba: u64,
+            blocks: u16,
+            priority: Priority,
+            epoch: u64,
+            at: SimTime,
+        }
+        let plan: Vec<Redrive> = {
+            let mut i = this.borrow_mut();
+            i.target_ep = target_ep;
+            i.target_rx = target_rx;
+            i.stats.rehomes += 1;
+            i.tracer.emit(k.now(), "opf.rehome", u32::from(i.id), 0);
+            // TC CIDs first, in issue order — the CID queue is the
+            // drain-order ground truth. It has no non-destructive
+            // iteration, so drain into scratch and re-push identically.
+            let mut tc_cids = i.cid_pool.pop().unwrap_or_default();
+            tc_cids.clear();
+            i.cid_queue.drain_all_into(&mut tc_cids);
+            for &cid in &tc_cids {
+                i.cid_queue
+                    .push(cid)
+                    // lint: allow(no-panic) internal invariant: re-pushing
+                    // exactly what was just drained cannot overflow.
+                    .expect("re-push after drain");
+            }
+            // Then every other outstanding CID (LS commands), by index.
+            let mut order = std::mem::take(&mut tc_cids);
+            let tc_n = order.len();
+            for cid in 0..i.qpair.depth() as u16 {
+                if order[..tc_n].contains(&cid) {
+                    continue;
+                }
+                if i.qpair.get_mut(cid).is_some() {
+                    order.push(cid);
+                }
+            }
+            let retry = i.cfg.retry.is_some();
+            let mut plan = Vec::with_capacity(order.len());
+            for &cid in &order {
+                let Some((opcode, slba, blocks, priority)) = i
+                    .qpair
+                    .get_mut(cid)
+                    .map(|c| (c.opcode, c.slba, c.blocks, c.priority))
+                else {
+                    continue;
+                };
+                let epoch = if retry {
+                    // New incarnation: stale expiry timers die on the
+                    // mismatch, and the retry budget starts fresh at the
+                    // destination.
+                    let slot = &mut i.slots[cid as usize];
+                    slot.epoch += 1;
+                    slot.attempts = 0;
+                    slot.epoch
+                } else {
+                    0
+                };
+                let c = i.costs.ini_submit;
+                let at = i.cpu.reserve(k.now(), c).finish;
+                plan.push(Redrive {
+                    cid,
+                    opcode,
+                    slba,
+                    blocks,
+                    priority,
+                    epoch,
+                    at,
+                });
+            }
+            i.stats.rehome_redrives += plan.len() as u64;
+            order.clear();
+            i.cid_pool.push(order);
+            plan
+        };
+        let retry = this.borrow().cfg.retry.is_some();
+        let n = plan.len();
+        for r in plan {
+            Self::send_cmd_at(this, k, r.at, r.opcode, r.cid, r.slba, r.blocks, r.priority);
+            if retry && (r.priority.is_ls() || r.priority.is_draining()) {
+                Self::arm_expiry(this, k, r.cid, r.epoch);
+            }
+        }
+        n
+    }
+
     /// Deliver a PDU arriving from the target.
     pub fn on_pdu(this: &Shared<OpfInitiator>, k: &mut Kernel, pdu: Pdu) {
         match pdu {
@@ -974,6 +1086,12 @@ impl MetricsSource for OpfInitiator {
                 "dup_resps_suppressed",
                 self.stats.dup_resps_suppressed as f64,
             );
+        }
+        // Migration counters only exist once this initiator was rehomed,
+        // so migration-free snapshots stay bit-identical.
+        if self.stats.rehomes > 0 {
+            m.set("rehomes", self.stats.rehomes as f64);
+            m.set("rehome_redrives", self.stats.rehome_redrives as f64);
         }
         m
     }

@@ -39,5 +39,5 @@ pub use config::{
 };
 pub use error::{ProtocolError, ProtocolSide};
 pub use initiator::{OpfInitiator, OpfInitiatorStats};
-pub use target::{OpfTarget, OpfTargetStats};
+pub use target::{ExtractedTenant, OpfTarget, OpfTargetStats};
 pub use window::{optimal_window, DynamicWindow};

@@ -87,6 +87,40 @@ pub struct OpfTargetStats {
     /// registered throughput-critical (class admission control,
     /// DESIGN.md §14). Subset of `protocol_errors`.
     pub ls_demoted: u64,
+    /// Tenants frozen and extracted for live migration (DESIGN.md §16).
+    pub tenants_migrated_out: u64,
+    /// Tenants adopted from another target via live migration.
+    pub tenants_migrated_in: u64,
+    /// Staged commands carried across a migration inside the moved CID
+    /// queue (the frozen in-flight window).
+    pub cmds_migrated: u64,
+}
+
+/// A tenant frozen off a target for live migration: its 16-bit CID
+/// queue and the staged commands the queue orders, in drain order. The
+/// command payloads are opaque to the cluster plane — only the source
+/// and destination targets look inside.
+pub struct ExtractedTenant {
+    /// The tenant (initiator id) being moved.
+    pub initiator: u8,
+    /// Kernel shard that hosted the tenant on the source target.
+    pub source_shard: u32,
+    /// Staged commands in CID-queue (drain) order.
+    cmds: Vec<MovedCmd>,
+}
+
+impl ExtractedTenant {
+    /// Staged commands riding the move.
+    pub fn staged_cmds(&self) -> usize {
+        self.cmds.len()
+    }
+}
+
+/// One staged command crossing targets inside an [`ExtractedTenant`].
+struct MovedCmd {
+    sqe: Sqe,
+    data: Option<Bytes>,
+    needs_data: bool,
 }
 
 /// A TC command staged in a tenant's queue, waiting for a drain.
@@ -281,6 +315,10 @@ pub struct OpfTarget {
     /// Per-tenant drain rate-limit buckets. Only populated when
     /// `cfg.drain_rate` is set; membership-only lookups, never iterated.
     drain_buckets: FxHashMap<u8, DrainBucket>,
+    /// Per-tenant drain-rate weights set by the cluster Priority Manager
+    /// (default 1.0 = the configured rate untouched). Consulted only
+    /// when `cfg.drain_rate` is set; membership-only, never iterated.
+    drain_weights: FxHashMap<u8, f64>,
     /// Tenants registered throughput-critical at connect time: their
     /// LS flags are forged by definition and demoted under enforcement.
     /// Membership-only, never iterated.
@@ -332,6 +370,7 @@ impl OpfTarget {
             recovery: false,
             live: simkit::FxHashSet::default(),
             drain_buckets: FxHashMap::default(),
+            drain_weights: FxHashMap::default(),
             ls_denied: simkit::FxHashSet::default(),
             tracer,
             stats: OpfTargetStats::default(),
@@ -780,11 +819,16 @@ impl OpfTarget {
                     if draining {
                         if let Some(rate) = t.cfg.drain_rate {
                             let now = k.now();
+                            // Cluster Priority Manager weight: scales this
+                            // tenant's refill rate (1.0 ⇒ bit-identical to
+                            // the unweighted math).
+                            let weight = t.drain_weights.get(&from).copied().unwrap_or(1.0);
                             let bucket = t.drain_buckets.entry(from).or_insert(DrainBucket {
                                 tokens: f64::from(rate.burst),
                                 last: now,
                             });
-                            let refill = now.since(bucket.last).as_secs_f64() * rate.per_sec;
+                            let refill =
+                                now.since(bucket.last).as_secs_f64() * rate.per_sec * weight;
                             bucket.tokens = (bucket.tokens + refill).min(f64::from(rate.burst));
                             bucket.last = now;
                             if bucket.tokens >= 1.0 {
@@ -1306,6 +1350,187 @@ impl OpfTarget {
             .and_then(|r| r.tc.get(&self.queue_key(initiator)))
             .map_or(0, |s| s.order.len())
     }
+
+    /// Connected tenant ids, in deterministic (BTreeMap) order.
+    pub fn tenant_ids(&self) -> Vec<u8> {
+        self.conns.keys().copied().collect()
+    }
+
+    /// Sum of every tenant's TC staging-queue depth: the load signal the
+    /// cluster Priority Manager and the least-loaded placement policy
+    /// aggregate per target.
+    pub fn total_tc_depth(&self) -> usize {
+        self.conns.keys().map(|&t| self.tc_queue_depth(t)).sum()
+    }
+
+    /// Set the cluster Priority Manager's drain-rate weight for one
+    /// tenant (1.0 = the configured [`DrainRateLimit`] untouched).
+    /// A no-op unless `cfg.drain_rate` is set, exactly like the limiter
+    /// itself.
+    ///
+    /// [`DrainRateLimit`]: crate::config::DrainRateLimit
+    pub fn set_tenant_weight(&mut self, initiator: u8, weight: f64) {
+        self.drain_weights.insert(initiator, weight.max(0.0));
+    }
+
+    /// Freeze tenant `initiator` and extract its per-tenant protocol
+    /// state for live migration: the connection is unregistered, the
+    /// 16-bit CID queue is drained in order, and the staged commands it
+    /// orders travel with it (DESIGN.md §16).
+    ///
+    /// Everything already past staging stays put: drained batches keep
+    /// their device in-flight slots (their completions are counted and
+    /// dropped at [`Self::send_to`] once the connection is gone), and
+    /// writes awaiting H2C data resolve the same way. The initiator
+    /// re-drives every outstanding CID at the destination through the
+    /// epoch-guarded re-issue path, so nothing stranded here is lost.
+    ///
+    /// Returns `None` when the tenant is unknown or the target runs the
+    /// shared-queue ablation (one queue mixed across tenants cannot be
+    /// frozen per tenant) — counted as a protocol error, never a panic.
+    pub fn extract_tenant(&mut self, now: SimTime, initiator: u8) -> Option<ExtractedTenant> {
+        if matches!(self.cfg.queue_mode, QueueMode::Shared) || !self.conns.contains_key(&initiator)
+        {
+            let side = ProtocolSide::Target(self.id);
+            self.note_protocol_error(now, ProtocolError::UnknownInitiator { side, initiator });
+            return None;
+        }
+        self.conns.remove(&initiator);
+        let lane = self.lane_of.remove(&initiator).unwrap_or(OWNER_SHARD);
+        if let Some(r) = self.reactors.get_mut(lane as usize) {
+            r.tenants.retain(|&t| t != initiator);
+        }
+        let mut cmds = Vec::new();
+        if let Some(mut state) = self
+            .reactors
+            .get_mut(lane as usize)
+            .and_then(|r| r.tc.remove(&initiator))
+        {
+            let mut keys = std::mem::take(&mut self.drain_keys);
+            state.order.drain_all_into(&mut keys);
+            for &qkey in &keys {
+                let (owner, cid) = decode_key(qkey);
+                debug_assert_eq!(owner, initiator);
+                if let Some(staged) = state.staged.remove(&(owner, cid)) {
+                    // The staged copy leaves with the queue; the source's
+                    // recovery live-set entry goes too, so a late wire
+                    // duplicate aimed here is handled as unknown, not
+                    // double-executed.
+                    self.live.remove(&(owner, cid));
+                    cmds.push(MovedCmd {
+                        sqe: staged.sqe,
+                        data: staged.data,
+                        needs_data: staged.needs_data,
+                    });
+                }
+            }
+            keys.clear();
+            self.drain_keys = keys;
+        }
+        self.drain_buckets.remove(&initiator);
+        self.drain_weights.remove(&initiator);
+        self.stats.tenants_migrated_out += 1;
+        self.stats.cmds_migrated += cmds.len() as u64;
+        self.tracer.emit(
+            now,
+            "opf.migrate_out",
+            u32::from(initiator),
+            cmds.len() as u64,
+        );
+        Some(ExtractedTenant {
+            initiator,
+            source_shard: lane,
+            cmds,
+        })
+    }
+
+    /// Re-register a migrated tenant on this target: the moved CID queue
+    /// is replayed into a fresh per-tenant staging queue on reactor
+    /// `shard`, preserving drain order, and every moved command enters
+    /// the recovery live-set so the initiator's epoch-bumped re-drive of
+    /// the same CIDs is suppressed as duplicates (exactly-once across
+    /// the move). Returns `false` — counted, nothing clobbered — if the
+    /// tenant id is already connected here.
+    pub fn adopt_tenant(
+        &mut self,
+        now: SimTime,
+        moved: ExtractedTenant,
+        ep: Shared<Endpoint>,
+        rx: PduRx,
+        shard: u32,
+    ) -> bool {
+        let initiator = moved.initiator;
+        if self.conns.contains_key(&initiator) || initiator == SHARED_KEY {
+            let side = ProtocolSide::Target(self.id);
+            self.note_protocol_error(now, ProtocolError::UnknownInitiator { side, initiator });
+            return false;
+        }
+        let shard = match self.cfg.queue_mode {
+            QueueMode::PerInitiator => shard,
+            QueueMode::Shared => OWNER_SHARD,
+        };
+        self.ensure_reactor(shard);
+        self.reactors[shard as usize].tenants.push(initiator);
+        self.lane_of.insert(initiator, shard);
+        self.conns.insert(initiator, Conn { ep, rx });
+        let n = moved.cmds.len() as u64;
+        let key = self.queue_key(initiator);
+        let lane = self.lane_idx(initiator);
+        let recovery = self.recovery;
+        let mut overflow = 0u64;
+        {
+            let state = self.reactors[lane]
+                .tc
+                .entry(key)
+                .or_insert_with(TcState::new);
+            for cmd in moved.cmds {
+                let cid = cmd.sqe.cid;
+                if state.order.push(encode_key(initiator, cid)).is_err() {
+                    // A moved queue cannot exceed the destination's
+                    // capacity in per-initiator mode (same bound both
+                    // sides), but the no-panic rule holds regardless:
+                    // shed like any other overflow and let the
+                    // initiator's re-drive re-issue the command.
+                    overflow += 1;
+                    continue;
+                }
+                state.staged.insert(
+                    (initiator, cid),
+                    StagedCmd {
+                        owner: initiator,
+                        sqe: cmd.sqe,
+                        data: cmd.data,
+                        needs_data: cmd.needs_data,
+                    },
+                );
+                if recovery {
+                    self.live.insert((initiator, cid));
+                }
+            }
+            let qlen = state.order.len();
+            if qlen > self.stats.max_tc_queue {
+                self.stats.max_tc_queue = qlen;
+            }
+        }
+        if overflow > 0 {
+            self.stats.tc_overflow_drops += overflow;
+            let target = self.id;
+            self.stats.protocol_errors += overflow - 1;
+            self.note_protocol_error(
+                now,
+                ProtocolError::TcQueueOverflow {
+                    target,
+                    initiator,
+                    cid: 0,
+                },
+            );
+        }
+        self.stats.tenants_migrated_in += 1;
+        self.stats.cmds_migrated += n;
+        self.tracer
+            .emit(now, "opf.migrate_in", u32::from(initiator), n);
+        true
+    }
 }
 
 impl MetricsSource for OpfTarget {
@@ -1363,6 +1588,13 @@ impl MetricsSource for OpfTarget {
             m.set("drains_suppressed", self.stats.drains_suppressed as f64);
             m.set("tc_overflow_drops", self.stats.tc_overflow_drops as f64);
             m.set("ls_demoted", self.stats.ls_demoted as f64);
+        }
+        // Migration counters only exist once a migration touched this
+        // target, so single-target snapshots stay bit-identical.
+        if self.stats.tenants_migrated_out > 0 || self.stats.tenants_migrated_in > 0 {
+            m.set("migrated_out", self.stats.tenants_migrated_out as f64);
+            m.set("migrated_in", self.stats.tenants_migrated_in as f64);
+            m.set("cmds_migrated", self.stats.cmds_migrated as f64);
         }
         m
     }

@@ -112,7 +112,7 @@ pub fn attacks() -> [Attack; 6] {
 /// the adversary — but the full recovery machinery is armed so the
 /// epoch-guarded CID slots (the replay defense) are live, exactly as in
 /// the chaos suite.
-fn profile(attack: &Attack, harden: bool) -> FaultProfile {
+pub(crate) fn profile(attack: &Attack, harden: bool) -> FaultProfile {
     FaultProfile {
         retry: Some(nvmf::RetryPolicy {
             timeout: simkit::SimDuration::from_micros(2_000),
@@ -152,13 +152,13 @@ pub fn scenarios(d: Durations) -> Vec<Scenario> {
 }
 
 /// Honest TC tenant slots (every TC slot except the adversary's).
-fn honest_tc() -> impl Iterator<Item = usize> {
+pub(crate) fn honest_tc() -> impl Iterator<Item = usize> {
     (LS_TENANTS..LS_TENANTS + TC_TENANTS).filter(|&i| i != ADVERSARY_LINK)
 }
 
 /// Per-tenant completion spread (% of mean) across the honest TC
 /// tenants.
-fn honest_spread_pct(r: &RunResult) -> f64 {
+pub(crate) fn honest_spread_pct(r: &RunResult) -> f64 {
     let per: Vec<f64> = honest_tc()
         .map(|i| {
             r.metrics
@@ -175,7 +175,7 @@ fn honest_spread_pct(r: &RunResult) -> f64 {
 /// Stray commands across all honest tenants (LS probe included): lost
 /// or duplicated completions, I/O errors, and exhausted retries. Zero
 /// iff every honest submission completed exactly once.
-fn honest_strays(r: &RunResult) -> f64 {
+pub(crate) fn honest_strays(r: &RunResult) -> f64 {
     let m = &r.metrics;
     let mut strays = 0.0;
     for i in (0..LS_TENANTS).chain(honest_tc()) {

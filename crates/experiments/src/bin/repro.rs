@@ -6,15 +6,17 @@
 //! ```
 
 use experiments::{
-    ablate, adversary, breakdown, chaos, fig6, fig7, fig8, fig9, iosize, observe, openloop, scale,
-    table1, transport, Durations,
+    ablate, adversary, breakdown, chaos, cluster, fig6, fig7, fig8, fig9, iosize, observe,
+    openloop, scale, table1, transport, Durations,
 };
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro [--quick] [--threads N] [--shards N] <artifact>...\n\
+        "usage: repro [--quick] [--threads N] [--shards N] [--targets N] <artifact>...\n\
          artifacts: table1 fig6a fig6b fig6c fig7 fig8 fig9 ablate iosize openloop transport breakdown observe chaos scale adversary all\n\
-         --shards N runs every scenario on N kernel shards (results are bit-identical for any N)"
+         --shards N runs every scenario on N kernel shards (results are bit-identical for any N)\n\
+         --targets N (N > 1) gives `scale` a targets axis (scale_cluster.csv) and reruns\n\
+         `adversary` hardened across a live migration (adversary_targetsN.csv)"
     );
     std::process::exit(2);
 }
@@ -23,6 +25,7 @@ fn main() {
     let mut quick = false;
     let mut threads: Option<usize> = None;
     let mut shards: usize = 1;
+    let mut targets: usize = 1;
     let mut artifacts: Vec<String> = Vec::new();
 
     let mut args = std::env::args().skip(1);
@@ -37,6 +40,13 @@ fn main() {
                 let n = args.next().unwrap_or_else(|| usage());
                 shards = n.parse().unwrap_or_else(|_| usage());
                 if shards == 0 {
+                    usage();
+                }
+            }
+            "--targets" => {
+                let n = args.next().unwrap_or_else(|| usage());
+                targets = n.parse().unwrap_or_else(|_| usage());
+                if targets == 0 {
                     usage();
                 }
             }
@@ -77,8 +87,20 @@ fn main() {
             "breakdown" => breakdown::all(d, threads),
             "observe" => observe::all(d, threads),
             "chaos" => chaos::all(d, threads),
-            "scale" => scale::all(d, threads, quick),
-            "adversary" => adversary::all(d, threads),
+            "scale" => {
+                if targets > 1 {
+                    cluster::scale_all(d, threads, quick, targets);
+                } else {
+                    scale::all(d, threads, quick);
+                }
+            }
+            "adversary" => {
+                if targets > 1 {
+                    cluster::adversary_all(d, threads, targets);
+                } else {
+                    adversary::all(d, threads);
+                }
+            }
             "all" => {
                 table1::print();
                 fig6::fig6a(d, threads);

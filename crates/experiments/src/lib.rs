@@ -18,6 +18,7 @@
 //! | [`chaos`]  | extension: fault injection — loss × window degradation |
 //! | [`scale`]  | extension: tenants × shards on the multi-reactor target |
 //! | [`adversary`] | extension: adversarial tenant vs the hardened protocol plane |
+//! | [`cluster`] | extension: multi-target cluster — placement, manager, migration |
 //!
 //! The `repro` binary drives them; results print as aligned tables and
 //! are written as CSV under `results/`.
@@ -26,6 +27,7 @@ pub mod ablate;
 pub mod adversary;
 pub mod breakdown;
 pub mod chaos;
+pub mod cluster;
 pub mod fig6;
 pub mod fig7;
 pub mod fig8;

@@ -18,6 +18,9 @@
 //! downlink) to an ideal non-blocking switch, matching the star topology
 //! of the paper's testbeds. A transfer from A to B crosses A's TX NIC,
 //! A's uplink, B's downlink, the propagation delay, and B's RX NIC.
+//! Cluster topologies layer [`LinkProfile`]s on top: per-(src, dst)
+//! multi-hop paths with extra store-and-forward stages and bottleneck
+//! bandwidth factors, consulted only when at least one is installed.
 
 pub mod config;
 pub mod endpoint;
@@ -25,4 +28,4 @@ pub mod network;
 
 pub use config::{FabricConfig, Gbps};
 pub use endpoint::{Endpoint, EndpointId, EndpointStats};
-pub use network::Network;
+pub use network::{BandwidthModel, LinkProfile, Network, NetworkError};

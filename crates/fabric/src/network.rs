@@ -1,13 +1,61 @@
-//! The network: endpoints wired through an ideal non-blocking switch.
+//! The network: endpoints wired through an ideal non-blocking switch,
+//! optionally extended to switched multi-hop paths via [`LinkProfile`].
 
 use crate::config::FabricConfig;
 use crate::endpoint::{Endpoint, EndpointId};
-use simkit::{shared, Kernel, Shared, SimTime};
+use simkit::{shared, Kernel, Shared, SimDuration, SimTime};
+use std::collections::BTreeMap;
 use std::rc::Rc;
 
 /// A time-varying wire-time multiplier: `f(now)` returns the factor by
 /// which serialization is inflated at `now` (1.0 = nominal bandwidth).
 pub type BandwidthModel = Rc<dyn Fn(SimTime) -> f64>;
+
+/// Typed fabric-plane error. The protocol plane never panics on bad
+/// input and neither does the fabric under it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum NetworkError {
+    /// An endpoint with this name is already registered.
+    DuplicateEndpoint(String),
+}
+
+impl std::fmt::Display for NetworkError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetworkError::DuplicateEndpoint(name) => {
+                write!(f, "endpoint {name:?} is already registered")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NetworkError {}
+
+/// Path shape of one directed (src, dst) link through a switched
+/// topology. The default single-switch star needs no profile at all;
+/// cluster topologies install profiles on cross-rack paths.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LinkProfile {
+    /// Switch hops on the path (1 = the plain single-switch star). Each
+    /// extra hop store-and-forwards the message: one more serialization
+    /// plus one more propagation delay.
+    pub hops: u32,
+    /// Serialization multiplier for the path's bottleneck link
+    /// (> 1.0 slows the path; ≤ 1.0 leaves wire time untouched).
+    pub bw_factor: f64,
+    /// Flat extra one-way latency (e.g. longer cross-rack cabling).
+    pub extra_latency: SimDuration,
+}
+
+impl Default for LinkProfile {
+    fn default() -> Self {
+        LinkProfile {
+            hops: 1,
+            bw_factor: 1.0,
+            extra_latency: SimDuration::ZERO,
+        }
+    }
+}
 
 /// A star-topology fabric. Cheap to clone (shared interior).
 #[derive(Clone)]
@@ -15,6 +63,14 @@ pub struct Network {
     config: FabricConfig,
     endpoints: Shared<Vec<Shared<Endpoint>>>,
     bw_model: Shared<Option<BandwidthModel>>,
+    /// Name → id registry backing duplicate-registration detection; the
+    /// first binding wins, later ones are counted and (via
+    /// [`Network::register_endpoint`]) rejected with a typed error.
+    names: Shared<BTreeMap<String, EndpointId>>,
+    dup_registrations: Shared<u64>,
+    /// Per-(src, dst) path profiles. Empty in every single-switch
+    /// scenario, in which case `send` never consults it.
+    links: Shared<BTreeMap<(u32, u32), LinkProfile>>,
 }
 
 impl Network {
@@ -24,6 +80,9 @@ impl Network {
             config,
             endpoints: shared(Vec::new()),
             bw_model: shared(None),
+            names: shared(BTreeMap::new()),
+            dup_registrations: shared(0),
+            links: shared(BTreeMap::new()),
         }
     }
 
@@ -40,12 +99,63 @@ impl Network {
     }
 
     /// Attach a new endpoint (a node) to the fabric.
+    ///
+    /// Re-registering a name no longer shadows the prior endpoint in the
+    /// name registry silently: the first binding wins and the duplicate
+    /// is counted ([`Network::duplicate_registrations`]). Callers that
+    /// need the failure surfaced use [`Network::register_endpoint`].
     pub fn add_endpoint(&self, name: impl Into<String>) -> Shared<Endpoint> {
+        let name = name.into();
         let mut eps = self.endpoints.borrow_mut();
         let id = EndpointId(eps.len() as u32);
-        let ep = shared(Endpoint::new(id, name.into()));
+        match self.names.borrow_mut().entry(name.clone()) {
+            std::collections::btree_map::Entry::Vacant(v) => {
+                v.insert(id);
+            }
+            std::collections::btree_map::Entry::Occupied(_) => {
+                *self.dup_registrations.borrow_mut() += 1;
+            }
+        }
+        let ep = shared(Endpoint::new(id, name));
         eps.push(ep.clone());
         ep
+    }
+
+    /// Checked endpoint registration: a duplicate name is a typed error
+    /// (counted, nothing overwritten), never a silent re-bind. The
+    /// cluster plane registers every node through this entry point.
+    pub fn register_endpoint(
+        &self,
+        name: impl Into<String>,
+    ) -> Result<Shared<Endpoint>, NetworkError> {
+        let name = name.into();
+        if self.names.borrow().contains_key(&name) {
+            *self.dup_registrations.borrow_mut() += 1;
+            return Err(NetworkError::DuplicateEndpoint(name));
+        }
+        Ok(self.add_endpoint(name))
+    }
+
+    /// Endpoint registered under `name`, if any (first binding wins).
+    pub fn endpoint_by_name(&self, name: &str) -> Option<Shared<Endpoint>> {
+        self.names.borrow().get(name).map(|id| self.endpoint(*id))
+    }
+
+    /// How many duplicate-name registrations were attempted.
+    pub fn duplicate_registrations(&self) -> u64 {
+        *self.dup_registrations.borrow()
+    }
+
+    /// Install a path profile on the directed (src, dst) link. Profiles
+    /// are consulted by `send` only once at least one is installed, so
+    /// single-switch scenarios stay bit-identical.
+    pub fn set_link_profile(&self, src: EndpointId, dst: EndpointId, profile: LinkProfile) {
+        self.links.borrow_mut().insert((src.0, dst.0), profile);
+    }
+
+    /// The profile installed on (src, dst), if any.
+    pub fn link_profile(&self, src: EndpointId, dst: EndpointId) -> Option<LinkProfile> {
+        self.links.borrow().get(&(src.0, dst.0)).copied()
     }
 
     /// Number of attached endpoints.
@@ -88,6 +198,22 @@ impl Network {
                 ser = simkit::SimDuration::from_secs_f64(ser.as_secs_f64() * factor);
             }
         }
+        // Multi-hop path shape: each extra switch hop store-and-forwards
+        // (one more serialization + propagation), plus any flat extra
+        // latency. The map is empty outside cluster topologies, so the
+        // single-switch path never consults it.
+        let mut extra_hops = 0u64;
+        let mut extra_latency = SimDuration::ZERO;
+        if !self.links.borrow().is_empty() {
+            let key = (src.borrow().id.0, dst.borrow().id.0);
+            if let Some(p) = self.links.borrow().get(&key) {
+                if p.bw_factor > 1.0 {
+                    ser = simkit::SimDuration::from_secs_f64(ser.as_secs_f64() * p.bw_factor);
+                }
+                extra_hops = u64::from(p.hops.saturating_sub(1));
+                extra_latency = p.extra_latency;
+            }
+        }
 
         let tx_done = {
             let mut s = src.borrow_mut();
@@ -126,7 +252,10 @@ impl Network {
             // start no earlier than the uplink finished serializing
             // (store-and-forward of the final frame).
             let wire = d.downlink.reserve(tx_done, ser_eff);
-            let arrival = wire.finish + cfg.propagation;
+            let arrival = wire.finish
+                + cfg.propagation
+                + (ser + cfg.propagation) * extra_hops
+                + extra_latency;
             d.rx_nic.reserve(arrival, cfg.rx_cost(bytes)).finish
         };
 
@@ -368,6 +497,78 @@ mod tests {
             + cfg.propagation
             + cfg.rx_cost(4096);
         assert_eq!(t.since(start), plain, "no residual incast inflation");
+    }
+
+    #[test]
+    fn duplicate_registration_is_a_typed_error_and_counted() {
+        let net = Network::new(FabricConfig::preset(Gbps::G100));
+        let a = net.register_endpoint("node-a").expect("fresh name");
+        assert_eq!(net.duplicate_registrations(), 0);
+        let err = net.register_endpoint("node-a").unwrap_err();
+        assert_eq!(err, NetworkError::DuplicateEndpoint("node-a".into()));
+        assert_eq!(net.duplicate_registrations(), 1);
+        // Nothing overwritten: the registry still resolves to the first.
+        let by_name = net.endpoint_by_name("node-a").expect("registered");
+        assert_eq!(by_name.borrow().id, a.borrow().id);
+        // The infallible path also counts (no silent shadowing).
+        net.add_endpoint("node-a");
+        assert_eq!(net.duplicate_registrations(), 2);
+        assert_eq!(by_name.borrow().id, a.borrow().id);
+    }
+
+    #[test]
+    fn link_profile_adds_store_and_forward_hops() {
+        let (mut k, net, a, b) = setup(Gbps::G100);
+        let cfg = net.config().clone();
+        // Profile-free delivery first: the baseline single-switch path.
+        let base = net.send(&mut k, &a, &b, 4096, |_| {});
+        let plain = SimTime::ZERO
+            + cfg.tx_cost(4096)
+            + cfg.serialization(4096)
+            + cfg.serialization(4096)
+            + cfg.propagation
+            + cfg.rx_cost(4096);
+        assert_eq!(base, plain);
+        // A 3-hop path with flat extra latency: two extra
+        // store-and-forward stages (serialization + propagation each).
+        let (mut k2, net2, a2, b2) = setup(Gbps::G100);
+        net2.set_link_profile(
+            a2.borrow().id,
+            b2.borrow().id,
+            LinkProfile {
+                hops: 3,
+                bw_factor: 1.0,
+                extra_latency: SimDuration::from_micros(2),
+            },
+        );
+        let multi = net2.send(&mut k2, &a2, &b2, 4096, |_| {});
+        let expect =
+            plain + (cfg.serialization(4096) + cfg.propagation) * 2 + SimDuration::from_micros(2);
+        assert_eq!(multi, expect);
+        // The reverse direction carries no profile: plain path cost.
+        let (mut k3, net3, a3, b3) = setup(Gbps::G100);
+        net3.set_link_profile(a3.borrow().id, b3.borrow().id, LinkProfile::default());
+        assert_eq!(net3.send(&mut k3, &b3, &a3, 4096, |_| {}), plain);
+    }
+
+    #[test]
+    fn link_profile_bw_factor_inflates_serialization() {
+        let (mut k, net, a, b) = setup(Gbps::G100);
+        let cfg = net.config().clone();
+        net.set_link_profile(
+            a.borrow().id,
+            b.borrow().id,
+            LinkProfile {
+                hops: 1,
+                bw_factor: 2.0,
+                extra_latency: SimDuration::ZERO,
+            },
+        );
+        let slowed = net.send(&mut k, &a, &b, 4096, |_| {});
+        let ser2 = SimDuration::from_secs_f64(cfg.serialization(4096).as_secs_f64() * 2.0);
+        let expect =
+            SimTime::ZERO + cfg.tx_cost(4096) + ser2 + ser2 + cfg.propagation + cfg.rx_cost(4096);
+        assert_eq!(slowed, expect);
     }
 
     #[test]

@@ -61,6 +61,19 @@
 //! The optional `"adversary"` sub-block rides one tenant's link with
 //! protocol-level attacks (see [`faults::Adversary`]); `harden` selects
 //! whether the targets keep their DESIGN.md §14 defenses on.
+//!
+//! Cluster scenarios (DESIGN.md §16) add three more knobs — `"targets"`
+//! (the cluster size), a `"placement"` block, and a `"migration"` block.
+//! The two blocks are strictly validated: an unknown key inside either
+//! is a hard parse error, never a silent no-op.
+//!
+//! ```json
+//! {
+//!   "targets": 2,
+//!   "placement": {"policy": "pinned", "pins": [0, 1, 0]},
+//!   "migration": {"moves": [{"tenant": 1, "at_s": 0.05, "to_target": 0}]}
+//! }
+//! ```
 
 pub mod json;
 
@@ -71,7 +84,7 @@ use nvmf::RetryPolicy;
 use simkit::metrics::format_f64;
 use simkit::{SimDuration, SimTime};
 use workload::scenario::Speed;
-use workload::{Mix, RunResult, RuntimeKind, Scenario};
+use workload::{MigrationSpec, Mix, PlacementSpec, RunResult, RuntimeKind, Scenario};
 
 /// A parsed sweep specification.
 #[derive(Clone, Debug)]
@@ -97,6 +110,13 @@ pub struct SweepSpec {
     /// Fault-injection profile applied to every expanded scenario
     /// (`None` = perfect fabric, bit-identical to pre-faults sweeps).
     pub faults: Option<FaultProfile>,
+    /// Cluster size: number of NVMe-oF targets per scenario (1 = the
+    /// classic single-target path).
+    pub targets: usize,
+    /// Tenant → target placement policy for cluster scenarios.
+    pub placement: PlacementSpec,
+    /// Live migrations applied to every expanded scenario.
+    pub migrations: Vec<MigrationSpec>,
 }
 
 /// One expanded point of the sweep (the cross-product coordinates).
@@ -359,6 +379,106 @@ fn parse_faults(doc: &Json) -> Result<Option<FaultProfile>, String> {
     Ok(Some(p))
 }
 
+/// Hard-error on unknown keys inside a (new-style, strictly validated)
+/// block: a typo'd knob must never silently no-op.
+fn check_keys(v: &Json, ctx: &str, allowed: &[&str]) -> Result<(), String> {
+    if let Json::Obj(fields) = v {
+        for (k, _) in fields {
+            if !allowed.contains(&k.as_str()) {
+                return Err(format!("{ctx}: unknown key {k:?} (allowed: {allowed:?})"));
+            }
+        }
+        Ok(())
+    } else {
+        Err(format!("{ctx} must be an object"))
+    }
+}
+
+/// ```json
+/// "placement": {"policy": "pinned", "pins": [0, 1, 0]}
+/// ```
+/// Policies: `"round_robin"` (default), `"least_loaded"`, `"pinned"`
+/// (requires `pins`). Unknown keys are hard errors.
+fn parse_placement(doc: &Json) -> Result<PlacementSpec, String> {
+    let Some(v) = doc.get("placement") else {
+        return Ok(PlacementSpec::RoundRobin);
+    };
+    check_keys(v, "placement", &["policy", "pins"])?;
+    let policy = v
+        .get("policy")
+        .and_then(Json::as_str)
+        .ok_or("placement needs a string \"policy\"")?;
+    let pins = v.get("pins");
+    match policy {
+        "round_robin" | "least_loaded" if pins.is_some() => Err(format!(
+            "placement.pins only applies to policy \"pinned\" (got \"{policy}\")"
+        )),
+        "round_robin" => Ok(PlacementSpec::RoundRobin),
+        "least_loaded" => Ok(PlacementSpec::LeastLoaded),
+        "pinned" => {
+            let arr = pins
+                .and_then(Json::as_arr)
+                .ok_or("placement policy \"pinned\" needs a \"pins\" array")?;
+            let pins = arr
+                .iter()
+                .map(|p| {
+                    p.as_u64()
+                        .map(|p| p as usize)
+                        .ok_or_else(|| format!("placement.pins entry {p:?} not an integer"))
+                })
+                .collect::<Result<Vec<usize>, String>>()?;
+            Ok(PlacementSpec::Pinned(pins))
+        }
+        other => Err(format!(
+            "unknown placement policy {other:?} (want \"round_robin\", \"least_loaded\" or \"pinned\")"
+        )),
+    }
+}
+
+/// ```json
+/// "migration": {"moves": [{"tenant": 1, "at_s": 0.05, "to_target": 0}]}
+/// ```
+/// `at_s` is seconds into the measured window. Unknown keys are hard
+/// errors, at both the block and per-move level.
+fn parse_migrations(doc: &Json) -> Result<Vec<MigrationSpec>, String> {
+    let Some(v) = doc.get("migration") else {
+        return Ok(Vec::new());
+    };
+    check_keys(v, "migration", &["moves"])?;
+    let moves = v
+        .get("moves")
+        .and_then(Json::as_arr)
+        .ok_or("migration needs a \"moves\" array")?;
+    moves
+        .iter()
+        .map(|e| {
+            check_keys(e, "migration.moves entry", &["tenant", "at_s", "to_target"])?;
+            let tenant = e
+                .get("tenant")
+                .and_then(Json::as_u64)
+                .ok_or("migration move needs an integer tenant")? as usize;
+            let at_s = e
+                .get("at_s")
+                .and_then(Json::as_f64)
+                .ok_or("migration move needs a number at_s")?;
+            if !(at_s >= 0.0 && at_s.is_finite()) {
+                return Err(format!(
+                    "migration at_s {at_s} must be finite and non-negative"
+                ));
+            }
+            let to_target =
+                e.get("to_target")
+                    .and_then(Json::as_u64)
+                    .ok_or("migration move needs an integer to_target")? as usize;
+            Ok(MigrationSpec {
+                tenant,
+                at_s,
+                to_target,
+            })
+        })
+        .collect()
+}
+
 impl SweepSpec {
     /// Parse a spec document. Only `name` is required; everything else
     /// defaults to a small two-runtime smoke sweep at 100 Gbps.
@@ -410,12 +530,40 @@ impl SweepSpec {
                 })
                 .transpose()?,
             faults: parse_faults(&doc)?,
+            targets: match doc.get("targets") {
+                None => 1,
+                Some(v) => v
+                    .as_u64()
+                    .filter(|&t| t >= 1)
+                    .map(|t| t as usize)
+                    .ok_or_else(|| format!("targets {v:?} not a positive integer"))?,
+            },
+            placement: parse_placement(&doc)?,
+            migrations: parse_migrations(&doc)?,
         };
         if !(spec.warmup_s >= 0.0 && spec.warmup_s.is_finite()) {
             return Err("warmup_s must be a finite non-negative number".to_string());
         }
         if !(spec.measure_s > 0.0 && spec.measure_s.is_finite()) {
             return Err("measure_s must be a finite positive number".to_string());
+        }
+        if spec.targets > 1 || !spec.migrations.is_empty() {
+            // Cluster mode is NVMe-oPF only; fail the spec up front
+            // rather than panicking mid-sweep.
+            if spec.runtimes.contains(&RuntimeKind::Spdk) {
+                return Err(
+                    "cluster specs (targets > 1 or migration moves) require runtimes: [\"opf\"]"
+                        .to_string(),
+                );
+            }
+            for m in &spec.migrations {
+                if m.to_target >= spec.targets {
+                    return Err(format!(
+                        "migration to_target {} out of range (targets = {})",
+                        m.to_target, spec.targets
+                    ));
+                }
+            }
         }
         Ok(spec)
     }
@@ -435,6 +583,9 @@ impl SweepSpec {
                             sc.measure_s = self.measure_s;
                             sc.seed = seed;
                             sc.faults = self.faults.clone();
+                            sc.targets = self.targets;
+                            sc.placement = self.placement.clone();
+                            sc.migrations = self.migrations.clone();
                             let point = Point {
                                 runtime,
                                 speed_gbps: match Speed::from(speed) {
@@ -700,6 +851,86 @@ mod tests {
             .is_err(),
             "degrade factor below 1 would speed the link up"
         );
+    }
+
+    #[test]
+    fn cluster_blocks_parse_and_propagate() {
+        let spec = SweepSpec::from_json(
+            r#"{"name":"cl","runtimes":["opf"],"targets":2,
+                "placement":{"policy":"pinned","pins":[0,1,0]},
+                "migration":{"moves":[{"tenant":1,"at_s":0.05,"to_target":0}]}}"#,
+        )
+        .unwrap();
+        assert_eq!(spec.targets, 2);
+        assert_eq!(spec.placement, PlacementSpec::Pinned(vec![0, 1, 0]));
+        assert_eq!(
+            spec.migrations,
+            vec![MigrationSpec {
+                tenant: 1,
+                at_s: 0.05,
+                to_target: 0
+            }]
+        );
+        let (_, sc) = &spec.expand()[0];
+        assert_eq!(sc.targets, 2);
+        assert!(sc.is_cluster());
+        // Defaults when absent: single target, round-robin, no moves.
+        let plain = SweepSpec::from_json(r#"{"name":"x"}"#).unwrap();
+        assert_eq!(plain.targets, 1);
+        assert_eq!(plain.placement, PlacementSpec::RoundRobin);
+        assert!(plain.migrations.is_empty());
+        assert!(!plain.expand()[0].1.is_cluster());
+    }
+
+    #[test]
+    fn cluster_blocks_reject_bad_input() {
+        for (doc, why) in [
+            (r#"{"name":"x","targets":0}"#, "zero targets"),
+            (
+                r#"{"name":"x","targets":2}"#,
+                "cluster sweep defaults include the spdk runtime",
+            ),
+            (
+                r#"{"name":"x","runtimes":["opf"],"targets":2,
+                    "placement":{"policy":"round_robin","pins":[0]}}"#,
+                "pins without pinned policy",
+            ),
+            (
+                r#"{"name":"x","runtimes":["opf"],"targets":2,
+                    "placement":{"policy":"wat"}}"#,
+                "unknown policy",
+            ),
+            (
+                r#"{"name":"x","runtimes":["opf"],"targets":2,
+                    "placement":{"policy":"round_robin","typo":1}}"#,
+                "unknown placement key",
+            ),
+            (
+                r#"{"name":"x","runtimes":["opf"],"targets":2,
+                    "migration":{"moves":[],"typo":1}}"#,
+                "unknown migration key",
+            ),
+            (
+                r#"{"name":"x","runtimes":["opf"],"targets":2,
+                    "migration":{"moves":[{"tenant":1,"at_s":0.05,"to_target":0,"typo":1}]}}"#,
+                "unknown move key",
+            ),
+            (
+                r#"{"name":"x","runtimes":["opf"],"targets":2,
+                    "migration":{"moves":[{"tenant":1,"at_s":0.05,"to_target":5}]}}"#,
+                "to_target out of range",
+            ),
+            (
+                r#"{"name":"x","runtimes":["opf"],"targets":2,
+                    "migration":{"moves":[{"tenant":1,"at_s":-0.1,"to_target":0}]}}"#,
+                "negative at_s",
+            ),
+        ] {
+            assert!(
+                SweepSpec::from_json(doc).is_err(),
+                "should reject {why}: {doc}"
+            );
+        }
     }
 
     #[test]

@@ -20,6 +20,7 @@ pub mod scenario;
 pub mod trace;
 pub mod volume;
 
+pub use cluster::{MigrationSpec, PlacementSpec};
 pub use hist::Histogram;
 pub use mix::Mix;
 pub use report::{csv_table, render_table, Table};

@@ -8,7 +8,7 @@ use fabric::{FabricConfig, Gbps, Network};
 use nvme::{FlashProfile, NvmeDevice, Opcode, BLOCK_SIZE};
 use nvmf::initiator::TargetRx;
 use nvmf::qpair::IoCallback;
-use nvmf::{CpuCosts, PduRx, SpdkInitiator, SpdkTarget};
+use nvmf::{CpuCosts, PduRx, RetryPolicy, SpdkInitiator, SpdkTarget};
 use opf::{OpfInitiator, OpfInitiatorConfig, OpfTarget, OpfTargetConfig, QueueMode, ReqClass};
 use simkit::{shared, Kernel, Metrics, MetricsSource, Pcg32, Shared, SimDuration, SimTime, Tracer};
 use std::cell::{Cell, RefCell};
@@ -398,6 +398,9 @@ pub fn build_pair_traced(
 
 /// Run one scenario to completion and collect its metrics.
 pub fn run(sc: &Scenario) -> RunResult {
+    if sc.is_cluster() {
+        return run_cluster(sc);
+    }
     let speed: Gbps = sc.speed.into();
     // Shard the kernel; tenants are assigned to lanes round-robin below.
     // The merge is bit-identical to the serial kernel for any shard
@@ -438,6 +441,14 @@ pub fn run(sc: &Scenario) -> RunResult {
     let ls_count = Rc::new(Cell::new(0u64));
     let tc_count = Rc::new(Cell::new(0u64));
     let payload = Bytes::from(vec![0u8; BLOCK_SIZE * sc.io_blocks.max(1) as usize]);
+
+    // Tenant → lane assignment goes through the same placement-policy
+    // trait the cluster runner uses for tenant → target (one code path,
+    // two axes). The round-robin policy reproduces the historical
+    // hardcoded `global_idx % shards` bit-for-bit; lane choice is
+    // results-invariant regardless (DESIGN.md §13).
+    let mut lane_policy = cluster::PlacementSpec::RoundRobin.policy();
+    let mut lane_loads = vec![0usize; shards];
 
     let mut targets = Vec::new();
     let mut drivers = Vec::new();
@@ -552,10 +563,11 @@ pub fn run(sc: &Scenario) -> RunResult {
                 ReqClass::ThroughputCritical => sc.tc_qd,
             };
             let global_idx = (pair * per_node + slot) as u64;
-            // Round-robin shard (reactor) assignment: the tenant's whole
-            // event chain — issue loop, deliveries, its reactor's queue
-            // work — runs on this lane.
-            let lane = (global_idx % shards as u64) as u32;
+            // Shard (reactor) assignment: the tenant's whole event
+            // chain — issue loop, deliveries, its reactor's queue work —
+            // runs on this lane.
+            let lane = lane_policy.place(global_idx as usize, shards, &lane_loads) as u32;
+            lane_loads[lane as usize] += 1;
             if sc.faults.as_ref().is_some_and(|p| p.keepalive.is_some()) && ka_eps.is_none() {
                 ka_eps = Some((tep.clone(), iep.clone()));
             }
@@ -867,6 +879,453 @@ pub fn run(sc: &Scenario) -> RunResult {
     }
 }
 
+/// Run a multi-target cluster scenario (DESIGN.md §16): `sc.targets`
+/// NVMe-oPF targets, each with its own SSD and fabric endpoint, behind
+/// a leaf/spine topology; tenants spread across targets by
+/// `sc.placement`; the cluster priority manager ticking through the
+/// measurement window; and `sc.migrations` moving tenants live.
+///
+/// The recovery plane (duplicate suppression on targets, retry +
+/// re-drain on initiators) is always on here: a migration's post-move
+/// re-drive rides the recovery re-issue path, and keeping it on for
+/// migration-free cluster rows makes the targets axis internally
+/// consistent. Cluster runs are their own golden space — the
+/// single-target `run()` path above is untouched.
+fn run_cluster(sc: &Scenario) -> RunResult {
+    assert!(
+        sc.runtime == RuntimeKind::Opf,
+        "cluster mode is NVMe-oPF only (the baseline has no migration or placement plane)"
+    );
+    assert!(
+        sc.pairs == 1,
+        "cluster mode replaces the pairs axis with the targets axis"
+    );
+    let targets_n = sc.targets.max(1);
+    let per_node = sc.ls_per_node + sc.tc_per_node;
+    assert!(
+        per_node < 64,
+        "cluster tenant ids must fit the CID-queue key space (< 64)"
+    );
+
+    let speed: Gbps = sc.speed.into();
+    let shards = sc.shards.max(1);
+    let mut k = Kernel::with_shards(sc.seed, shards);
+    let net = Network::new(FabricConfig::preset(speed));
+    let (costs, profile) = match speed {
+        Gbps::G10 | Gbps::G25 => (CpuCosts::cc(), FlashProfile::cc_ssd()),
+        Gbps::G100 => (CpuCosts::cl(), FlashProfile::cl_ssd()),
+    };
+    let costs = match sc.transport {
+        Transport::Tcp => costs,
+        Transport::Rdma => costs.to_rdma(),
+    };
+
+    let plane = sc.faults.as_ref().map(|p| {
+        let rng = k.rng().fork(0xFA17);
+        shared(faults::FaultPlane::new(p.clone(), rng))
+    });
+    if let Some(p) = &plane {
+        if !p.borrow().profile().degrades.is_empty() {
+            net.set_bandwidth_model(faults::bandwidth_model(p));
+        }
+    }
+
+    let warm = SimTime::from_nanos((sc.warmup_s * 1e9) as u64);
+    let end = SimTime::from_nanos(((sc.warmup_s + sc.measure_s) * 1e9) as u64);
+
+    let ls_hist = Rc::new(RefCell::new(Histogram::new()));
+    let tc_hist = Rc::new(RefCell::new(Histogram::new()));
+    let ls_count = Rc::new(Cell::new(0u64));
+    let tc_count = Rc::new(Cell::new(0u64));
+    let payload = Bytes::from(vec![0u8; BLOCK_SIZE * sc.io_blocks.max(1) as usize]);
+
+    // --- Targets, one endpoint + SSD each -------------------------------
+    let adv = sc.faults.as_ref().and_then(|p| p.adversary);
+    let mut tgts: Vec<Shared<OpfTarget>> = Vec::with_capacity(targets_n);
+    let mut tgt_rxs: Vec<TargetRx> = Vec::with_capacity(targets_n);
+    let mut tgt_eps: Vec<Shared<fabric::Endpoint>> = Vec::with_capacity(targets_n);
+    let mut devices = Vec::with_capacity(targets_n);
+    for t in 0..targets_n {
+        let tep = net.add_endpoint(format!("tgt{t}"));
+        let device = shared(NvmeDevice::new(
+            profile.clone(),
+            1 << 30,
+            sc.seed ^ (t as u64).wrapping_mul(0x9E37_79B9),
+        ));
+        device.borrow_mut().set_store_data(false);
+        let tcfg = OpfTargetConfig {
+            queue_mode: if sc.shared_queue {
+                QueueMode::Shared
+            } else {
+                QueueMode::PerInitiator
+            },
+            ls_bypass: !sc.no_ls_bypass,
+            enforce_identity: adv.is_none_or(|a| a.harden),
+            drain_rate: adv.and_then(|a| a.harden.then(opf::DrainRateLimit::default)),
+            ..OpfTargetConfig::default()
+        };
+        let tgt = shared(OpfTarget::new(
+            t as u32,
+            net.clone(),
+            tep.clone(),
+            device.clone(),
+            costs.clone(),
+            tcfg,
+            Tracer::disabled(),
+        ));
+        tgt.borrow_mut().set_recovery(true);
+        let t2 = tgt.clone();
+        let rx: TargetRx = Rc::new(move |k, from, pdu| OpfTarget::on_pdu(&t2, k, from, pdu));
+        tgts.push(tgt);
+        tgt_rxs.push(rx);
+        tgt_eps.push(tep);
+        devices.push(device);
+    }
+
+    // The recovery plane is forced on (see the doc comment); fault
+    // profiles may still override the timer values.
+    let retry = sc
+        .faults
+        .as_ref()
+        .and_then(|p| p.retry)
+        .unwrap_or(RetryPolicy {
+            timeout: SimDuration::from_micros(300),
+            max_retries: 6,
+        });
+    let redrain = sc
+        .faults
+        .as_ref()
+        .and_then(|p| p.redrain_timeout)
+        .unwrap_or(SimDuration::from_micros(500));
+
+    // --- Tenants: placed on targets and lanes by the same trait ---------
+    let mut place_policy = sc.placement.policy();
+    let mut placed = vec![0usize; targets_n];
+    let mut lane_policy = cluster::PlacementSpec::RoundRobin.policy();
+    let mut lane_loads = vec![0usize; shards];
+
+    let shared_iep = (!sc.separate_nodes).then(|| net.add_endpoint("ini-node0"));
+    let mut home: Vec<usize> = Vec::with_capacity(per_node);
+    let mut lanes: Vec<u32> = Vec::with_capacity(per_node);
+    let mut tenant_eps: Vec<Shared<fabric::Endpoint>> = Vec::with_capacity(per_node);
+    let mut tenant_rxs: Vec<PduRx> = Vec::with_capacity(per_node);
+    let mut opf_inis: Vec<Shared<OpfInitiator>> = Vec::with_capacity(per_node);
+    let mut drivers = Vec::new();
+    let mut ini_handles: Vec<(u64, AnyInitiator)> = Vec::new();
+    for slot in 0..per_node {
+        let iep = match &shared_iep {
+            Some(ep) => ep.clone(),
+            None => net.add_endpoint(format!("ini0-{slot}")),
+        };
+        let id = slot as u8;
+        let class = if slot < sc.ls_per_node {
+            ReqClass::LatencySensitive
+        } else {
+            ReqClass::ThroughputCritical
+        };
+        let qd = match class {
+            ReqClass::LatencySensitive => sc.ls_qd,
+            ReqClass::ThroughputCritical => sc.tc_qd,
+        };
+        let lane = lane_policy.place(slot, shards, &lane_loads) as u32;
+        lane_loads[lane as usize] += 1;
+        let t_home = place_policy.place(slot, targets_n, &placed);
+        placed[t_home] += 1;
+        // Each tenant's fabric path is one fault-plane link, addressed
+        // by tenant index — the same link across a migration, so an
+        // attack or loss burst spans the move.
+        let slot_tx: TargetRx = match &plane {
+            Some(p) => faults::wrap_target_rx(p, slot, tgt_rxs[t_home].clone()),
+            None => tgt_rxs[t_home].clone(),
+        };
+        let icfg = OpfInitiatorConfig {
+            window: sc.resolve_window(),
+            retry: Some(retry),
+            redrain_timeout: Some(redrain),
+            ..OpfInitiatorConfig::default()
+        };
+        let i = shared(OpfInitiator::new(
+            id,
+            qd,
+            net.clone(),
+            iep.clone(),
+            tgt_eps[t_home].clone(),
+            slot_tx,
+            costs.clone(),
+            icfg,
+            Tracer::disabled(),
+        ));
+        let i2 = i.clone();
+        let rx: PduRx = Rc::new(move |k, pdu| OpfInitiator::on_pdu(&i2, k, pdu));
+        let rx = match &plane {
+            Some(p) => faults::wrap_pdu_rx(p, slot, rx),
+            None => rx,
+        };
+        tgts[t_home]
+            .borrow_mut()
+            .connect_on(id, iep.clone(), rx.clone(), lane);
+        // Under an adversary, register TC classes on *every* target so
+        // forged-LS demotion survives a migration to any destination.
+        if adv.is_some() && class == ReqClass::ThroughputCritical {
+            for tgt in &tgts {
+                tgt.borrow_mut().deny_ls(id);
+            }
+        }
+        home.push(t_home);
+        lanes.push(lane);
+        tenant_eps.push(iep.clone());
+        tenant_rxs.push(rx);
+        ini_handles.push((slot as u64, AnyInitiator::Opf(i.clone())));
+        opf_inis.push(i.clone());
+
+        let (hist, count) = match class {
+            ReqClass::LatencySensitive => (ls_hist.clone(), ls_count.clone()),
+            ReqClass::ThroughputCritical => (tc_hist.clone(), tc_count.clone()),
+        };
+        let global_idx = slot as u64;
+        let driver = Rc::new(RefCell::new(Driver {
+            ini: AnyInitiator::Opf(i),
+            class,
+            mix: sc.mix,
+            io_blocks: sc.io_blocks.max(1),
+            pattern: sc.pattern,
+            rng: Pcg32::new(sc.seed ^ (global_idx + 1).wrapping_mul(0x1357_9BDF)),
+            n: 0,
+            lba_base: global_idx * 8192 * u64::from(sc.io_blocks.max(1)),
+            lba_span: 8192 * u64::from(sc.io_blocks.max(1)),
+            payload: payload.clone(),
+            hist,
+            win_start: warm,
+            win_end: end,
+            completed_in_win: count,
+        }));
+        drivers.push((driver, qd, global_idx, lane));
+    }
+
+    // --- Leaf/spine topology: non-home paths cross the spine ------------
+    let links_profiled = cluster::install_switched_topology(
+        &net,
+        &tenant_eps,
+        &home,
+        &tgt_eps,
+        SimDuration::from_micros(2),
+    );
+
+    // --- Cluster priority manager: periodic rebalance ticks -------------
+    let mgr = shared(cluster::ClusterPriorityManager::new(tgts.clone()));
+    {
+        struct TickCtx {
+            mgr: Shared<cluster::ClusterPriorityManager>,
+            end: SimTime,
+        }
+        fn tick_loop(ctx: Rc<TickCtx>, k: &mut Kernel, at: SimTime) {
+            if at > ctx.end {
+                return;
+            }
+            let c = ctx.clone();
+            k.schedule_at_on(0, at, move |k| {
+                c.mgr.borrow_mut().tick();
+                let next = k.now() + SimDuration::from_micros(500);
+                tick_loop(c.clone(), k, next);
+            });
+        }
+        let ctx = Rc::new(TickCtx {
+            mgr: mgr.clone(),
+            end,
+        });
+        tick_loop(ctx, &mut k, warm);
+    }
+
+    // --- Live migrations -------------------------------------------------
+    let mut engine = cluster::MigrationEngine::new();
+    let mut cur = home.clone();
+    for spec in &sc.migrations {
+        let ti = spec.tenant;
+        assert!(
+            ti < per_node && spec.to_target < targets_n,
+            "migration spec out of range: tenant {ti} -> target {}",
+            spec.to_target
+        );
+        let from = cur[ti];
+        let to = spec.to_target;
+        if to == from {
+            continue;
+        }
+        let to_dest_rx: TargetRx = match &plane {
+            Some(p) => faults::wrap_target_rx(p, ti, tgt_rxs[to].clone()),
+            None => tgt_rxs[to].clone(),
+        };
+        let m = cluster::Migration {
+            tenant: ti as u8,
+            lane: lanes[ti],
+            at: warm + SimDuration::from_secs_f64(spec.at_s.max(0.0)),
+            initiator: opf_inis[ti].clone(),
+            source: tgts[from].clone(),
+            dest: tgts[to].clone(),
+            dest_ep: tgt_eps[to].clone(),
+            ini_ep: tenant_eps[ti].clone(),
+            to_dest_rx,
+            from_dest_rx: tenant_rxs[ti].clone(),
+            dest_shard: lanes[ti],
+            state: cluster::MigrationState::Scheduled,
+            history: Vec::new(),
+            cmds_moved: 0,
+            redriven: 0,
+        };
+        engine.schedule(&mut k, m, SimDuration::from_micros(100));
+        cur[ti] = to;
+    }
+
+    // --- Drive -----------------------------------------------------------
+    for (driver, qd, idx, lane) in drivers {
+        let d = driver.clone();
+        k.schedule_at_on(lane, SimTime::from_micros(idx), move |k| {
+            for _ in 0..qd {
+                issue(d.clone(), k);
+            }
+        });
+    }
+
+    let notif_at_warm = Rc::new(Cell::new(0u64));
+    let warm_marker = notif_at_warm.clone();
+    {
+        let sums: Vec<_> = tgts
+            .iter()
+            .map(|t| {
+                let t = t.clone();
+                Box::new(move || t.borrow().stats.resps_tx) as Box<dyn Fn() -> u64>
+            })
+            .collect();
+        k.schedule_at(warm, move |_| {
+            warm_marker.set(sums.iter().map(|f| f()).sum());
+        });
+    }
+
+    // Settle window: cluster runs always get one (fault profiles may
+    // bring a longer one) so the in-flight tail — including post-move
+    // re-drives and their completions — lands before the horizon and
+    // exactly-once accounting (`offered == goodput`) is checkable.
+    let settle = sc.faults.as_ref().map_or(0.0, |p| p.settle_s).max(0.05);
+    let horizon = end + SimDuration::from_secs_f64(settle);
+    k.set_horizon(horizon);
+    k.run_to_completion();
+
+    // --- Collect ---------------------------------------------------------
+    let measure_secs = sc.measure_s;
+    let tc_done = tc_count.get();
+    let ls_done = ls_count.get();
+    let notifications =
+        tgts.iter().map(|t| t.borrow().stats.resps_tx).sum::<u64>() - notif_at_warm.get();
+    let util = tgts
+        .iter()
+        .map(|t| t.borrow().reactor_utilization(end))
+        .sum::<f64>()
+        / targets_n as f64;
+
+    let tc_hist = tc_hist.borrow();
+    let ls_hist = ls_hist.borrow();
+
+    let now = k.now();
+    let mut metrics = Metrics::at(now);
+    metrics.set("tc.iops", tc_done as f64 / measure_secs);
+    metrics.set("tc.p50_us", tc_hist.percentile(0.50) as f64 / 1e3);
+    metrics.set("tc.p99_us", tc_hist.percentile(0.99) as f64 / 1e3);
+    metrics.set("tc.p9999_us", tc_hist.percentile(0.9999) as f64 / 1e3);
+    metrics.set("tc.avg_us", tc_hist.mean() / 1e3);
+    metrics.set("ls.iops", ls_done as f64 / measure_secs);
+    metrics.set("ls.p50_us", ls_hist.percentile(0.50) as f64 / 1e3);
+    metrics.set("ls.p99_us", ls_hist.percentile(0.99) as f64 / 1e3);
+    metrics.set("ls.p9999_us", ls_hist.percentile(0.9999) as f64 / 1e3);
+    metrics.set("ls.avg_us", ls_hist.mean() / 1e3);
+    metrics.set("notifications", notifications as f64);
+    metrics.set("completed", (tc_done + ls_done) as f64);
+    metrics.set("reactor_util", util);
+    metrics.set("events", k.events_executed() as f64);
+    for (t, tgt) in tgts.iter().enumerate() {
+        metrics.merge(&format!("tgt{t}."), &tgt.borrow().metrics(now));
+    }
+    for (t, device) in devices.iter().enumerate() {
+        metrics.merge(&format!("dev{t}."), &device.borrow().metrics(now));
+    }
+    for (t, ep) in tgt_eps.iter().enumerate() {
+        metrics.merge(&format!("tgt{t}_ep."), &ep.borrow().metrics(now));
+    }
+    if let Some(ep) = &shared_iep {
+        metrics.merge("ini_node_ep.", &ep.borrow().metrics(now));
+    } else {
+        for (i, ep) in tenant_eps.iter().enumerate() {
+            metrics.merge(&format!("ini{i}.ep."), &ep.borrow().metrics(now));
+        }
+    }
+    for (idx, ini) in &ini_handles {
+        metrics.merge(&format!("ini{idx}."), &ini.metrics(now));
+    }
+
+    // Cluster-plane counters.
+    metrics.set("cluster.targets", targets_n as f64);
+    metrics.set("cluster.links_profiled", links_profiled as f64);
+    let snap = mgr.borrow().snapshot();
+    metrics.set("cluster.mgr_ticks", snap.ticks as f64);
+    metrics.set("cluster.weight_updates", snap.weight_updates as f64);
+    metrics.set("cluster.max_imbalance", snap.max_imbalance as f64);
+    // Unconditional, so a no-op migration spec (a move to the tenant's
+    // current target, skipped above) leaves a snapshot byte-identical
+    // to a migration-free run of the same scenario.
+    let tot = engine.totals();
+    metrics.set("cluster.migrations_done", tot.done as f64);
+    metrics.set("cluster.migrations_failed", tot.failed as f64);
+    metrics.set("cluster.cmds_moved", tot.cmds_moved as f64);
+    metrics.set("cluster.redriven", tot.redriven as f64);
+
+    if let Some(p) = &plane {
+        metrics.merge("faults.", &p.borrow().metrics(now));
+        metrics.set("kernel.horizon_dropped", k.horizon_dropped() as f64);
+    }
+    // Recovery aggregates are unconditional in cluster runs: the
+    // recovery plane is always armed here, with or without a fault
+    // profile, and exactly-once accounting (`offered == goodput`) is
+    // the cluster plane's core invariant.
+    let (mut retries, mut exhausted, mut redrains, mut dups) = (0u64, 0u64, 0u64, 0u64);
+    let (mut offered, mut goodput) = (0u64, 0u64);
+    for i in &opf_inis {
+        let i = i.borrow();
+        retries += i.stats.retries;
+        exhausted += i.stats.retry_exhausted;
+        redrains += i.stats.redrains;
+        dups += i.stats.dup_resps_suppressed;
+        offered += i.stats.submitted;
+        goodput += i.stats.completed;
+    }
+    metrics.set("recovery.retries", retries as f64);
+    metrics.set("recovery.retry_exhausted", exhausted as f64);
+    metrics.set("recovery.redrains", redrains as f64);
+    metrics.set("recovery.dup_resps_suppressed", dups as f64);
+    metrics.set("recovery.offered", offered as f64);
+    metrics.set("recovery.goodput", goodput as f64);
+
+    RunResult {
+        tc_iops: tc_done as f64 / measure_secs,
+        tc_mb_s: tc_done as f64 * (BLOCK_SIZE * sc.io_blocks.max(1) as usize) as f64
+            / 1e6
+            / measure_secs,
+        tc_avg_us: tc_hist.mean() / 1e3,
+        tc_p9999_us: tc_hist.percentile(0.9999) as f64 / 1e3,
+        ls_iops: ls_done as f64 / measure_secs,
+        ls_avg_us: ls_hist.mean() / 1e3,
+        ls_p9999_us: ls_hist.percentile(0.9999) as f64 / 1e3,
+        notifications,
+        completed: tc_done + ls_done,
+        reactor_util: util,
+        events: k.events_executed(),
+        cross_shard_events: k.cross_shard_scheduled(),
+        cross_reactor_submits: tgts
+            .iter()
+            .map(|t| t.borrow().cross_reactor_submits())
+            .sum(),
+        metrics,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1092,6 +1551,55 @@ mod tests {
             m.get("admin.reconnects").unwrap_or(0.0) >= 1.0,
             "the outage outlives KATO, so the client must reconnect"
         );
+    }
+
+    #[test]
+    fn cluster_two_targets_runs_and_ticks_the_manager() {
+        let mut sc = Scenario::ratio(RuntimeKind::Opf, Gbps::G100, Mix::READ, 1, 4);
+        sc.targets = 2;
+        sc.warmup_s = 0.02;
+        sc.measure_s = 0.06;
+        let r = run(&sc);
+        assert!(r.completed > 0);
+        assert_eq!(r.metrics.get("cluster.targets"), Some(2.0));
+        assert!(r.metrics.get("cluster.mgr_ticks").unwrap_or(0.0) > 0.0);
+        // Round-robin placement puts tenants on both targets, so the
+        // spine profiles exist and both devices served I/O.
+        assert!(r.metrics.get("cluster.links_profiled").unwrap_or(0.0) > 0.0);
+        assert_eq!(
+            r.metrics.get("recovery.offered"),
+            r.metrics.get("recovery.goodput"),
+            "cluster closed loops must complete every submitted request"
+        );
+    }
+
+    #[test]
+    fn live_migration_completes_exactly_once() {
+        let mut sc = Scenario::ratio(RuntimeKind::Opf, Gbps::G100, Mix::READ, 1, 4);
+        sc.targets = 2;
+        sc.warmup_s = 0.02;
+        sc.measure_s = 0.08;
+        // Tenant 1 is TC (slot 0 is the LS probe), homed on target 1 by
+        // round-robin; move it to target 0 mid-measurement.
+        sc.migrations = vec![cluster::MigrationSpec {
+            tenant: 1,
+            at_s: 0.03,
+            to_target: 0,
+        }];
+        let r = run(&sc);
+        let m = &r.metrics;
+        assert_eq!(m.get("cluster.migrations_done"), Some(1.0));
+        assert_eq!(m.get("cluster.migrations_failed"), Some(0.0));
+        assert_eq!(
+            m.get("recovery.offered"),
+            m.get("recovery.goodput"),
+            "every request must complete exactly once across the move"
+        );
+        assert_eq!(m.get("recovery.retry_exhausted"), Some(0.0));
+        // The moved tenant keeps completing after the move: the source
+        // counted one migrate-out, the destination one migrate-in.
+        assert_eq!(m.get("tgt1.migrated_out"), m.get("tgt0.migrated_in"));
+        assert_eq!(m.get("tgt1.migrated_out"), Some(1.0));
     }
 
     #[test]

@@ -2,6 +2,7 @@
 //! of a figure.
 
 use crate::mix::Mix;
+use cluster::{MigrationSpec, PlacementSpec};
 use fabric::Gbps;
 
 /// NVMe-oF transport binding.
@@ -141,6 +142,22 @@ pub struct Scenario {
     /// (DESIGN.md §13) — any value replays bit-identically to 1 — which
     /// the shard-differential test suite enforces.
     pub shards: usize,
+    /// Number of NVMe-oF targets in the cluster. 1 (the default) runs
+    /// the classic single-target path, bit-identical to pre-cluster
+    /// builds; >1 switches to the cluster runner: per-target
+    /// endpoints/SSDs behind a leaf/spine fabric, tenants spread by
+    /// `placement`, and the cluster priority manager ticking
+    /// (DESIGN.md §16). Cluster mode is NVMe-oPF only.
+    pub targets: usize,
+    /// How tenants map onto targets (and, through the same trait, onto
+    /// kernel lanes). Round-robin reproduces the historical assignment
+    /// exactly.
+    pub placement: PlacementSpec,
+    /// Live migrations to run, each moving one tenant to another target
+    /// mid-measurement. Non-empty forces the cluster runner and the
+    /// recovery plane (retry + re-drain) on, since the post-move
+    /// re-drive rides the recovery re-issue path.
+    pub migrations: Vec<MigrationSpec>,
 }
 
 impl Scenario {
@@ -168,6 +185,9 @@ impl Scenario {
             no_ls_bypass: false,
             faults: None,
             shards: 1,
+            targets: 1,
+            placement: PlacementSpec::RoundRobin,
+            migrations: Vec::new(),
         }
     }
 
@@ -190,6 +210,12 @@ impl Scenario {
     /// The ratio label the paper uses on Figure 7's x-axis ("1:4").
     pub fn ratio_label(&self) -> String {
         format!("{}:{}", self.ls_per_node, self.tc_per_node)
+    }
+
+    /// True when the scenario needs the cluster runner: more than one
+    /// target, or any live migration scheduled.
+    pub fn is_cluster(&self) -> bool {
+        self.targets > 1 || !self.migrations.is_empty()
     }
 
     /// Resolve the window policy for this scenario.

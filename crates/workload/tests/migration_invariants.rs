@@ -1,0 +1,160 @@
+//! End-to-end invariants of live tenant migration (DESIGN.md §16).
+//!
+//! For random small cluster topologies (2–3 targets, up to 6 tenants,
+//! 1–4 kernel shards) × an optional lossy fault plane × an optional
+//! hardened adversary, with one migration injected mid-measurement,
+//! every run must satisfy:
+//!
+//! 1. **Exactly-once per CID**: each honest tenant's completions equal
+//!    its submissions once the settle window drains the tail — across
+//!    the drain → freeze → adopt → re-drive of the move, under loss and
+//!    under attack. No retry exhausts, no I/O errors.
+//! 2. **Migration completion**: the scheduled cross-target move reaches
+//!    `Done` (never `Failed`), exactly once.
+//! 3. **Shard replay**: the migrating run's whole metric snapshot is
+//!    identical between the serial and the sharded kernel — migration
+//!    events (freeze, adoption, re-drive) merge into the same total
+//!    order on any lane count.
+//! 4. **No-op invisibility**: a migration spec that moves a tenant to
+//!    its *current* target is skipped outright, and the run's snapshot
+//!    is byte-identical to the same scenario with no migration block at
+//!    all — placement being identical, the cluster plane adds nothing.
+
+use faults::{Adversary, FaultProfile};
+use nvmf::RetryPolicy;
+use proptest::prelude::*;
+use simkit::SimDuration;
+use workload::{Mix, PlacementSpec, RuntimeKind, Scenario};
+
+/// Full snapshot as comparable data (name-sorted inside `Metrics`).
+fn snapshot(r: &workload::RunResult) -> Vec<(String, f64)> {
+    r.metrics.iter().map(|(n, v)| (n.to_string(), v)).collect()
+}
+
+fn cluster_scenario(ls: usize, tc: usize, targets: usize, seed: u64) -> Scenario {
+    let mut sc = Scenario::ratio(RuntimeKind::Opf, fabric::Gbps::G100, Mix::READ, ls, tc);
+    sc.warmup_s = 0.01;
+    sc.measure_s = 0.03;
+    sc.seed = seed;
+    sc.targets = targets;
+    sc.placement = PlacementSpec::RoundRobin;
+    sc
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 6, ..Default::default() })]
+    #[test]
+    fn migrations_are_exactly_once_and_replay_on_any_shard_count(
+        targets in 2usize..=3,
+        ls in 0usize..2,
+        tc in 2usize..5,
+        shards in 2usize..=4,
+        faulty in any::<bool>(),
+        adversarial in any::<bool>(),
+        seed in 1u64..256,
+    ) {
+        let tenants = ls + tc;
+        // The adversary rides the last TC slot; migrate an honest
+        // tenant so the exactly-once claim is about a victim of the
+        // attack, not its author.
+        let adv_slot = tenants - 1;
+        let mut mover = seed as usize % tenants;
+        if adversarial && mover == adv_slot {
+            mover = (mover + 1) % tenants;
+        }
+        let home = mover % targets; // round-robin placement
+        let away = (home + 1) % targets;
+
+        let mut sc = cluster_scenario(ls, tc, targets, seed);
+        let mut profile = FaultProfile {
+            retry: Some(RetryPolicy {
+                timeout: SimDuration::from_micros(300),
+                max_retries: 16,
+            }),
+            redrain_timeout: Some(SimDuration::from_micros(500)),
+            ..FaultProfile::default()
+        };
+        if faulty {
+            profile.drop_p = 0.03;
+            profile.dup_p = 0.01;
+            profile.delay_p = 0.05;
+        }
+        if adversarial {
+            profile.adversary = Some(Adversary {
+                forge_ls_p: 0.2,
+                drain_flood_p: 0.3,
+                spoof_p: 0.5,
+                link: adv_slot,
+                spoof_victim: mover as u8,
+                harden: true,
+                ..Adversary::default()
+            });
+        }
+        sc.faults = Some(profile);
+        sc.migrations = vec![workload::MigrationSpec {
+            tenant: mover,
+            at_s: 0.015,
+            to_target: away,
+        }];
+
+        let serial = workload::run(&sc);
+        sc.shards = shards;
+        let sharded = workload::run(&sc);
+
+        // 3. Shard replay: identical snapshots and event counts.
+        prop_assert_eq!(snapshot(&serial), snapshot(&sharded));
+        prop_assert_eq!(serial.events, sharded.events);
+
+        // 2. The cross-target move completed, exactly once.
+        let m = &sharded.metrics;
+        prop_assert_eq!(m.get("cluster.migrations_done"), Some(1.0));
+        prop_assert_eq!(m.get("cluster.migrations_failed"), Some(0.0));
+
+        // 1. Exactly-once per honest tenant: conservation, no errors,
+        // no exhausted retries. (The adversary's own stream dies at the
+        // hardened target's identity check, by design.)
+        for i in 0..tenants {
+            if adversarial && i == adv_slot {
+                continue;
+            }
+            let sub = m.get(&format!("ini{i}.submitted")).unwrap_or(-1.0);
+            let comp = m.get(&format!("ini{i}.completed")).unwrap_or(-1.0);
+            prop_assert!(sub >= 0.0 && comp >= 0.0, "tenant {i} snapshot missing");
+            prop_assert!(comp > 0.0, "tenant {i} never completed anything");
+            prop_assert_eq!(comp, sub, "tenant {} lost or duplicated commands", i);
+            prop_assert_eq!(
+                m.get(&format!("ini{i}.errors")),
+                Some(0.0),
+                "tenant {} saw I/O errors", i
+            );
+            prop_assert_eq!(
+                m.get(&format!("ini{i}.retry_exhausted")),
+                Some(0.0),
+                "tenant {} exhausted retries", i
+            );
+        }
+        // Cluster-wide ledger: with no adversary eating capsules, the
+        // recovery aggregates must conserve globally too.
+        if !adversarial {
+            let offered = m.get("recovery.offered").unwrap_or(0.0);
+            prop_assert!(offered > 0.0);
+            prop_assert_eq!(m.get("recovery.goodput"), Some(offered));
+            prop_assert_eq!(m.get("recovery.retry_exhausted"), Some(0.0));
+        }
+
+        // 4. No-op invisibility: a same-target move is skipped and the
+        // snapshot matches a migration-free run byte-for-byte.
+        let mut noop = cluster_scenario(ls, tc, targets, seed);
+        noop.migrations = vec![workload::MigrationSpec {
+            tenant: mover,
+            at_s: 0.015,
+            to_target: home,
+        }];
+        let mut bare = cluster_scenario(ls, tc, targets, seed);
+        bare.migrations = Vec::new();
+        let noop_r = workload::run(&noop);
+        let bare_r = workload::run(&bare);
+        prop_assert_eq!(snapshot(&noop_r), snapshot(&bare_r));
+        prop_assert_eq!(noop_r.metrics.get("cluster.migrations_done"), Some(0.0));
+    }
+}
