@@ -920,6 +920,11 @@ mod tests {
         let spawn = "fn f() { std::thread::spawn(|| {}); }\n";
         assert!(lint("crates/simkit/src/x.rs", spawn).is_empty());
         assert!(lint("crates/analysis/src/x.rs", spawn).is_empty());
+        // The threaded conservative-lookahead engine (DESIGN.md §17)
+        // lives inside the simkit sanction: scoped lane workers pass.
+        let engine =
+            "pub fn run() { std::thread::scope(|s| { for _ in 0..4 { s.spawn(|| {}); } }); }\n";
+        assert!(lint("crates/simkit/src/parallel.rs", engine).is_empty());
         // Test code is exempt (stress tests drive real threads).
         assert!(lint("crates/queues/tests/x.rs", spawn).is_empty());
     }

@@ -22,8 +22,16 @@
 
 use experiments::{fig6, observe, table1, Durations};
 use simkit::metrics::format_f64;
-use simkit::{Kernel, SimDuration, Stopwatch};
+use simkit::{Kernel, LaneCtx, ParallelKernel, SimDuration, Stopwatch};
 use sweep::json::{self, Json};
+
+/// Physical parallelism of this machine (what the parallel micros can
+/// actually use).
+fn cores() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
 
 /// Regression tolerance for the `--check` gate: wall-clock rates may
 /// not fall below `1 - TOLERANCE` of the baseline.
@@ -178,11 +186,53 @@ fn measure_micro() -> Vec<Micro> {
         std::hint::black_box(k.events_executed());
     }));
 
+    // The same 10k-event load through the threaded conservative-
+    // lookahead engine (DESIGN.md §17) and its single-threaded merge
+    // oracle. The pair's ratio is the 4-lane parallel speedup — only
+    // meaningful on ≥ 4 cores; `--check` gates it there and reports it
+    // everywhere else.
+    let k = ParallelKernel::new(4, SimDuration::from_nanos(1_000), 1);
+    out.push(time_loop("kernel/parallel4_run_10k", 50, || {
+        let reports = k.run(parallel_programs(4, 2_500));
+        std::hint::black_box(reports.iter().map(|r| r.executed).sum::<u64>());
+    }));
+    out.push(time_loop("kernel/parallel4_serial_10k", 50, || {
+        let reports = k.run_serial(parallel_programs(4, 2_500));
+        std::hint::black_box(reports.iter().map(|r| r.executed).sum::<u64>());
+    }));
+
     out.push(time_loop("table1/build", 2_000, || {
         std::hint::black_box(table1::build().rows.len());
     }));
 
     out
+}
+
+/// Per-lane event chain for the parallel micros: mostly lane-local
+/// steps, with every 8th event hopping to the next lane at the minimum
+/// legal (lookahead) delay, so the conservative windows really carry
+/// cross-lane traffic.
+fn parallel_chain(c: &mut LaneCtx, left: u32) {
+    if left == 0 {
+        return;
+    }
+    if left.is_multiple_of(8) && c.lanes() > 1 {
+        let to = (c.lane() as usize + 1) % c.lanes();
+        c.send(to, c.lookahead(), move |c| parallel_chain(c, left - 1));
+    } else {
+        c.schedule_in(SimDuration::from_nanos(97), move |c| {
+            parallel_chain(c, left - 1)
+        });
+    }
+}
+
+fn parallel_programs(lanes: usize, chain: u32) -> Vec<simkit::parallel::LaneProgram> {
+    (0..lanes)
+        .map(|_| {
+            Box::new(move |c: &mut LaneCtx| parallel_chain(c, chain))
+                as simkit::parallel::LaneProgram
+        })
+        .collect()
 }
 
 fn measure() -> (Vec<Group>, Vec<Micro>) {
@@ -196,7 +246,10 @@ fn measure() -> (Vec<Group>, Vec<Micro>) {
 
 fn report(groups: &[Group], micro: &[Micro]) -> String {
     let mut out = String::new();
-    out.push_str("{\n  \"schema\": \"nvme-opf.bench.hotpath.v1\",\n  \"quick_repro\": [\n");
+    out.push_str(&format!(
+        "{{\n  \"schema\": \"nvme-opf.bench.hotpath.v1\",\n  \"cores\": {},\n  \"quick_repro\": [\n",
+        cores()
+    ));
     for (i, g) in groups.iter().enumerate() {
         out.push_str(&format!(
             "    {{\"name\": \"{}\", \"scenarios\": {}, \"events\": {}, \"wall_s\": {}, \"events_per_sec\": {}}}{}\n",
@@ -306,6 +359,32 @@ fn check(baseline: &Json, groups: &[Group], micro: &[Micro]) -> usize {
                 m.name,
                 m.ops_per_sec()
             ),
+        }
+    }
+    // Parallel speedup gate, on the *fresh* measurement pair (not the
+    // baseline, whose machine may differ): with ≥ 4 cores the threaded
+    // 4-lane engine must clear 2x its serial merge oracle. Below 4
+    // cores there is no parallelism to demonstrate — report only.
+    let rate_of = |name: &str| {
+        micro
+            .iter()
+            .find(|m| m.name == name)
+            .map(|m| m.ops_per_sec())
+    };
+    if let (Some(par), Some(ser)) = (
+        rate_of("kernel/parallel4_run_10k"),
+        rate_of("kernel/parallel4_serial_10k"),
+    ) {
+        let ratio = par / ser;
+        let cores = cores();
+        if cores >= 4 && ratio < 2.0 {
+            println!(
+                "FAIL kernel/parallel4_run_10k: {ratio:.2}x vs serial on {cores} cores \
+                 (threaded engine must clear 2x with 4 lanes)"
+            );
+            failures += 1;
+        } else {
+            println!("info kernel/parallel4_run_10k: {ratio:.2}x vs serial on {cores} cores");
         }
     }
     failures

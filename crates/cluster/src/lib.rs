@@ -23,7 +23,7 @@ pub mod migration;
 pub mod placement;
 pub mod topology;
 
-pub use manager::{ClusterPriorityManager, ManagerSnapshot};
+pub use manager::{ClusterPriorityManager, ManagerSnapshot, TenantLoad};
 pub use migration::{Migration, MigrationEngine, MigrationSpec, MigrationState};
 pub use placement::{LeastLoaded, Pinned, PlacementPolicy, PlacementSpec, RoundRobin};
 pub use topology::install_switched_topology;

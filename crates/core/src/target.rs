@@ -1373,6 +1373,12 @@ impl OpfTarget {
         self.drain_weights.insert(initiator, weight.max(0.0));
     }
 
+    /// The cluster Priority Manager's current drain-rate weight for one
+    /// tenant (1.0 when none has been applied).
+    pub fn tenant_weight(&self, initiator: u8) -> f64 {
+        self.drain_weights.get(&initiator).copied().unwrap_or(1.0)
+    }
+
     /// Freeze tenant `initiator` and extract its per-tenant protocol
     /// state for live migration: the connection is unregistered, the
     /// 16-bit CID queue is drained in order, and the staged commands it

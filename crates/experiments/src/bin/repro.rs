@@ -12,11 +12,13 @@ use experiments::{
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro [--quick] [--threads N] [--shards N] [--targets N] <artifact>...\n\
+        "usage: repro [--quick] [--threads N] [--shards N] [--targets N] [--parallel] <artifact>...\n\
          artifacts: table1 fig6a fig6b fig6c fig7 fig8 fig9 ablate iosize openloop transport breakdown observe chaos scale adversary all\n\
          --shards N runs every scenario on N kernel shards (results are bit-identical for any N)\n\
          --targets N (N > 1) gives `scale` a targets axis (scale_cluster.csv) and reruns\n\
-         `adversary` hardened across a live migration (adversary_targetsN.csv)"
+         `adversary` hardened across a live migration (adversary_targetsN.csv)\n\
+         --parallel routes cross-shard schedules through the mailbox doorbell mesh\n\
+         (DESIGN.md §17); artifacts stay byte-identical to their serial goldens"
     );
     std::process::exit(2);
 }
@@ -26,6 +28,7 @@ fn main() {
     let mut threads: Option<usize> = None;
     let mut shards: usize = 1;
     let mut targets: usize = 1;
+    let mut parallel = false;
     let mut artifacts: Vec<String> = Vec::new();
 
     let mut args = std::env::args().skip(1);
@@ -50,6 +53,7 @@ fn main() {
                     usage();
                 }
             }
+            "--parallel" => parallel = true,
             "--help" | "-h" => usage(),
             other if other.starts_with('-') => usage(),
             other => artifacts.push(other.to_string()),
@@ -63,7 +67,8 @@ fn main() {
     } else {
         Durations::full()
     }
-    .with_shards(shards);
+    .with_shards(shards)
+    .with_parallel(parallel);
 
     let start = simkit::Stopwatch::start();
     for artifact in &artifacts {

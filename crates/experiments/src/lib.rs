@@ -85,6 +85,11 @@ pub struct Durations {
     /// (`repro --shards N`). Results are bit-identical for any value
     /// (DESIGN.md §13); the knob exercises the sharded machinery.
     pub shards: usize,
+    /// Route cross-shard schedules through the mailbox doorbell mesh
+    /// (`repro --parallel`, DESIGN.md §17). Results are bit-identical
+    /// with the flag on or off; the knob exercises the parallel-merge
+    /// plumbing end to end.
+    pub parallel: bool,
 }
 
 impl Durations {
@@ -94,6 +99,7 @@ impl Durations {
             warmup_s: 0.25,
             measure_s: 1.0,
             shards: 1,
+            parallel: false,
         }
     }
 
@@ -103,6 +109,7 @@ impl Durations {
             warmup_s: 0.05,
             measure_s: 0.15,
             shards: 1,
+            parallel: false,
         }
     }
 
@@ -111,11 +118,17 @@ impl Durations {
         Durations { shards, ..self }
     }
 
+    /// Same durations, mailbox-meshed cross-shard routing on or off.
+    pub fn with_parallel(self, parallel: bool) -> Self {
+        Durations { parallel, ..self }
+    }
+
     /// Apply to a scenario.
     pub fn apply(&self, sc: &mut workload::Scenario) {
         sc.warmup_s = self.warmup_s;
         sc.measure_s = self.measure_s;
         sc.shards = self.shards;
+        sc.parallel = self.parallel;
     }
 }
 
@@ -133,6 +146,9 @@ mod tests {
         Durations::quick().apply(&mut sc);
         assert!(sc.measure_s < Durations::full().measure_s);
         assert!(sc.warmup_s > 0.0);
+        assert!(!sc.parallel, "meshed routing defaults off");
+        Durations::quick().with_parallel(true).apply(&mut sc);
+        assert!(sc.parallel);
     }
 
     #[test]

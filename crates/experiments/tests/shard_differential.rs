@@ -114,3 +114,24 @@ fn scale_quick_matches_golden() {
         &workload::csv_table(&scale::table(&results, true)),
     );
 }
+
+/// The same quick scale grid with cross-shard schedules detoured
+/// through the mailbox doorbell mesh (`parallel: true`, DESIGN.md §17).
+/// The detour is pure bookkeeping on the global `(at, seq)` merge key,
+/// so the golden must reproduce byte for byte — and the side-band
+/// routing counter proves the mesh really carried the traffic rather
+/// than the flag being dead.
+#[test]
+fn scale_quick_matches_golden_with_meshed_routing() {
+    let d = Durations::quick().with_parallel(true);
+    let results = run_all(&scale::scenarios(d, true), Some(1));
+    assert!(
+        results.iter().any(|r| r.parallel_routed > 0),
+        "no scale run ever routed through the doorbell mesh"
+    );
+    assert_csv_matches(
+        "scale",
+        1,
+        &workload::csv_table(&scale::table(&results, true)),
+    );
+}

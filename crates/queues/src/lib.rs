@@ -21,6 +21,10 @@
 //!   only by the *shared-queue ablation*, which demonstrates the problem
 //!   (early drains, cross-tenant interference) that per-initiator queues
 //!   avoid.
+//! * [`lane`] — the conservative-lookahead synchronization mesh of the
+//!   parallel kernel (DESIGN.md §17): pairwise mailboxes plus published
+//!   per-lane bounds and a quiescence counter, so worker threads can
+//!   race ahead inside provably-safe windows.
 //!
 //! All cross-thread primitives go through [`sync`], a facade over
 //! `std::sync::atomic` that swaps in the `analysis` crate's shadow
@@ -29,12 +33,14 @@
 //! leaked nodes (`cargo test -p analysis`).
 
 pub mod cid;
+pub mod lane;
 pub mod mailbox;
 pub mod mpsc;
 pub mod spsc;
 pub mod sync;
 
 pub use cid::{CidQueue, CompleteResult};
+pub use lane::{lane_mesh, LanePort};
 pub use mailbox::{mailbox, MailboxRx, MailboxTx};
 pub use mpsc::{channel as mpsc_channel, MpscQueue, MpscReceiver, MpscSender};
 pub use spsc::{spsc_channel, Consumer, Producer};

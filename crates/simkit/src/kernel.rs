@@ -28,6 +28,7 @@
 
 use crate::rng::Pcg32;
 use crate::time::{SimDuration, SimTime};
+use queues::{MailboxRx, MailboxTx};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 use std::mem::MaybeUninit;
@@ -120,6 +121,30 @@ impl Ord for Scheduled {
     }
 }
 
+/// Per-lane doorbell inbox of the parallel routing mesh: cross-lane
+/// schedules are posted here and drained into the lane heap at the top
+/// of the next `step()`. Single driver thread, so the SPSC contract of
+/// the underlying mailbox holds trivially; what the detour buys is the
+/// *same code path* the threaded engine uses (post → ring → drain on
+/// the doorbell edge) plus the lookahead audit, while the `(at, seq)`
+/// merge key keeps results byte-identical to direct heap pushes.
+struct MeshInbox {
+    tx: MailboxTx<Scheduled>,
+    rx: MailboxRx<Scheduled>,
+}
+
+/// Routing mesh state for `parallel: true` runs (see
+/// [`Kernel::set_parallel`]).
+struct Mesh {
+    inboxes: Vec<MeshInbox>,
+    /// Cross-lane schedules routed through a mailbox.
+    routed: u64,
+    /// Smallest observed slack `at - now` on a routed schedule, in
+    /// nanoseconds: the lookahead the threaded engine would have had on
+    /// this exact workload. `u64::MAX` until the first routing.
+    min_slack: u64,
+}
+
 /// Discrete-event simulation kernel.
 pub struct Kernel {
     now: SimTime,
@@ -155,6 +180,9 @@ pub struct Kernel {
     /// Events discarded at the horizon (observability for chaos runs:
     /// distinguishes "dropped by fault plane" from "dropped by horizon").
     horizon_dropped: u64,
+    /// `Some` when cross-lane schedules detour through mailbox
+    /// doorbells (the `parallel: true` scenario knob).
+    mesh: Option<Mesh>,
 }
 
 impl Kernel {
@@ -185,7 +213,59 @@ impl Kernel {
             executed: 0,
             horizon: SimTime::MAX,
             horizon_dropped: 0,
+            mesh: None,
         }
+    }
+
+    /// Route cross-lane schedules through per-lane mailbox doorbells —
+    /// the code path the threaded engine synchronizes on — instead of
+    /// pushing directly into the peer heap. The global `(at, seq)`
+    /// stamp is assigned before routing and every detoured event is
+    /// drained back before the next merge, so results stay
+    /// byte-identical to the direct path; what changes is the
+    /// mechanism, plus side-band audit counters
+    /// ([`Self::mesh_routed`], [`Self::mesh_min_slack_nanos`]).
+    pub fn set_parallel(&mut self, on: bool) {
+        if !on {
+            self.drain_mesh();
+            self.mesh = None;
+            return;
+        }
+        if self.mesh.is_none() {
+            self.mesh = Some(Mesh {
+                inboxes: (0..self.lanes.len())
+                    .map(|_| {
+                        let (tx, rx) = queues::mailbox(1024);
+                        MeshInbox { tx, rx }
+                    })
+                    .collect(),
+                routed: 0,
+                min_slack: u64::MAX,
+            });
+        }
+    }
+
+    /// Whether the parallel routing mesh is active.
+    #[inline]
+    pub fn parallel(&self) -> bool {
+        self.mesh.is_some()
+    }
+
+    /// Cross-lane schedules that went through the mailbox mesh.
+    #[inline]
+    pub fn mesh_routed(&self) -> u64 {
+        self.mesh.as_ref().map_or(0, |m| m.routed)
+    }
+
+    /// Smallest `at - now` slack observed on a routed schedule, in
+    /// nanoseconds — the effective lookahead this workload would give
+    /// the threaded engine. `None` before any routing.
+    #[inline]
+    pub fn mesh_min_slack_nanos(&self) -> Option<u64> {
+        self.mesh
+            .as_ref()
+            .filter(|m| m.min_slack != u64::MAX)
+            .map(|m| m.min_slack)
     }
 
     /// Number of logical shards (always ≥ 1).
@@ -238,10 +318,15 @@ impl Kernel {
         self.executed
     }
 
-    /// Number of events currently pending (across all shards).
+    /// Number of events currently pending (across all shards, including
+    /// cross-lane events still staged in the routing mesh).
     #[inline]
     pub fn events_pending(&self) -> usize {
-        self.lanes.iter().map(BinaryHeap::len).sum()
+        let staged: usize = self
+            .mesh
+            .as_ref()
+            .map_or(0, |m| m.inboxes.iter().map(|i| i.rx.pending()).sum());
+        self.lanes.iter().map(BinaryHeap::len).sum::<usize>() + staged
     }
 
     /// The kernel RNG. Components should usually [`fork`](Pcg32::fork)
@@ -322,12 +407,23 @@ impl Kernel {
             self.horizon_dropped += 1;
             return;
         }
-        if shard != self.current_shard {
+        let cross = shard != self.current_shard;
+        if cross {
             self.cross_shard_scheduled += 1;
         }
         let seq = self.seq;
         self.seq += 1;
         let slot = self.store_event(f);
+        let sched = Scheduled { at, seq, slot };
+        if cross && self.mesh.is_some() {
+            self.route_through_mesh(shard, sched);
+        } else {
+            self.push_lane(shard, sched);
+        }
+    }
+
+    /// Push onto a lane heap, maintaining the live-lane bookkeeping.
+    fn push_lane(&mut self, shard: u32, sched: Scheduled) {
         let lane = &mut self.lanes[shard as usize];
         if lane.is_empty() {
             self.nonempty_lanes += 1;
@@ -335,7 +431,54 @@ impl Kernel {
                 self.single_lane = shard;
             }
         }
-        lane.push(Scheduled { at, seq, slot });
+        lane.push(sched);
+    }
+
+    /// Post a cross-lane schedule to the target lane's doorbell inbox.
+    /// The event stays invisible to the merge until the next `step()`
+    /// drains it — which is also the first moment it could have been
+    /// popped on the direct path, so the detour is unobservable in
+    /// results.
+    fn route_through_mesh(&mut self, shard: u32, sched: Scheduled) {
+        let slack = sched.at.as_nanos() - self.now.as_nanos();
+        let mesh = self.mesh.as_mut().expect("caller checked mesh");
+        mesh.routed += 1;
+        mesh.min_slack = mesh.min_slack.min(slack);
+        let inbox = &mut mesh.inboxes[shard as usize];
+        match inbox.tx.send(sched) {
+            Ok(()) => {}
+            Err(sched) => {
+                // Ring full: drain the target inbox into its heap (the
+                // single-driver equivalent of the receiver emptying its
+                // mailbox) and retry into the now-empty ring.
+                let mut drained = Vec::with_capacity(inbox.rx.pending());
+                while let Some(s) = inbox.rx.take() {
+                    drained.push(s);
+                }
+                for s in drained {
+                    self.push_lane(shard, s);
+                }
+                let mesh = self.mesh.as_mut().expect("caller checked mesh");
+                mesh.inboxes[shard as usize]
+                    .tx
+                    .send(sched)
+                    .unwrap_or_else(|_| unreachable!("mailbox empty after drain"));
+            }
+        }
+    }
+
+    /// Move every belled mesh event into its lane heap. Called before
+    /// each merge so the detour never reorders anything.
+    fn drain_mesh(&mut self) {
+        let Some(mut mesh) = self.mesh.take() else {
+            return;
+        };
+        for (shard, inbox) in mesh.inboxes.iter_mut().enumerate() {
+            while let Some(s) = inbox.rx.take() {
+                self.push_lane(shard as u32, s);
+            }
+        }
+        self.mesh = Some(mesh);
     }
 
     /// Schedule `f` to run `delay` after now.
@@ -381,6 +524,9 @@ impl Kernel {
     /// Execute a single event if one is pending. Returns `false` when the
     /// queue is empty.
     pub fn step(&mut self) -> bool {
+        if self.mesh.is_some() {
+            self.drain_mesh();
+        }
         let Some((lane, _)) = self.merge_lane() else {
             return false;
         };
@@ -412,6 +558,13 @@ impl Kernel {
                 // heap, which holds each stored index exactly once) and
                 // is consumed exactly here.
                 unsafe { (slot.call)(slot.data.as_mut_ptr() as *mut usize, self) };
+                // Restore the documented "0 outside any event" contract:
+                // without this, runner code scheduling between steps
+                // inherits the last executed lane, miscounting
+                // `cross_shard_scheduled` and lane ownership. Result
+                // order is unaffected either way — the merge key is the
+                // global `(at, seq)` stamp, not the lane.
+                self.current_shard = 0;
                 true
             }
             None => false,
@@ -427,7 +580,13 @@ impl Kernel {
     /// at `until`) or the queue drains. The clock is advanced to `until`
     /// even if the queue drained earlier.
     pub fn run_until(&mut self, until: SimTime) {
-        while let Some((_, at)) = self.merge_lane() {
+        loop {
+            if self.mesh.is_some() {
+                self.drain_mesh();
+            }
+            let Some((_, at)) = self.merge_lane() else {
+                break;
+            };
             if at > until {
                 break;
             }
@@ -440,7 +599,18 @@ impl Kernel {
 impl Drop for Kernel {
     fn drop(&mut self) {
         // Release closures still pending (e.g. after `run_until`): each
-        // occupied slot is named exactly once by a heap entry.
+        // occupied slot is named exactly once by a heap entry — or by a
+        // mesh inbox entry not yet drained into one.
+        if let Some(mesh) = &mut self.mesh {
+            for inbox in &mut mesh.inboxes {
+                while let Some(ev) = inbox.rx.take() {
+                    let mut slot = self.slots[ev.slot as usize];
+                    // SAFETY: staged slots are occupied and consumed
+                    // exactly once, here.
+                    unsafe { (slot.drop)(slot.data.as_mut_ptr() as *mut usize) };
+                }
+            }
+        }
         for lane in &mut self.lanes {
             for ev in lane.drain() {
                 let mut slot = self.slots[ev.slot as usize];
@@ -734,6 +904,113 @@ mod tests {
         let per: u64 = (0..3).map(|s| k.shard_executed(s)).sum();
         assert_eq!(per, 9);
         assert_eq!(k.shard_executed(0), 3);
+    }
+
+    /// Regression: `current_shard` documents "(0 outside any event)",
+    /// but `step()` used to leave it at the last executed lane — runner
+    /// code scheduling between steps then inherited a stale shard and
+    /// was miscounted as cross-shard traffic (or silently landed on the
+    /// wrong lane's ownership books).
+    #[test]
+    fn shard_context_resets_between_events() {
+        let mut k = Kernel::with_shards(0, 4);
+        k.schedule_at_on(3, SimTime::from_micros(1), |k| {
+            assert_eq!(k.current_shard(), 3, "context set inside the event");
+        });
+        k.run_to_completion();
+        assert_eq!(k.current_shard(), 0, "context cleared after the run");
+        assert_eq!(k.cross_shard_scheduled(), 1);
+        // Between-run scheduling is lane-0 work again: no stale lane-3
+        // inheritance, no phantom cross-shard count.
+        let lanes = Rc::new(RefCell::new(Vec::new()));
+        let l = lanes.clone();
+        k.schedule_at(SimTime::from_micros(2), move |k| {
+            l.borrow_mut().push(k.current_shard())
+        });
+        assert_eq!(k.cross_shard_scheduled(), 1, "no phantom cross-shard count");
+        k.run_to_completion();
+        assert_eq!(*lanes.borrow(), vec![0]);
+        assert_eq!(k.shard_executed(0), 1);
+        assert_eq!(k.current_shard(), 0);
+    }
+
+    /// The `parallel: true` detour: cross-lane schedules ride mailbox
+    /// doorbells instead of direct heap pushes, and the result replays
+    /// the direct path bit-identically (the merge key is the global
+    /// stamp either way).
+    #[test]
+    fn mesh_detour_replays_direct_path() {
+        fn run(shards: usize, parallel: bool) -> (Vec<(u64, u64)>, u64) {
+            let order = Rc::new(RefCell::new(Vec::new()));
+            let mut k = Kernel::with_shards(9, shards);
+            k.set_parallel(parallel);
+            let n = shards as u64;
+            for i in 0..40u64 {
+                let order = order.clone();
+                let lane = (i % n) as u32;
+                k.schedule_at_on(lane, SimTime::from_micros(i % 5), move |k| {
+                    order.borrow_mut().push((i, k.now().as_micros()));
+                    if i < 8 {
+                        let order = order.clone();
+                        // Hop to the next lane from inside an event —
+                        // the detour the mesh actually routes.
+                        let to = (k.current_shard() + 1) % k.shards() as u32;
+                        k.schedule_at_on(to, k.now() + SimDuration::from_micros(2), move |k| {
+                            order.borrow_mut().push((100 + i, k.now().as_micros()));
+                        });
+                    }
+                });
+            }
+            k.run_to_completion();
+            let routed = k.mesh_routed();
+            (Rc::try_unwrap(order).unwrap().into_inner(), routed)
+        }
+        let (direct, d_routed) = run(4, false);
+        let (meshed, m_routed) = run(4, true);
+        assert_eq!(direct, meshed, "mesh detour changed the replay");
+        assert_eq!(d_routed, 0);
+        assert!(m_routed > 0, "mesh never engaged");
+    }
+
+    #[test]
+    fn mesh_min_slack_reports_effective_lookahead() {
+        let mut k = Kernel::with_shards(0, 2);
+        k.set_parallel(true);
+        assert!(k.parallel());
+        assert_eq!(k.mesh_min_slack_nanos(), None);
+        k.schedule_at_on(0, SimTime::from_micros(1), |k| {
+            k.schedule_at_on(1, k.now() + SimDuration::from_micros(3), |_| {});
+            k.schedule_at_on(1, k.now() + SimDuration::from_micros(7), |_| {});
+        });
+        k.run_to_completion();
+        assert_eq!(k.mesh_routed(), 2);
+        assert_eq!(k.mesh_min_slack_nanos(), Some(3_000));
+    }
+
+    #[test]
+    fn mesh_staged_events_release_captures_on_drop() {
+        let token = Rc::new(());
+        {
+            let mut k = Kernel::with_shards(0, 2);
+            k.set_parallel(true);
+            let t = token.clone();
+            k.schedule_at_on(0, SimTime::from_micros(1), move |k| {
+                let t2 = t.clone();
+                // Routed through the mesh, drained into lane 1's heap
+                // by the next merge, then stranded there by the cutoff.
+                k.schedule_at_on(1, k.now() + SimDuration::from_micros(1), move |_| drop(t2));
+            });
+            k.run_until(SimTime::from_micros(1));
+            assert_eq!(k.events_pending(), 1, "staged event counted as pending");
+            // A second one posted after the run stays in the mesh inbox
+            // itself — the kernel is torn down before any step drains
+            // it, exercising the inbox leg of Drop.
+            let t = token.clone();
+            k.schedule_at_on(1, SimTime::from_micros(3), move |_| drop(t));
+            assert_eq!(k.events_pending(), 2);
+            assert_eq!(Rc::strong_count(&token), 3);
+        }
+        assert_eq!(Rc::strong_count(&token), 1);
     }
 
     #[test]

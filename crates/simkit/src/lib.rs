@@ -28,6 +28,7 @@
 pub mod fxhash;
 pub mod kernel;
 pub mod metrics;
+pub mod parallel;
 pub mod resource;
 pub mod rng;
 pub mod time;
@@ -36,6 +37,7 @@ pub mod trace;
 pub use fxhash::{FxHashMap, FxHashSet, FxHasher};
 pub use kernel::Kernel;
 pub use metrics::{Metrics, MetricsSource};
+pub use parallel::{LaneCtx, LaneReport, ParallelKernel};
 pub use resource::Resource;
 pub use rng::Pcg32;
 pub use time::{SimDuration, SimTime, Stopwatch};

@@ -1,0 +1,562 @@
+//! Conservative-lookahead parallel event execution (DESIGN.md §17).
+//!
+//! [`crate::Kernel`] is deliberately thread-confined: event closures
+//! capture `Rc` handles into the protocol stack, so its lanes are
+//! *logical* shards merged on one thread. [`ParallelKernel`] is the
+//! engine that runs lanes on real worker threads. It trades the
+//! kernel's erased-closure heap for `Send` events and buys back the
+//! determinism with the classic conservative (Chandy–Misra–Bryant
+//! style) rule, synchronized through the [`queues::lane`] mesh:
+//!
+//! * every lane publishes a **bound** — a promise that every message it
+//!   sends from then on carries a timestamp ≥ the bound;
+//! * a lane's **horizon** is the minimum bound over its peers; events
+//!   strictly earlier than the horizon are safe to execute, because the
+//!   mesh's Release/Acquire edge guarantees everything belled under an
+//!   observed bound is already drained;
+//! * cross-lane sends must schedule at least **lookahead** into the
+//!   future, which is what lets the bound sit `lookahead` past the
+//!   horizon and the window make progress: per window a lane reads its
+//!   horizon `h`, drains, executes every event `< h`, then publishes
+//!   `h + lookahead`.
+//!
+//! Determinism does not depend on thread timing: each event carries a
+//! key `(at, origin lane, origin seq)`; a lane executes its events in
+//! key order, and the conservative rule proves every message with
+//! `at < h` was drained before the window ran, so the per-lane
+//! execution sequence — and every per-lane log, counter, and RNG draw —
+//! is a pure function of the program. [`ParallelKernel::run_serial`]
+//! executes the identical semantics on one thread and is the oracle the
+//! differential tests compare against.
+//!
+//! Termination is quiescence detection on the mesh: all lanes idle with
+//! nothing in flight is a stable condition (a send requires a non-idle
+//! sender and keeps the in-flight count nonzero until taken).
+
+use crate::rng::Pcg32;
+use crate::time::{SimDuration, SimTime};
+use queues::lane::{lane_mesh, LanePort};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A parallel event closure. `Send` because it may cross lanes and the
+/// whole lane context migrates onto a worker thread at start.
+pub type Event = Box<dyn FnOnce(&mut LaneCtx) + Send>;
+
+/// A lane's setup program: runs first on the lane's thread, seeds the
+/// initial events.
+pub type LaneProgram = Box<dyn FnOnce(&mut LaneCtx) + Send>;
+
+/// A cross-lane message: an event plus its deterministic merge key.
+struct LaneMsg {
+    at: SimTime,
+    origin: u32,
+    seq: u64,
+    f: Event,
+}
+
+/// Heap entry; inverted order so the earliest key pops first.
+struct Pending {
+    at: SimTime,
+    origin: u32,
+    seq: u64,
+    f: Event,
+}
+
+impl Pending {
+    #[inline]
+    fn key(&self) -> (SimTime, u32, u64) {
+        (self.at, self.origin, self.seq)
+    }
+}
+impl PartialEq for Pending {
+    fn eq(&self, other: &Self) -> bool {
+        self.key() == other.key()
+    }
+}
+impl Eq for Pending {}
+impl PartialOrd for Pending {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Pending {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other.key().cmp(&self.key())
+    }
+}
+
+/// Per-lane execution context: the lane's clock, event heap, RNG and
+/// observable log. Handed to every event closure; never shared.
+pub struct LaneCtx {
+    lane: u32,
+    lanes: usize,
+    lookahead: SimDuration,
+    now: SimTime,
+    heap: BinaryHeap<Pending>,
+    /// Stamp for locally scheduled events *and* outgoing messages — one
+    /// counter so the (origin, seq) key is unique and replay-stable.
+    seq: u64,
+    rng: Pcg32,
+    log: Vec<(u64, u64)>,
+    /// Cross-lane sends staged by the executing event; the driver
+    /// flushes them into the mesh (or, serially, the peer heap).
+    outbox: Vec<(usize, LaneMsg)>,
+    executed: u64,
+    sent: u64,
+    received: u64,
+}
+
+impl LaneCtx {
+    fn new(lane: u32, lanes: usize, lookahead: SimDuration, seed: u64) -> Self {
+        LaneCtx {
+            lane,
+            lanes,
+            lookahead,
+            now: SimTime::ZERO,
+            heap: BinaryHeap::new(),
+            seq: 0,
+            rng: Pcg32::new(seed).fork(lane as u64),
+            log: Vec::new(),
+            outbox: Vec::new(),
+            executed: 0,
+            sent: 0,
+            received: 0,
+        }
+    }
+
+    /// This lane's index.
+    #[inline]
+    pub fn lane(&self) -> u32 {
+        self.lane
+    }
+
+    /// Total lane count.
+    #[inline]
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// Current virtual time on this lane.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The engine's lookahead: the minimum cross-lane schedule delay.
+    #[inline]
+    pub fn lookahead(&self) -> SimDuration {
+        self.lookahead
+    }
+
+    /// The lane-local deterministic RNG (forked per lane from the
+    /// engine seed).
+    #[inline]
+    pub fn rng(&mut self) -> &mut Pcg32 {
+        &mut self.rng
+    }
+
+    /// Schedule `f` on this lane at absolute time `at` (clamped to
+    /// now).
+    pub fn schedule_at(&mut self, at: SimTime, f: impl FnOnce(&mut LaneCtx) + Send + 'static) {
+        let at = at.max(self.now);
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Pending {
+            at,
+            origin: self.lane,
+            seq,
+            f: Box::new(f),
+        });
+    }
+
+    /// Schedule `f` on this lane `delay` from now.
+    #[inline]
+    pub fn schedule_in(
+        &mut self,
+        delay: SimDuration,
+        f: impl FnOnce(&mut LaneCtx) + Send + 'static,
+    ) {
+        self.schedule_at(self.now + delay, f);
+    }
+
+    /// Send `f` to run on lane `to`, `delay` from now. The delay must
+    /// be at least the engine lookahead — that slack is precisely what
+    /// the conservative bound trades for parallelism.
+    pub fn send(
+        &mut self,
+        to: usize,
+        delay: SimDuration,
+        f: impl FnOnce(&mut LaneCtx) + Send + 'static,
+    ) {
+        assert!(to < self.lanes, "lane {to} out of range");
+        assert!(to != self.lane as usize, "use schedule_in on the own lane");
+        assert!(
+            delay >= self.lookahead,
+            "cross-lane delay {delay:?} under the lookahead {:?}",
+            self.lookahead
+        );
+        let seq = self.seq;
+        self.seq += 1;
+        self.sent += 1;
+        self.outbox.push((
+            to,
+            LaneMsg {
+                at: self.now + delay,
+                origin: self.lane,
+                seq,
+                f: Box::new(f),
+            },
+        ));
+    }
+
+    /// Record an observation `(now, tag)` in the lane's log — the
+    /// deterministic output the differential tests compare.
+    pub fn emit(&mut self, tag: u64) {
+        self.log.push((self.now.as_nanos(), tag));
+    }
+
+    fn push_msg(&mut self, m: LaneMsg) {
+        self.received += 1;
+        self.heap.push(Pending {
+            at: m.at,
+            origin: m.origin,
+            seq: m.seq,
+            f: m.f,
+        });
+    }
+
+    #[inline]
+    fn head_at(&self) -> Option<SimTime> {
+        self.heap.peek().map(|p| p.at)
+    }
+
+    /// Pop and run the earliest event. Caller guarantees safety (the
+    /// event is under the horizon).
+    fn run_next(&mut self) {
+        let ev = self.heap.pop().expect("caller checked head");
+        debug_assert!(ev.at >= self.now, "lane time went backwards");
+        self.now = ev.at;
+        self.executed += 1;
+        (ev.f)(self);
+    }
+}
+
+/// What one lane did, in deterministic (thread-timing-independent)
+/// terms. `windows` is the only field that may vary run to run on the
+/// threaded engine — it counts scheduling iterations, not simulation
+/// behavior — and is zeroed by [`ParallelKernel::run_serial`].
+pub struct LaneReport {
+    pub lane: u32,
+    pub executed: u64,
+    pub sent: u64,
+    pub received: u64,
+    pub final_now: SimTime,
+    pub log: Vec<(u64, u64)>,
+    pub windows: u64,
+}
+
+/// The threaded conservative-lookahead engine. See the module docs for
+/// the protocol and DESIGN.md §17 for the proof sketch.
+pub struct ParallelKernel {
+    lanes: usize,
+    lookahead: SimDuration,
+    seed: u64,
+    mailbox_cap: usize,
+}
+
+impl ParallelKernel {
+    /// An engine with `lanes` worker lanes and the given lookahead
+    /// (must be nonzero: a zero lookahead admits no parallel window).
+    pub fn new(lanes: usize, lookahead: SimDuration, seed: u64) -> Self {
+        assert!(lanes >= 1, "need at least one lane");
+        assert!(lookahead > SimDuration::ZERO, "lookahead must be positive");
+        ParallelKernel {
+            lanes,
+            lookahead,
+            seed,
+            mailbox_cap: 1024,
+        }
+    }
+
+    /// Pairwise mailbox capacity (messages in flight per lane pair).
+    pub fn with_mailbox_cap(mut self, cap: usize) -> Self {
+        self.mailbox_cap = cap.max(2);
+        self
+    }
+
+    /// Run `programs[i]` on lane `i`, one OS thread per lane, until the
+    /// mesh is quiescent. Reports come back in lane order and are
+    /// bit-identical to [`Self::run_serial`] on the same programs
+    /// (modulo the `windows` diagnostic).
+    pub fn run(&self, programs: Vec<LaneProgram>) -> Vec<LaneReport> {
+        assert_eq!(programs.len(), self.lanes, "one program per lane");
+        let ports = lane_mesh::<LaneMsg>(self.lanes, self.mailbox_cap);
+        let lookahead = self.lookahead;
+        let (lanes, seed) = (self.lanes, self.seed);
+        let mut reports: Vec<Option<LaneReport>> = (0..lanes).map(|_| None).collect();
+        std::thread::scope(|s| {
+            let handles: Vec<_> = programs
+                .into_iter()
+                .zip(ports)
+                .enumerate()
+                .map(|(i, (program, port))| {
+                    s.spawn(move || {
+                        let mut ctx = LaneCtx::new(i as u32, lanes, lookahead, seed);
+                        program(&mut ctx);
+                        Self::worker(&mut ctx, port)
+                    })
+                })
+                .collect();
+            for (i, h) in handles.into_iter().enumerate() {
+                reports[i] = Some(h.join().expect("lane worker panicked"));
+            }
+        });
+        reports.into_iter().map(|r| r.unwrap()).collect()
+    }
+
+    /// One lane's scheduling loop: read horizon → drain → execute the
+    /// safe window (`at < horizon`, strictly — a peer may still send
+    /// exactly at its bound) → publish `horizon + lookahead`.
+    fn worker(ctx: &mut LaneCtx, mut port: LanePort<LaneMsg>) -> LaneReport {
+        let lookahead = ctx.lookahead.as_nanos();
+        let mut windows = 0u64;
+        // Setup-time sends go out before anyone can have advanced.
+        Self::flush(ctx, &mut port);
+        loop {
+            if !ctx.heap.is_empty() || port.pending() > 0 {
+                port.exit_idle();
+            }
+            if port.is_idle() {
+                // An idle lane must keep its bound rising or its peers'
+                // horizons freeze (the empty-lane deadlock). Publishing
+                // without draining is sound only in this read order:
+                // horizon first, then the pending() == 0 confirmation —
+                // any message invisible at that second read was belled
+                // after it, so its sender's pre-send bound is at least
+                // our horizon component and the message itself arrives
+                // ≥ horizon; anything it triggers is ≥ horizon +
+                // lookahead. (A message visible at the check instead
+                // flips the lane busy next iteration.)
+                let horizon = port.horizon();
+                if port.pending() == 0 {
+                    let bound = horizon.saturating_add(lookahead);
+                    if bound > port.published() {
+                        port.publish(bound);
+                    }
+                    if port.quiescent() {
+                        break;
+                    }
+                }
+            } else {
+                windows += 1;
+                // The window horizon is read once and reused for the
+                // bound below: only messages belled under *this* value
+                // are proven drained, so a fresher (higher) read must
+                // not leak into either the window or the bound.
+                let horizon = port.horizon();
+                port.drain(|_, m| ctx.push_msg(m));
+                while let Some(at) = ctx.head_at() {
+                    if at.as_nanos() >= horizon {
+                        break;
+                    }
+                    ctx.run_next();
+                    Self::flush(ctx, &mut port);
+                }
+                // Every future send is ≥ horizon + lookahead: events
+                // still heaped are ≥ horizon (the window drained the
+                // rest), and any message not yet visible is ≥ horizon
+                // by the peers' own bounds.
+                let bound = horizon.saturating_add(lookahead);
+                if bound > port.published() {
+                    port.publish(bound);
+                }
+                if ctx.heap.is_empty() && port.pending() == 0 {
+                    port.enter_idle();
+                }
+            }
+            std::thread::yield_now();
+        }
+        LaneReport {
+            lane: ctx.lane,
+            executed: ctx.executed,
+            sent: ctx.sent,
+            received: ctx.received,
+            final_now: ctx.now,
+            log: std::mem::take(&mut ctx.log),
+            windows,
+        }
+    }
+
+    /// Push staged cross-lane sends into the mesh. A full pairwise ring
+    /// bounces the message back; the receiver drains every loop, so
+    /// retrying (draining our own inboxes meanwhile to stay live)
+    /// terminates.
+    fn flush(ctx: &mut LaneCtx, port: &mut LanePort<LaneMsg>) {
+        while let Some((to, mut msg)) = ctx.outbox.pop() {
+            loop {
+                match port.send(to, msg) {
+                    Ok(()) => break,
+                    Err(m) => {
+                        msg = m;
+                        // Mid-window drain is safe: everything arriving
+                        // now is ≥ the window horizon and sorts after
+                        // the events the window may still execute.
+                        port.drain(|_, m| ctx.push_msg(m));
+                        std::thread::yield_now();
+                    }
+                }
+            }
+        }
+    }
+
+    /// The single-threaded oracle: identical semantics, no mesh, no
+    /// lookahead windows — a global `(at, origin, seq, lane)` merge
+    /// with direct heap-to-heap message delivery. Differential tests
+    /// run both engines and demand identical reports.
+    pub fn run_serial(&self, programs: Vec<LaneProgram>) -> Vec<LaneReport> {
+        assert_eq!(programs.len(), self.lanes, "one program per lane");
+        let mut ctxs: Vec<LaneCtx> = (0..self.lanes)
+            .map(|i| LaneCtx::new(i as u32, self.lanes, self.lookahead, self.seed))
+            .collect();
+        let mut staged: Vec<(usize, LaneMsg)> = Vec::new();
+        for (i, program) in programs.into_iter().enumerate() {
+            program(&mut ctxs[i]);
+            staged.append(&mut ctxs[i].outbox);
+        }
+        loop {
+            for (to, m) in staged.drain(..) {
+                ctxs[to].push_msg(m);
+            }
+            let next = ctxs
+                .iter()
+                .enumerate()
+                .filter_map(|(i, c)| c.heap.peek().map(|p| (p.key(), i)))
+                .min();
+            let Some((_, lane)) = next else {
+                break;
+            };
+            ctxs[lane].run_next();
+            staged.append(&mut ctxs[lane].outbox);
+        }
+        ctxs.into_iter()
+            .map(|mut c| LaneReport {
+                lane: c.lane,
+                executed: c.executed,
+                sent: c.sent,
+                received: c.received,
+                final_now: c.now,
+                log: std::mem::take(&mut c.log),
+                windows: 0,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain(ctx: &mut LaneCtx, left: u32, tag: u64) {
+        ctx.emit(tag);
+        if left > 0 {
+            ctx.schedule_in(SimDuration::from_nanos(100), move |c| {
+                chain(c, left - 1, tag + 1)
+            });
+        }
+    }
+
+    #[test]
+    fn single_lane_runs_to_completion() {
+        let k = ParallelKernel::new(1, SimDuration::from_micros(1), 7);
+        let reports = k.run(vec![Box::new(|c: &mut LaneCtx| {
+            c.schedule_at(SimTime::from_nanos(5), |c| chain(c, 9, 0));
+        })]);
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].executed, 10);
+        assert_eq!(reports[0].log.len(), 10);
+        assert_eq!(reports[0].final_now, SimTime::from_nanos(5 + 900));
+    }
+
+    #[test]
+    fn cross_lane_sends_arrive_and_order_is_keyed() {
+        let k = ParallelKernel::new(2, SimDuration::from_nanos(50), 7);
+        let mk = || -> Vec<LaneProgram> {
+            vec![
+                Box::new(|c: &mut LaneCtx| {
+                    // Two pings to lane 1, landing between its locals.
+                    c.send(1, SimDuration::from_nanos(150), |c| c.emit(1000));
+                    c.send(1, SimDuration::from_nanos(250), |c| c.emit(1001));
+                    c.schedule_in(SimDuration::from_nanos(10), |c| c.emit(1));
+                }),
+                Box::new(|c: &mut LaneCtx| {
+                    for t in [100u64, 200, 300] {
+                        c.schedule_at(SimTime::from_nanos(t), move |c| c.emit(t));
+                    }
+                }),
+            ]
+        };
+        let par = k.run(mk());
+        let ser = k.run_serial(mk());
+        for (p, s) in par.iter().zip(&ser) {
+            assert_eq!(p.log, s.log, "lane {} diverged", p.lane);
+            assert_eq!(p.executed, s.executed);
+        }
+        assert_eq!(
+            par[1].log,
+            vec![(100, 100), (150, 1000), (200, 200), (250, 1001), (300, 300)]
+        );
+        assert_eq!(par[0].sent, 2);
+        assert_eq!(par[1].received, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "under the lookahead")]
+    fn sends_under_the_lookahead_are_rejected() {
+        let k = ParallelKernel::new(2, SimDuration::from_micros(1), 0);
+        k.run_serial(vec![
+            Box::new(|c: &mut LaneCtx| c.send(1, SimDuration::from_nanos(10), |_| {})),
+            Box::new(|_: &mut LaneCtx| {}),
+        ]);
+    }
+
+    #[test]
+    fn threaded_run_is_deterministic_across_repeats() {
+        let run_once = || {
+            let k = ParallelKernel::new(4, SimDuration::from_nanos(200), 3);
+            let programs: Vec<LaneProgram> = (0..4u64)
+                .map(|i| {
+                    Box::new(move |c: &mut LaneCtx| {
+                        c.schedule_at(SimTime::ZERO, move |c| pingpong(c, 40, i * 1000));
+                    }) as LaneProgram
+                })
+                .collect();
+            k.run(programs)
+        };
+        fn pingpong(c: &mut LaneCtx, left: u32, tag: u64) {
+            c.emit(tag);
+            let jitter = c.rng().gen_range(0, 90);
+            if left == 0 {
+                return;
+            }
+            if left.is_multiple_of(3) {
+                let to = (c.lane() as usize + 1) % c.lanes();
+                c.send(to, SimDuration::from_nanos(200 + jitter), move |c| {
+                    pingpong(c, left - 1, tag + 1)
+                });
+            } else {
+                c.schedule_in(SimDuration::from_nanos(10 + jitter), move |c| {
+                    pingpong(c, left - 1, tag + 1)
+                });
+            }
+        }
+        let a = run_once();
+        let b = run_once();
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.log, y.log, "lane {} diverged between runs", x.lane);
+            assert_eq!(x.executed, y.executed);
+            assert_eq!(x.final_now, y.final_now);
+        }
+        assert!(a.iter().any(|r| r.received > 0), "mesh never engaged");
+    }
+}

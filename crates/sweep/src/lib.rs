@@ -117,6 +117,10 @@ pub struct SweepSpec {
     pub placement: PlacementSpec,
     /// Live migrations applied to every expanded scenario.
     pub migrations: Vec<MigrationSpec>,
+    /// Route cross-lane schedules through the kernel's mailbox-doorbell
+    /// mesh in every expanded scenario (DESIGN.md §17). Results are
+    /// byte-identical to the direct path by construction.
+    pub parallel: bool,
 }
 
 /// One expanded point of the sweep (the cross-product coordinates).
@@ -540,6 +544,12 @@ impl SweepSpec {
             },
             placement: parse_placement(&doc)?,
             migrations: parse_migrations(&doc)?,
+            parallel: match doc.get("parallel") {
+                None => false,
+                Some(v) => v
+                    .as_bool()
+                    .ok_or_else(|| format!("parallel {v:?} not a boolean"))?,
+            },
         };
         if !(spec.warmup_s >= 0.0 && spec.warmup_s.is_finite()) {
             return Err("warmup_s must be a finite non-negative number".to_string());
@@ -586,6 +596,7 @@ impl SweepSpec {
                             sc.targets = self.targets;
                             sc.placement = self.placement.clone();
                             sc.migrations = self.migrations.clone();
+                            sc.parallel = self.parallel;
                             let point = Point {
                                 runtime,
                                 speed_gbps: match Speed::from(speed) {
@@ -880,6 +891,21 @@ mod tests {
         assert_eq!(plain.placement, PlacementSpec::RoundRobin);
         assert!(plain.migrations.is_empty());
         assert!(!plain.expand()[0].1.is_cluster());
+    }
+
+    #[test]
+    fn parallel_knob_parses_and_propagates() {
+        let spec = SweepSpec::from_json(r#"{"name":"p","parallel":true}"#).unwrap();
+        assert!(spec.parallel);
+        assert!(spec.expand().iter().all(|(_, sc)| sc.parallel));
+        // Defaults off, so existing specs replay the direct path.
+        let plain = SweepSpec::from_json(r#"{"name":"x"}"#).unwrap();
+        assert!(!plain.parallel);
+        assert!(!plain.expand()[0].1.parallel);
+        assert!(
+            SweepSpec::from_json(r#"{"name":"x","parallel":1}"#).is_err(),
+            "parallel must be a boolean"
+        );
     }
 
     #[test]

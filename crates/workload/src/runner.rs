@@ -48,6 +48,16 @@ pub struct RunResult {
     /// Device submissions that crossed target reactors via the mailbox
     /// (NVMe-oPF targets only; 0 with one shard).
     pub cross_reactor_submits: u64,
+    /// Cross-lane schedules that detoured through the kernel's
+    /// mailbox-doorbell mesh (`parallel: true` runs only; 0 otherwise).
+    /// Bookkeeping, not a metric: proves the mesh engaged while results
+    /// stay byte-identical to the direct path.
+    pub parallel_routed: u64,
+    /// Smallest cross-lane scheduling slack observed by the mesh, in
+    /// nanoseconds — the effective lookahead bound this workload would
+    /// grant the threaded engine (DESIGN.md §17). `None` when nothing
+    /// was mesh-routed.
+    pub parallel_min_slack_ns: Option<u64>,
     /// Unified whole-cluster snapshot: the scalar fields above plus every
     /// component's [`MetricsSource`] counters, prefixed by component
     /// (`pair0.tgt.*`, `pair0.dev.*`, `ini3.*`, …).
@@ -407,6 +417,7 @@ pub fn run(sc: &Scenario) -> RunResult {
     // count (see `simkit::Kernel`), so `shards` never changes results.
     let shards = sc.shards.max(1);
     let mut k = Kernel::with_shards(sc.seed, shards);
+    k.set_parallel(sc.parallel);
     let net = Network::new(FabricConfig::preset(speed));
     // Table I: the 10/25 Gbps testbed (Chameleon Cloud) has slower CPUs
     // and a larger SSD than the 100 Gbps one (CloudLab).
@@ -868,6 +879,8 @@ pub fn run(sc: &Scenario) -> RunResult {
         reactor_util: util,
         events: k.events_executed(),
         cross_shard_events: k.cross_shard_scheduled(),
+        parallel_routed: k.mesh_routed(),
+        parallel_min_slack_ns: k.mesh_min_slack_nanos(),
         cross_reactor_submits: targets
             .iter()
             .map(|t| match t {
@@ -910,6 +923,7 @@ fn run_cluster(sc: &Scenario) -> RunResult {
     let speed: Gbps = sc.speed.into();
     let shards = sc.shards.max(1);
     let mut k = Kernel::with_shards(sc.seed, shards);
+    k.set_parallel(sc.parallel);
     let net = Network::new(FabricConfig::preset(speed));
     let (costs, profile) = match speed {
         Gbps::G10 | Gbps::G25 => (CpuCosts::cc(), FlashProfile::cc_ssd()),
@@ -1175,6 +1189,10 @@ fn run_cluster(sc: &Scenario) -> RunResult {
         engine.schedule(&mut k, m, SimDuration::from_micros(100));
         cur[ti] = to;
     }
+    // The manager consults the engine's records on every tick so tenants
+    // mid-migration are neither rebalanced nor decayed while their
+    // queues are frozen or in flight between targets.
+    mgr.borrow_mut().watch(engine.records());
 
     // --- Drive -----------------------------------------------------------
     for (driver, qd, idx, lane) in drivers {
@@ -1268,6 +1286,14 @@ fn run_cluster(sc: &Scenario) -> RunResult {
     metrics.set("cluster.mgr_ticks", snap.ticks as f64);
     metrics.set("cluster.weight_updates", snap.weight_updates as f64);
     metrics.set("cluster.max_imbalance", snap.max_imbalance as f64);
+    // Gated on nonzero so runs that never exercise the decay or the
+    // migration skip keep byte-identical snapshots.
+    if snap.weight_decays > 0 {
+        metrics.set("cluster.weight_decays", snap.weight_decays as f64);
+    }
+    if snap.migrating_skipped > 0 {
+        metrics.set("cluster.migrating_skipped", snap.migrating_skipped as f64);
+    }
     // Unconditional, so a no-op migration spec (a move to the tenant's
     // current target, skipped above) leaves a snapshot byte-identical
     // to a migration-free run of the same scenario.
@@ -1318,6 +1344,8 @@ fn run_cluster(sc: &Scenario) -> RunResult {
         reactor_util: util,
         events: k.events_executed(),
         cross_shard_events: k.cross_shard_scheduled(),
+        parallel_routed: k.mesh_routed(),
+        parallel_min_slack_ns: k.mesh_min_slack_nanos(),
         cross_reactor_submits: tgts
             .iter()
             .map(|t| t.borrow().cross_reactor_submits())

@@ -158,6 +158,15 @@ pub struct Scenario {
     /// recovery plane (retry + re-drain) on, since the post-move
     /// re-drive rides the recovery re-issue path.
     pub migrations: Vec<MigrationSpec>,
+    /// Route cross-lane schedules through the kernel's mailbox-doorbell
+    /// mesh (DESIGN.md §17) instead of pushing straight into the peer
+    /// lane's heap. Results are byte-identical either way — the merge
+    /// key is the global `(time, seq)` stamp regardless of the route —
+    /// but `true` exercises the synchronization structure the threaded
+    /// engine runs on and reports the workload's effective lookahead
+    /// through [`crate::runner::RunResult::parallel_min_slack_ns`].
+    /// Default `false`: the classic direct path, untouched.
+    pub parallel: bool,
 }
 
 impl Scenario {
@@ -188,6 +197,7 @@ impl Scenario {
             targets: 1,
             placement: PlacementSpec::RoundRobin,
             migrations: Vec::new(),
+            parallel: false,
         }
     }
 
