@@ -19,6 +19,7 @@
 //! | [`scale`]  | extension: tenants × shards on the multi-reactor target |
 //! | [`adversary`] | extension: adversarial tenant vs the hardened protocol plane |
 //! | [`cluster`] | extension: multi-target cluster — placement, manager, migration |
+//! | [`campaign`] | extension: seeds × traffic-model grids with expectation gates |
 //!
 //! The `repro` binary drives them; results print as aligned tables and
 //! are written as CSV under `results/`.
@@ -26,6 +27,7 @@
 pub mod ablate;
 pub mod adversary;
 pub mod breakdown;
+pub mod campaign;
 pub mod chaos;
 pub mod cluster;
 pub mod fig6;

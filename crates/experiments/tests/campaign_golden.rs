@@ -1,0 +1,97 @@
+//! Golden guard for the campaign engine (DESIGN.md §18).
+//!
+//! Pins the quick-preset campaign byte-for-byte: the checked-in
+//! `scenarios/campaign_quick.json` (3 seeds × 6 traffic models) must
+//! render exactly the committed `summary.json` + `summary.csv`, with
+//! every expectation gate green — the same artifacts CI's
+//! `campaign-smoke` job gates on. A second test feeds the engine a
+//! deliberately unsatisfiable spec and asserts the gate actually
+//! rejects: a gate that cannot fail guards nothing.
+
+use experiments::campaign::{render_summary_csv, render_summary_json, run_campaign, CampaignSpec};
+
+fn golden(name: &str) -> String {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden");
+    std::fs::read_to_string(format!("{path}/{name}"))
+        .unwrap_or_else(|e| panic!("missing golden {name}: {e}"))
+}
+
+fn quick_spec() -> CampaignSpec {
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../scenarios/campaign_quick.json"
+    );
+    let src = std::fs::read_to_string(path).expect("checked-in quick campaign spec");
+    CampaignSpec::from_json_str(&src).expect("quick spec parses")
+}
+
+fn assert_matches(name: &str, rendered: &str) {
+    let want = golden(name);
+    if rendered != want {
+        for (i, (r, w)) in rendered.lines().zip(want.lines()).enumerate() {
+            assert_eq!(r, w, "{name} line {}", i + 1);
+        }
+        assert_eq!(
+            rendered.lines().count(),
+            want.lines().count(),
+            "{name} line count"
+        );
+        panic!("{name} differs only in line endings / trailing bytes");
+    }
+}
+
+#[test]
+fn quick_campaign_matches_goldens_and_passes_every_gate() {
+    let spec = quick_spec();
+    assert_eq!(spec.seeds.len(), 3, "quick preset sweeps three seeds");
+    assert!(
+        spec.scenarios.len() >= 5,
+        "quick preset covers at least five traffic models"
+    );
+    let summary = run_campaign(&spec, Some(2));
+    assert!(
+        summary.pass,
+        "quick campaign gate must be green: {:?}",
+        summary
+            .outcomes
+            .iter()
+            .filter(|o| !o.pass)
+            .collect::<Vec<_>>()
+    );
+    assert_matches(
+        "campaign_quick.summary.json",
+        &render_summary_json(&summary),
+    );
+    assert_matches("campaign_quick.summary.csv", &render_summary_csv(&summary));
+}
+
+#[test]
+fn unsatisfiable_expectations_fail_the_gate() {
+    // Same engine, tiny grid, bounds no run can meet. The gate must
+    // reject — and report which checks failed, not panic.
+    let spec = CampaignSpec::from_json_str(
+        r#"{
+          "name": "doomed", "seeds": [7], "warmup_s": 0.005, "measure_s": 0.02,
+          "scenarios": [{"name": "p", "traffic": {"model": "poisson", "rate_kiops": 20}}],
+          "expectations": [
+            {"scenario": "p", "check": "exactly_once"},
+            {"scenario": "p", "check": "completion_floor", "min": 2.0},
+            {"scenario": "p", "metric": "tc.iops", "stat": "mean", "min": 1e12},
+            {"scenario": "p", "metric": "no.such.metric", "stat": "max", "max": 1.0}
+          ]
+        }"#,
+    )
+    .expect("doomed spec is structurally valid");
+    let summary = run_campaign(&spec, Some(1));
+    assert!(!summary.pass, "impossible bounds must fail the gate");
+    let verdicts: Vec<bool> = summary.outcomes.iter().map(|o| o.pass).collect();
+    // exactly_once genuinely holds; the three impossible checks fail.
+    assert_eq!(verdicts, vec![true, false, false, false]);
+    // A missing metric reports no observed value rather than panicking.
+    assert_eq!(summary.outcomes[3].observed, None);
+    // The failing summary still renders deterministically.
+    assert_eq!(
+        render_summary_json(&summary),
+        render_summary_json(&run_campaign(&spec, Some(1)))
+    );
+}

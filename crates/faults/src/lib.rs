@@ -84,6 +84,28 @@ pub struct Crash {
     pub dur: SimDuration,
 }
 
+/// Expand a churn storm — a mass disconnect/reconnect of `tenants`
+/// consecutive links starting at `first_link` — into per-tenant
+/// [`Crash`] windows staggered `stagger` apart (a thundering herd, not
+/// a lockstep blackout). Each crashed tenant reconnects through the
+/// same epoch-guarded re-issue path as a lone crash; the storm is the
+/// scale, not a new mechanism.
+pub fn churn_storm(
+    first_link: usize,
+    tenants: usize,
+    at: SimTime,
+    dur: SimDuration,
+    stagger: SimDuration,
+) -> Vec<Crash> {
+    (0..tenants)
+        .map(|i| Crash {
+            tenant: first_link + i,
+            at: SimTime::from_nanos(at.as_nanos() + stagger.as_nanos() * i as u64),
+            dur,
+        })
+        .collect()
+}
+
 /// A protocol-level adversary riding one tenant's link (DESIGN.md §14).
 ///
 /// Unlike the stochastic fault knobs — which model a *hostile fabric* —

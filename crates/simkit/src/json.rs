@@ -1,4 +1,4 @@
-//! Minimal JSON reader for sweep scenario files.
+//! Minimal JSON reader for sweep and campaign scenario files.
 //!
 //! The build environment has no crates.io access, so instead of serde
 //! this is a small recursive-descent parser covering exactly the JSON

@@ -26,6 +26,7 @@
 //! ```
 
 pub mod fxhash;
+pub mod json;
 pub mod kernel;
 pub mod metrics;
 pub mod parallel;

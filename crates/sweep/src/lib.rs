@@ -75,7 +75,7 @@
 //! }
 //! ```
 
-pub mod json;
+pub use simkit::json;
 
 use fabric::Gbps;
 use faults::{Adversary, Crash, Degrade, FaultProfile, KeepAliveSpec, LinkFlap, Stall};
@@ -551,6 +551,17 @@ impl SweepSpec {
                     .ok_or_else(|| format!("parallel {v:?} not a boolean"))?,
             },
         };
+        // Duplicate seeds silently double-count a grid point: every
+        // derived statistic (means, fairness spreads, campaign gates)
+        // would be quietly biased toward the repeated run. Hard error.
+        for (i, &s) in spec.seeds.iter().enumerate() {
+            if spec.seeds[..i].contains(&s) {
+                return Err(format!(
+                    "duplicate seed {s} (each seed must appear once; \
+                     repeated seeds double-count runs in derived statistics)"
+                ));
+            }
+        }
         if !(spec.warmup_s >= 0.0 && spec.warmup_s.is_finite()) {
             return Err("warmup_s must be a finite non-negative number".to_string());
         }
@@ -747,6 +758,14 @@ mod tests {
         assert!(spec.threads.is_none());
         // 2 runtimes × 1 speed × 1 mix × 1 ratio × 1 seed.
         assert_eq!(spec.expand().len(), 2);
+    }
+
+    #[test]
+    fn duplicate_seeds_are_a_hard_error() {
+        let err = SweepSpec::from_json(r#"{"name": "d", "seeds": [7, 8, 7]}"#).unwrap_err();
+        assert!(err.contains("duplicate seed 7"), "{err}");
+        // Distinct seeds still parse.
+        assert!(SweepSpec::from_json(r#"{"name": "d", "seeds": [7, 8]}"#).is_ok());
     }
 
     #[test]

@@ -1,27 +1,37 @@
-//! `sweep` — run a scenario sweep from a JSON spec.
+//! `sweep` — run a scenario sweep or campaign from a JSON spec.
 //!
 //! ```text
 //! sweep <spec.json> [--out DIR] [--threads N]
+//! sweep campaign <spec.json> [--out DIR] [--threads N]
 //! ```
 //!
-//! Writes `BENCH_<name>.json` (full report with per-point metric
-//! snapshots) and `BENCH_<name>.csv` (scalar columns) under `--out`,
-//! defaulting to the workspace `results/` directory. Output is
+//! The sweep form writes `BENCH_<name>.json` (full report with per-point
+//! metric snapshots) and `BENCH_<name>.csv` (scalar columns) under
+//! `--out`, defaulting to the workspace `results/` directory. The
+//! campaign form expands a seeds × traffic-scenario grid, evaluates the
+//! spec's expectation gates, writes `campaign_<name>/summary.{json,csv}`
+//! under `--out`, and exits non-zero if any gate fails. Output is
 //! bit-identical across runs of the same spec.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+use experiments::campaign::{run_campaign, write_outputs, CampaignSpec};
 use sweep::{report_csv, report_json, run_spec, SweepSpec};
 
-const USAGE: &str = "usage: sweep <spec.json> [--out DIR] [--threads N]";
+const USAGE: &str = "usage: sweep [campaign] <spec.json> [--out DIR] [--threads N]";
 
 fn main() -> ExitCode {
     let mut spec_path: Option<PathBuf> = None;
     let mut out_dir: Option<PathBuf> = None;
     let mut threads: Option<usize> = None;
+    let mut campaign_mode = false;
 
-    let mut args = std::env::args().skip(1);
+    let mut args = std::env::args().skip(1).peekable();
+    if args.peek().map(String::as_str) == Some("campaign") {
+        campaign_mode = true;
+        args.next();
+    }
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--out" => match args.next() {
@@ -50,6 +60,27 @@ fn main() -> ExitCode {
         Ok(s) => s,
         Err(e) => return fail(&format!("cannot read {}: {e}", spec_path.display())),
     };
+
+    if campaign_mode {
+        let spec = match CampaignSpec::from_json_str(&src) {
+            Ok(s) => s,
+            Err(e) => return fail(&format!("bad spec {}: {e}", spec_path.display())),
+        };
+        let summary = run_campaign(&spec, threads);
+        experiments::campaign::print_outcomes(&summary);
+        let out_dir = out_dir.unwrap_or_else(experiments::results_dir);
+        match write_outputs(&summary, &out_dir) {
+            Ok(p) => println!("{}", p.display()),
+            Err(e) => return fail(&format!("cannot write summary: {e}")),
+        }
+        return if summary.pass {
+            ExitCode::SUCCESS
+        } else {
+            eprintln!("sweep: campaign expectation gate FAILED");
+            ExitCode::FAILURE
+        };
+    }
+
     let mut spec = match SweepSpec::from_json(&src) {
         Ok(s) => s,
         Err(e) => return fail(&format!("bad spec {}: {e}", spec_path.display())),

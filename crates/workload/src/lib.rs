@@ -18,6 +18,7 @@ pub mod report;
 pub mod runner;
 pub mod scenario;
 pub mod trace;
+pub mod traffic;
 pub mod volume;
 
 pub use cluster::{MigrationSpec, PlacementSpec};
@@ -27,4 +28,5 @@ pub use report::{csv_table, render_table, Table};
 pub use runner::{build_pair, build_pair_traced, run, Pair, RunResult, TenantHandle};
 pub use scenario::{Pattern, RuntimeKind, Scenario, Transport, WindowSpec};
 pub use trace::{replay, ReplayConfig, ReplayResult, TraceEvent, TraceLog};
+pub use traffic::{ArrivalModel, ChurnStorm, Phase, TenantTraffic, TrafficSpec};
 pub use volume::StripedVolume;

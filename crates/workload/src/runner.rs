@@ -3,6 +3,7 @@
 
 use crate::hist::Histogram;
 use crate::scenario::{Pattern, RuntimeKind, Scenario, Speed, Transport};
+use crate::traffic::TenantTraffic;
 use bytes::Bytes;
 use fabric::{FabricConfig, Gbps, Network};
 use nvme::{FlashProfile, NvmeDevice, Opcode, BLOCK_SIZE};
@@ -12,6 +13,7 @@ use nvmf::{CpuCosts, PduRx, RetryPolicy, SpdkInitiator, SpdkTarget};
 use opf::{OpfInitiator, OpfInitiatorConfig, OpfTarget, OpfTargetConfig, QueueMode, ReqClass};
 use simkit::{shared, Kernel, Metrics, MetricsSource, Pcg32, Shared, SimDuration, SimTime, Tracer};
 use std::cell::{Cell, RefCell};
+use std::collections::VecDeque;
 use std::rc::Rc;
 
 /// Aggregated results of one scenario run.
@@ -94,6 +96,14 @@ impl AnyInitiator {
             AnyInitiator::Opf(i) => {
                 OpfInitiator::submit(i, k, class, opcode, slba, blocks, payload, cb)
             }
+        }
+    }
+
+    /// True when another command can be issued.
+    fn has_capacity(&self) -> bool {
+        match self {
+            AnyInitiator::Spdk(i) => i.borrow().has_capacity(),
+            AnyInitiator::Opf(i) => i.borrow().has_capacity(),
         }
     }
 
@@ -203,6 +213,154 @@ fn issue(d: Rc<RefCell<Driver>>, k: &mut Kernel) {
         dr.ini.submit(k, class, opcode, slba, blocks, payload, cb)
     };
     debug_assert!(ok.is_some(), "closed loop must respect queue depth");
+}
+
+/// One open-loop TC tenant (PR 10 traffic models): arrivals come from a
+/// [`TenantTraffic`] generator on the tenant's own kernel lane; a
+/// request that finds the qpair full waits in the app-side `pending`
+/// queue and its latency counts from *arrival* (queueing included),
+/// exactly like `trace::replay`.
+struct OpenTenant {
+    ini: AnyInitiator,
+    gen: TenantTraffic,
+    pending: VecDeque<OpenReq>,
+    /// Prebuilt max-size payload; writes slice it to the request size.
+    payload: Bytes,
+    default_blocks: u16,
+    base_mix: crate::Mix,
+    rng: Pcg32,
+    pattern: Pattern,
+    /// Submission counter (addresses, like `Driver::n`).
+    n_addr: u64,
+    lba_base: u64,
+    lba_span: u64,
+    hist: Rc<RefCell<Histogram>>,
+    win_start: SimTime,
+    win_end: SimTime,
+    completed_in_win: Rc<Cell<u64>>,
+    offered_total: u64,
+    done_total: u64,
+    offered_win: u64,
+    done_win: u64,
+}
+
+#[derive(Clone, Copy)]
+struct OpenReq {
+    write: bool,
+    blocks: u16,
+    arrived: SimTime,
+}
+
+/// One arrival: draw the request shape, submit or queue it, and
+/// schedule the next arrival (the chain stops once the next one would
+/// land past the measure window).
+fn open_arrival(t: Rc<RefCell<OpenTenant>>, k: &mut Kernel) {
+    let now = k.now();
+    let (req, gap, win_end) = {
+        let mut s = t.borrow_mut();
+        let (default_blocks, base_mix) = (s.default_blocks, s.base_mix);
+        let (write, blocks) = s.gen.draw(now.as_nanos(), default_blocks, base_mix);
+        s.offered_total += 1;
+        if now >= s.win_start && now < s.win_end {
+            s.offered_win += 1;
+        }
+        let gap = s.gen.next_gap_ns(now.as_nanos());
+        (
+            OpenReq {
+                write,
+                blocks,
+                arrived: now,
+            },
+            gap,
+            s.win_end,
+        )
+    };
+    if t.borrow().ini.has_capacity() {
+        open_submit(&t, k, req);
+    } else {
+        t.borrow_mut().pending.push_back(req);
+    }
+    if now + SimDuration::from_nanos(gap) < win_end {
+        let t2 = t.clone();
+        k.schedule_in(SimDuration::from_nanos(gap), move |k| open_arrival(t2, k));
+    }
+}
+
+/// Submit one open-loop request; its completion pops the next queued
+/// arrival (if any) straight into the freed slot.
+fn open_submit(t: &Rc<RefCell<OpenTenant>>, k: &mut Kernel, req: OpenReq) {
+    let (opcode, slba, blocks, payload) = {
+        let mut s = t.borrow_mut();
+        let opcode = if req.write {
+            Opcode::Write
+        } else {
+            Opcode::Read
+        };
+        let blocks = req.blocks.max(1);
+        let slots = (s.lba_span / u64::from(blocks)).max(1);
+        let n = s.n_addr;
+        s.n_addr += 1;
+        let slot = match s.pattern {
+            Pattern::Sequential => n % slots,
+            Pattern::Random => s.rng.gen_range(0, slots),
+        };
+        let slba = s.lba_base + slot * u64::from(blocks);
+        let payload =
+            (opcode == Opcode::Write).then(|| s.payload.slice(0..BLOCK_SIZE * blocks as usize));
+        (opcode, slba, blocks, payload)
+    };
+    let t2 = t.clone();
+    let arrived = req.arrived;
+    let cb: IoCallback = Box::new(move |k, _out| {
+        {
+            let mut s = t2.borrow_mut();
+            s.done_total += 1;
+            let now = k.now();
+            if now >= s.win_start && now < s.win_end {
+                s.done_win += 1;
+                s.completed_in_win.set(s.completed_in_win.get() + 1);
+                // End-to-end latency counts from arrival: app-side
+                // queueing is part of what an open-loop client sees.
+                s.hist.borrow_mut().record(now.since(arrived).as_nanos());
+            }
+        }
+        let next = t2.borrow_mut().pending.pop_front();
+        if let Some(r) = next {
+            open_submit(&t2, k, r);
+        }
+    });
+    let ok = {
+        let s = t.borrow();
+        s.ini.submit(
+            k,
+            ReqClass::ThroughputCritical,
+            opcode,
+            slba,
+            blocks,
+            payload,
+            cb,
+        )
+    };
+    debug_assert!(ok.is_some(), "open-loop submit must respect capacity");
+}
+
+/// Periodic 1 ms queue re-fill: an NVMe-oPF drain-timer flush occupies a
+/// queue slot whose completion does not pop the app queue, so without
+/// this sweep a tenant could idle with work pending (same shape as
+/// `trace::replay`'s drainer). The chain dies at the kernel horizon.
+fn open_drain(t: Rc<RefCell<OpenTenant>>, k: &mut Kernel) {
+    loop {
+        if !t.borrow().ini.has_capacity() {
+            break;
+        }
+        let next = t.borrow_mut().pending.pop_front();
+        match next {
+            Some(req) => open_submit(&t, k, req),
+            None => break,
+        }
+    }
+    let t2 = t.clone();
+    k.schedule_in(SimDuration::from_micros(1000), move |k| open_drain(t2, k));
 }
 
 /// A tenant's initiator handle in a [`Pair`]: runtime-agnostic submit.
@@ -411,6 +569,31 @@ pub fn run(sc: &Scenario) -> RunResult {
     if sc.is_cluster() {
         return run_cluster(sc);
     }
+    // Churn storms materialise as staggered fault-plane crash windows
+    // over the TC slots *before* the plane is built; a scenario with
+    // churn but no profile gets the default one (retry + re-drain +
+    // settle on), since reconnect-recovery is the point of the storm.
+    // Traffic-free scenarios pass through untouched.
+    let churned;
+    let sc = match sc.traffic.as_ref().filter(|t| !t.churn.is_empty()) {
+        Some(t) => {
+            let mut s = sc.clone();
+            let mut profile = s.faults.take().unwrap_or_default();
+            for storm in &t.churn {
+                profile.crashes.extend(faults::churn_storm(
+                    s.ls_per_node,
+                    storm.tenants.min(s.tc_per_node.max(1)),
+                    SimTime::from_nanos((storm.at_s * 1e9) as u64),
+                    SimDuration::from_secs_f64(storm.for_s),
+                    SimDuration::from_micros(20),
+                ));
+            }
+            s.faults = Some(profile);
+            churned = s;
+            &churned
+        }
+        None => sc,
+    };
     let speed: Gbps = sc.speed.into();
     // Shard the kernel; tenants are assigned to lanes round-robin below.
     // The merge is bit-identical to the serial kernel for any shard
@@ -451,7 +634,14 @@ pub fn run(sc: &Scenario) -> RunResult {
     let tc_hist = Rc::new(RefCell::new(Histogram::new()));
     let ls_count = Rc::new(Cell::new(0u64));
     let tc_count = Rc::new(Cell::new(0u64));
-    let payload = Bytes::from(vec![0u8; BLOCK_SIZE * sc.io_blocks.max(1) as usize]);
+    // With an open-loop traffic block the payload and per-tenant LBA
+    // spans are sized for the largest block count any request can draw;
+    // without one `span_blocks` is exactly `io_blocks` as before.
+    let span_blocks = match &sc.traffic {
+        Some(t) => t.max_blocks(sc.io_blocks.max(1)),
+        None => sc.io_blocks.max(1),
+    };
+    let payload = Bytes::from(vec![0u8; BLOCK_SIZE * span_blocks as usize]);
 
     // Tenant → lane assignment goes through the same placement-policy
     // trait the cluster runner uses for tenant → target (one code path,
@@ -463,6 +653,7 @@ pub fn run(sc: &Scenario) -> RunResult {
 
     let mut targets = Vec::new();
     let mut drivers = Vec::new();
+    let mut open_tenants: Vec<(Rc<RefCell<OpenTenant>>, u64, u32)> = Vec::new();
     // Component handles retained for the end-of-run metrics snapshot.
     let mut devices = Vec::new();
     let mut endpoints: Vec<(String, Shared<fabric::Endpoint>)> = Vec::new();
@@ -667,23 +858,53 @@ pub fn run(sc: &Scenario) -> RunResult {
                 ReqClass::LatencySensitive => (ls_hist.clone(), ls_count.clone()),
                 ReqClass::ThroughputCritical => (tc_hist.clone(), tc_count.clone()),
             };
-            let driver = Rc::new(RefCell::new(Driver {
-                ini,
-                class,
-                mix: sc.mix,
-                io_blocks: sc.io_blocks.max(1),
-                pattern: sc.pattern,
-                rng: Pcg32::new(sc.seed ^ (global_idx + 1).wrapping_mul(0x1357_9BDF)),
-                n: 0,
-                lba_base: global_idx * 8192 * u64::from(sc.io_blocks.max(1)),
-                lba_span: 8192 * u64::from(sc.io_blocks.max(1)),
-                payload: payload.clone(),
-                hist,
-                win_start: warm,
-                win_end: end,
-                completed_in_win: count,
-            }));
-            drivers.push((driver, qd, global_idx, lane));
+            // With a traffic block the TC tenants go open-loop; LS
+            // tenants keep their closed-loop QD-1 probe so the paper's
+            // isolation metric stays comparable.
+            if let (Some(tspec), ReqClass::ThroughputCritical) = (&sc.traffic, class) {
+                let tc_total = (sc.pairs * sc.tc_per_node).max(1);
+                let tc_idx = pair * sc.tc_per_node + (slot - sc.ls_per_node);
+                let t = Rc::new(RefCell::new(OpenTenant {
+                    ini,
+                    gen: TenantTraffic::new(tspec, sc.seed, tc_idx, tc_total),
+                    pending: VecDeque::new(),
+                    payload: payload.clone(),
+                    default_blocks: sc.io_blocks.max(1),
+                    base_mix: sc.mix,
+                    rng: Pcg32::new(sc.seed ^ (global_idx + 1).wrapping_mul(0x1357_9BDF)),
+                    pattern: sc.pattern,
+                    n_addr: 0,
+                    lba_base: global_idx * 8192 * u64::from(span_blocks),
+                    lba_span: 8192 * u64::from(span_blocks),
+                    hist,
+                    win_start: warm,
+                    win_end: end,
+                    completed_in_win: count,
+                    offered_total: 0,
+                    done_total: 0,
+                    offered_win: 0,
+                    done_win: 0,
+                }));
+                open_tenants.push((t, global_idx, lane));
+            } else {
+                let driver = Rc::new(RefCell::new(Driver {
+                    ini,
+                    class,
+                    mix: sc.mix,
+                    io_blocks: sc.io_blocks.max(1),
+                    pattern: sc.pattern,
+                    rng: Pcg32::new(sc.seed ^ (global_idx + 1).wrapping_mul(0x1357_9BDF)),
+                    n: 0,
+                    lba_base: global_idx * 8192 * u64::from(span_blocks),
+                    lba_span: 8192 * u64::from(span_blocks),
+                    payload: payload.clone(),
+                    hist,
+                    win_start: warm,
+                    win_end: end,
+                    completed_in_win: count,
+                }));
+                drivers.push((driver, qd, global_idx, lane));
+            }
         }
         targets.push(target);
     }
@@ -733,6 +954,22 @@ pub fn run(sc: &Scenario) -> RunResult {
         });
     }
 
+    // Open-loop tenants: the start event (pinned to the tenant's lane,
+    // so the whole arrival chain inherits it — shard/parallel
+    // invariance) kicks off the arrival chain and the 1 ms drainer.
+    for (t, idx, lane) in &open_tenants {
+        let t = t.clone();
+        k.schedule_at_on(*lane, SimTime::from_micros(*idx), move |k| {
+            let gap = {
+                let now_ns = k.now().as_nanos();
+                t.borrow_mut().gen.next_gap_ns(now_ns)
+            };
+            let t2 = t.clone();
+            k.schedule_in(SimDuration::from_nanos(gap), move |k| open_arrival(t2, k));
+            open_drain(t, k);
+        });
+    }
+
     // Snapshot notification counters at the start of the measure window
     // so `notifications` is a within-window delta (Figure 6(c) counts a
     // fixed-duration run).
@@ -761,11 +998,21 @@ pub fn run(sc: &Scenario) -> RunResult {
     // settle window so retry/re-drain timers can finish recovering the
     // in-flight tail (measurement still stops at `end`; the drivers stop
     // re-issuing and recording there).
-    let horizon = match &plane {
-        Some(p) if p.borrow().profile().settle_s > 0.0 => {
-            end + SimDuration::from_secs_f64(p.borrow().profile().settle_s)
-        }
-        _ => end,
+    let settle_s = plane
+        .as_ref()
+        .map_or(0.0, |p| p.borrow().profile().settle_s);
+    // Open-loop runs always get a settle window: arrivals stop at `end`
+    // but the queued/in-flight tail still needs to drain for
+    // exactly-once accounting (a cliff would strand it).
+    let settle_s = if sc.traffic.is_some() {
+        settle_s.max(0.05)
+    } else {
+        settle_s
+    };
+    let horizon = if settle_s > 0.0 {
+        end + SimDuration::from_secs_f64(settle_s)
+    } else {
+        end
     };
     k.set_horizon(horizon);
     k.run_to_completion();
@@ -805,6 +1052,47 @@ pub fn run(sc: &Scenario) -> RunResult {
     metrics.set("completed", (tc_done + ls_done) as f64);
     metrics.set("reactor_util", util);
     metrics.set("events", k.events_executed() as f64);
+    // Open-loop traffic figures, only present with a `traffic` block so
+    // legacy runs keep their exact metric key union. `fairness_spread`
+    // is (max−min)/mean over per-tenant *popularity-normalised* served
+    // counts: under Zipf skew every tenant should still get service
+    // proportional to its offered share.
+    if sc.traffic.is_some() {
+        let (mut offered, mut done) = (0u64, 0u64);
+        let (mut offered_win, mut done_win) = (0u64, 0u64);
+        let mut served: Vec<f64> = Vec::new();
+        for (t, _, _) in &open_tenants {
+            let s = t.borrow();
+            offered += s.offered_total;
+            done += s.done_total;
+            offered_win += s.offered_win;
+            done_win += s.done_win;
+            served.push(s.done_win as f64 / s.gen.weight().max(1e-12));
+        }
+        metrics.set("traffic.offered", offered as f64);
+        metrics.set("traffic.done", done as f64);
+        metrics.set(
+            "traffic.completion_ratio",
+            if offered_win == 0 {
+                1.0
+            } else {
+                done_win as f64 / offered_win as f64
+            },
+        );
+        let spread = if served.len() < 2 {
+            0.0
+        } else {
+            let max = served.iter().copied().fold(f64::MIN, f64::max);
+            let min = served.iter().copied().fold(f64::MAX, f64::min);
+            let mean = served.iter().sum::<f64>() / served.len() as f64;
+            if mean <= 0.0 {
+                0.0
+            } else {
+                (max - min) / mean
+            }
+        };
+        metrics.set("traffic.fairness_spread", spread);
+    }
     for (pair, target) in targets.iter().enumerate() {
         metrics.merge(&format!("pair{pair}.tgt."), &target.metrics(now));
     }
@@ -905,6 +1193,10 @@ pub fn run(sc: &Scenario) -> RunResult {
 /// consistent. Cluster runs are their own golden space — the
 /// single-target `run()` path above is untouched.
 fn run_cluster(sc: &Scenario) -> RunResult {
+    assert!(
+        sc.traffic.is_none(),
+        "open-loop traffic models are single-target for now (traffic + targets > 1 unsupported)"
+    );
     assert!(
         sc.runtime == RuntimeKind::Opf,
         "cluster mode is NVMe-oPF only (the baseline has no migration or placement plane)"

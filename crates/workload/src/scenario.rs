@@ -167,6 +167,11 @@ pub struct Scenario {
     /// through [`crate::runner::RunResult::parallel_min_slack_ns`].
     /// Default `false`: the classic direct path, untouched.
     pub parallel: bool,
+    /// Open-loop traffic model for the TC tenants (PR 10): arrival
+    /// process, size mix, Zipf popularity skew, churn storms. `None`
+    /// (the default) keeps every tenant on the historical closed-loop
+    /// generator — legacy runs are byte-identical.
+    pub traffic: Option<crate::traffic::TrafficSpec>,
 }
 
 impl Scenario {
@@ -198,6 +203,7 @@ impl Scenario {
             placement: PlacementSpec::RoundRobin,
             migrations: Vec::new(),
             parallel: false,
+            traffic: None,
         }
     }
 
